@@ -1,0 +1,138 @@
+"""D1 — steady-state run-time overhead vs checkpointing (paper Section 4).
+
+Paper: "Our approach does not use checkpointing ... the run-time cost is
+merely that of periodically testing the flags installed for
+reconfiguration.  The cost of capturing the process state is paid only
+when a reconfiguration is performed, instead of at regular intervals
+during execution."
+
+Measured here, on the same accumulation workload:
+
+- the original (unprepared) module loop,
+- the prepared module loop (flag tests + our dispatch-loop overhead —
+  reported honestly; the paper's C version pays only the flag test),
+- checkpointing at intervals 1, 100, and 1000 steps.
+
+Expected shape: prepared-module cost is a constant factor over the
+original and *independent of reconfiguration frequency*; checkpointing
+cost grows as the interval shrinks, and at interval=1 dwarfs the flag
+tests.
+"""
+
+import pytest
+
+from repro.baselines.checkpoint import CheckpointedLoop
+from repro.core import prepare_module
+from repro.runtime.mh import MH, ModuleStop
+from repro.runtime.refs import Ref
+
+from benchmarks.conftest import DirectPort, report
+
+STEPS = 5_000
+
+WORKLOAD = """\
+def main():
+    n = mh.read1('inp')
+    i = 0
+    acc = 0.0
+    while i < n:
+        mh.reconfig_point('P')
+        acc = acc + float(i) * 1.0001
+        i = i + 1
+    mh.write('out', 'F', acc)
+"""
+
+UNPREPARED = WORKLOAD.replace("        mh.reconfig_point('P')\n", "")
+
+_expected = sum(float(i) * 1.0001 for i in range(STEPS))
+
+
+def _run_module(code) -> float:
+    mh = MH("m")
+    port = DirectPort(mh, {"inp": [STEPS]})
+    mh.attach_port(port)
+    namespace = {"mh": mh, "Ref": Ref}
+    exec(code, namespace)
+    try:
+        namespace["main"]()
+    except ModuleStop:  # pragma: no cover
+        pass
+    return port.out[0][1][0]
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    prepared = prepare_module(WORKLOAD, "m").source
+    return {
+        "original": compile(UNPREPARED, "<original>", "exec"),
+        "prepared": compile(prepared, "<prepared>", "exec"),
+    }
+
+
+@pytest.mark.benchmark(group="d1-overhead")
+def test_d1_original_module(benchmark, compiled):
+    result = benchmark(_run_module, compiled["original"])
+    assert result == pytest.approx(_expected)
+
+
+@pytest.mark.benchmark(group="d1-overhead")
+def test_d1_prepared_module_flag_tests(benchmark, compiled):
+    result = benchmark(_run_module, compiled["prepared"])
+    assert result == pytest.approx(_expected)
+
+
+def _checkpoint_step(state):
+    return {
+        "i": state["i"] + 1,
+        "acc": state["acc"] + float(state["i"]) * 1.0001,
+    }
+
+
+@pytest.mark.benchmark(group="d1-overhead")
+@pytest.mark.parametrize("interval", [1, 100, 1000])
+def test_d1_checkpointing(benchmark, interval):
+    def run():
+        loop = CheckpointedLoop(_checkpoint_step, {"i": 0, "acc": 0.0}, interval)
+        loop.run(STEPS)
+        return loop.state["acc"]
+
+    result = benchmark(run)
+    assert result == pytest.approx(_expected)
+
+
+def test_d1_shape(compiled):
+    """The comparative claim, asserted directly on wall-clock numbers."""
+    import time
+
+    def time_of(fn, *args):
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            fn(*args)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    t_original = time_of(_run_module, compiled["original"])
+    t_prepared = time_of(_run_module, compiled["prepared"])
+
+    def run_checkpoint(interval):
+        loop = CheckpointedLoop(_checkpoint_step, {"i": 0, "acc": 0.0}, interval)
+        loop.run(STEPS)
+
+    t_ck1 = time_of(run_checkpoint, 1)
+    t_ck1000 = time_of(run_checkpoint, 1000)
+
+    # Checkpointing every step costs far more than flag tests.
+    assert t_ck1 > t_prepared, (t_ck1, t_prepared)
+    # And shrinking the interval makes it worse.
+    assert t_ck1 > 3 * t_ck1000, (t_ck1, t_ck1000)
+
+    report(
+        "D1",
+        "run-time cost is merely flag testing; checkpointing pays "
+        "capture cost at every interval",
+        f"original {t_original * 1e3:.1f}ms, prepared {t_prepared * 1e3:.1f}ms "
+        f"(x{t_prepared / t_original:.1f} incl. dispatch overhead), "
+        f"checkpoint@1 {t_ck1 * 1e3:.1f}ms (x{t_ck1 / t_prepared:.1f} vs "
+        f"prepared), checkpoint@1000 {t_ck1000 * 1e3:.1f}ms",
+    )

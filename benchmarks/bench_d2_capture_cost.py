@@ -1,0 +1,84 @@
+"""D2 — capture cost is paid only at reconfiguration, and scales with the
+activation-record stack (paper Sections 1.2 and 4).
+
+Paper: "The cost of capturing the process state is paid only when a
+reconfiguration is performed"; that cost is dominated by the AR stack.
+
+Measured here: the full capture -> encode -> decode -> restore round
+trip as a function of recursion depth, plus the abstract packet size.
+Expected shape: time and packet size grow linearly in depth; even at
+depth 512 the cost is far below the paper's "reconfiguration delay
+measured in seconds" acceptability bar.
+"""
+
+import pytest
+
+from repro.runtime.mh import MH
+from repro.state.frames import ProcessState
+from repro.state.machine import MACHINES
+
+from benchmarks.conftest import report
+
+DEPTHS = [1, 4, 16, 64, 256, 512]
+
+
+def capture_at_depth(depth: int) -> bytes:
+    mh = MH("compute", MACHINES["sparc-like"])
+    mh.begin_reconfig_capture("R")
+    mh.capture("compute", "lllF", 4, depth, 0, 0.0)
+    for level in range(depth - 1):
+        mh.capture("compute", "lllF", 3, depth, level + 1, float(level))
+    mh.capture("main", "llF", 1, depth, 0.0)
+    return mh.encode()
+
+
+def restore_packet(packet: bytes, depth: int) -> None:
+    clone = MH("compute", MACHINES["vax-like"], status="clone")
+    clone.incoming_packet = packet
+    clone.decode()
+    clone.restore("main")
+    for _ in range(depth):
+        clone.restore("compute")
+    clone.end_restore()
+
+
+@pytest.mark.benchmark(group="d2-capture")
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_d2_capture_encode(benchmark, depth):
+    packet = benchmark(capture_at_depth, depth)
+    assert ProcessState.from_bytes(packet).stack.depth == depth + 1
+
+
+@pytest.mark.benchmark(group="d2-restore")
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_d2_decode_restore(benchmark, depth):
+    packet = capture_at_depth(depth)
+    benchmark(restore_packet, packet, depth)
+
+
+def test_d2_shape():
+    import time
+
+    sizes = {}
+    times = {}
+    for depth in DEPTHS:
+        start = time.perf_counter()
+        packet = capture_at_depth(depth)
+        restore_packet(packet, depth)
+        times[depth] = time.perf_counter() - start
+        sizes[depth] = len(packet)
+
+    # Packet size grows linearly: bytes-per-frame roughly constant.
+    per_frame_small = (sizes[16] - sizes[4]) / 12
+    per_frame_large = (sizes[512] - sizes[256]) / 256
+    assert 0.5 < per_frame_small / per_frame_large < 2.0
+
+    # Round trip stays far below the paper's seconds-scale bar.
+    assert times[512] < 1.0
+
+    report(
+        "D2",
+        "capture cost paid only at reconfiguration; scales with AR stack",
+        f"packet bytes {sizes}; roundtrip ms "
+        f"{ {d: round(t * 1e3, 2) for d, t in times.items()} }",
+    )

@@ -1,0 +1,120 @@
+"""D3 — reconfiguration delay vs reconfiguration-point placement
+(paper Section 4).
+
+Paper: "In order for a module to quickly respond to a reconfiguration
+request, the reconfiguration points must be located within the most
+frequently executed code. ... it is preferable to place reconfiguration
+points outside of computationally intensive loops ... so that the code
+executed most often can be optimized as much as possible."
+
+Measured here: a worker loop with the point checked (a) every iteration
+("hot") vs (b) every 1000th iteration ("cold").  The signal is raised
+with the loop already at iteration i0; the captured frame records the
+iteration at which the module divulged, so the response delay in
+*iterations* is exact and deterministic; wall-clock per-iteration cost of
+each placement is benchmarked alongside.
+
+Expected shape: hot placement responds within one iteration but pays a
+flag test every iteration; cold placement pays the flag test a thousandth
+as often but can lag up to 999 iterations — exactly the paper's
+trade-off.
+"""
+
+import pytest
+
+from repro.core import prepare_module
+from repro.runtime.mh import MH
+from repro.runtime.refs import Ref
+from repro.state.frames import ProcessState
+
+from benchmarks.conftest import DirectPort, report
+
+HOT = """\
+def main():
+    i = mh.read1('start')
+    n = mh.read1('limit')
+    acc = 0.0
+    while i < n:
+        mh.reconfig_point('P')
+        acc = acc + float(i)
+        i = i + 1
+    mh.write('out', 'F', acc)
+"""
+
+COLD = """\
+def main():
+    i = mh.read1('start')
+    n = mh.read1('limit')
+    acc = 0.0
+    while i < n:
+        if i % 1000 == 0:
+            mh.reconfig_point('P')
+        acc = acc + float(i)
+        i = i + 1
+    mh.write('out', 'F', acc)
+"""
+
+
+def divulge_iteration(source: str, start: int) -> int:
+    """Signal before start; return the iteration at which R was reached."""
+    prepared = prepare_module(source, "m").source
+    mh = MH("m")
+    port = DirectPort(mh, {"start": [start], "limit": [10**9]})
+    mh.attach_port(port)
+    mh.request_reconfig()
+    namespace = {"mh": mh, "Ref": Ref}
+    exec(compile(prepared, "<m>", "exec"), namespace)
+    namespace["main"]()
+    assert mh.divulged.is_set()
+    state = ProcessState.from_bytes(mh.outgoing_packet)
+    (frame,) = state.stack.records()
+    by_name = dict(zip(["loc", "i", "n", "acc"], frame.values))
+    return by_name["i"]
+
+
+def run_to_completion(source: str, steps: int) -> float:
+    prepared = prepare_module(source, "m").source
+    mh = MH("m")
+    port = DirectPort(mh, {"start": [0], "limit": [steps]})
+    mh.attach_port(port)
+    namespace = {"mh": mh, "Ref": Ref}
+    exec(compile(prepared, "<m>", "exec"), namespace)
+    namespace["main"]()
+    return port.out[0][1][0]
+
+
+class TestResponseDelay:
+    def test_hot_point_responds_immediately(self):
+        assert divulge_iteration(HOT, 1234) == 1234
+
+    def test_cold_point_lags_to_next_check(self):
+        assert divulge_iteration(COLD, 1234) == 2000
+
+    def test_cold_point_zero_lag_on_boundary(self):
+        assert divulge_iteration(COLD, 3000) == 3000
+
+
+@pytest.mark.benchmark(group="d3-placement")
+def test_d3_hot_loop_throughput(benchmark):
+    result = benchmark(run_to_completion, HOT, 5000)
+    assert result == sum(float(i) for i in range(5000))
+
+
+@pytest.mark.benchmark(group="d3-placement")
+def test_d3_cold_loop_throughput(benchmark):
+    result = benchmark(run_to_completion, COLD, 5000)
+    assert result == sum(float(i) for i in range(5000))
+
+
+def test_d3_shape():
+    hot_delay = divulge_iteration(HOT, 1234) - 1234
+    cold_delay = divulge_iteration(COLD, 1234) - 1234
+    assert hot_delay == 0
+    assert cold_delay == 766
+    report(
+        "D3",
+        "points in frequently executed code respond quickly; points "
+        "outside hot loops trade response delay for fewer flag tests",
+        f"hot placement delay {hot_delay} iterations; cold placement "
+        f"delay {cold_delay} iterations (next multiple of 1000)",
+    )

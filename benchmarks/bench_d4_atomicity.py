@@ -1,0 +1,208 @@
+"""D4 — atomicity-level comparison (paper Section 4).
+
+Paper: platforms support updates at module, procedure, or statement
+level.  Module level ([9]): "a module cannot be updated while it is
+executing."  Procedure level ([4]): bottom-up replacement; leaf changes
+are quick, "when the main procedure has changed, the update cannot
+complete until the program terminates."  Statement level (this paper):
+updates complete at the next reconfiguration point with full state
+carried.
+
+Measured here, one scenario per level on equivalent busy workloads:
+
+=====================  ==========================  =====================
+scenario               completes?                   state carried?
+=====================  ==========================  =====================
+statement-level        yes (next point)             yes (exact)
+procedure-level leaf   yes (quick)                  n/a (no relocation)
+procedure-level main   BLOCKS until termination     n/a
+module-level forced    yes (by discarding)          NO — work lost
+=====================  ==========================  =====================
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.baselines.module_atomic import module_level_replace
+from repro.baselines.procedure_update import (
+    Procedure,
+    ProcedureTable,
+    ProcedureUpdater,
+    UpdateBlocked,
+)
+from repro.core import prepare_module
+from repro.runtime.mh import MH
+from repro.runtime.refs import Ref
+from repro.state.frames import ProcessState
+
+from benchmarks.conftest import DirectPort, report
+
+WORKER = """\
+def main():
+    i = mh.read1('start')
+    n = mh.read1('limit')
+    acc = 0.0
+    while i < n:
+        mh.reconfig_point('P')
+        acc = acc + float(i)
+        i = i + 1
+    mh.write('out', 'F', acc)
+"""
+
+
+def statement_level_update() -> dict:
+    """Our approach: capture mid-loop, resume in the replacement."""
+    prepared = prepare_module(WORKER, "m").source
+    code = compile(prepared, "<m>", "exec")
+
+    mh = MH("m")
+    port = DirectPort(mh, {"start": [500], "limit": [1000]})
+    mh.attach_port(port)
+    mh.request_reconfig()
+    started = time.perf_counter()
+    namespace = {"mh": mh, "Ref": Ref}
+    exec(code, namespace)
+    namespace["main"]()
+    captured = time.perf_counter() - started
+
+    clone = MH("m", status="clone")
+    clone.incoming_packet = mh.outgoing_packet
+    clone_port = DirectPort(clone, {"start": [], "limit": []})
+    clone.attach_port(clone_port)
+    namespace2 = {"mh": clone, "Ref": Ref}
+    exec(code, namespace2)
+    namespace2["main"]()
+    result = clone_port.out[0][1][0]
+    state = ProcessState.from_bytes(mh.outgoing_packet)
+    return {
+        "completed": True,
+        "state_carried": result == sum(float(i) for i in range(500, 1000)),
+        "delay_s": captured,
+        "captured_depth": state.stack.depth,
+    }
+
+
+def make_table(release: threading.Event, started: threading.Event) -> ProcedureTable:
+    def leaf(table, x):
+        return x + 1
+
+    def busy_main(table, x):
+        started.set()
+        release.wait(10)
+        return table.call("leaf", x)
+
+    return ProcedureTable(
+        [
+            Procedure("leaf", leaf),
+            Procedure("main", busy_main, calls={"leaf"}),
+        ]
+    )
+
+
+def procedure_level_updates() -> dict:
+    release = threading.Event()
+    started = threading.Event()
+    table = make_table(release, started)
+    thread = threading.Thread(target=table.call, args=("main", 1))
+    thread.start()
+    started.wait(5)
+
+    updater = ProcedureUpdater(table)
+
+    begun = time.perf_counter()
+    updater.update({"leaf": Procedure("leaf", lambda t, x: x + 2, version=2)},
+                   timeout=5)
+    leaf_time = time.perf_counter() - begun
+
+    begun = time.perf_counter()
+    main_blocked = False
+    try:
+        updater.update(
+            {"main": Procedure("main", lambda t, x: x, version=2,
+                               calls={"leaf"})},
+            timeout=0.4,
+        )
+    except UpdateBlocked:
+        main_blocked = True
+    blocked_for = time.perf_counter() - begun
+
+    release.set()
+    thread.join(5)
+    # After "program termination" the main update completes.
+    updater.update(
+        {"main": Procedure("main", lambda t, x: x, version=2, calls={"leaf"})},
+        timeout=5,
+    )
+    return {
+        "leaf_update_s": leaf_time,
+        "main_blocked": main_blocked,
+        "main_blocked_for_s": blocked_for,
+        "main_completed_after_termination": table.version("main") == 2,
+    }
+
+
+def module_level_update() -> dict:
+    from tests.reconfig.helpers import launch_monitor, wait_displayed
+
+    bus = launch_monitor()
+    try:
+        wait_displayed(bus, 2)
+        bus.get_module("compute").mh.statics["marker"] = "in-flight-state"
+        begun = time.perf_counter()
+        result = module_level_replace(
+            bus, "compute", machine="beta", quiescence_timeout=0.2, force=True
+        )
+        elapsed = time.perf_counter() - begun
+        state_lost = "marker" not in bus.get_module("compute").mh.statics
+        return {
+            "completed": True,
+            "state_carried": not state_lost and result.state_carried,
+            "delay_s": elapsed,
+        }
+    finally:
+        bus.shutdown()
+
+
+@pytest.mark.benchmark(group="d4-atomicity")
+def test_d4_statement_level(benchmark):
+    outcome = benchmark.pedantic(statement_level_update, rounds=3, iterations=1)
+    assert outcome["completed"] and outcome["state_carried"]
+
+
+@pytest.mark.benchmark(group="d4-atomicity")
+def test_d4_procedure_level(benchmark):
+    outcome = benchmark.pedantic(procedure_level_updates, rounds=3, iterations=1)
+    assert outcome["main_blocked"]
+    assert outcome["main_completed_after_termination"]
+    assert outcome["leaf_update_s"] < outcome["main_blocked_for_s"]
+
+
+@pytest.mark.benchmark(group="d4-atomicity")
+def test_d4_module_level(benchmark):
+    outcome = benchmark.pedantic(module_level_update, rounds=3, iterations=1)
+    assert outcome["completed"]
+    assert not outcome["state_carried"]
+
+
+def test_d4_shape():
+    ours = statement_level_update()
+    frieder_segal = procedure_level_updates()
+    surgeon = module_level_update()
+
+    assert ours["completed"] and ours["state_carried"]
+    assert frieder_segal["main_blocked"]
+    assert surgeon["completed"] and not surgeon["state_carried"]
+
+    report(
+        "D4",
+        "statement-level completes with state; procedure-level blocks on "
+        "changed main until termination; module-level discards state",
+        f"ours: carried state at depth {ours['captured_depth']} in "
+        f"{ours['delay_s'] * 1e3:.1f}ms | procedure-level: leaf "
+        f"{frieder_segal['leaf_update_s'] * 1e3:.1f}ms, main blocked "
+        f"{frieder_segal['main_blocked_for_s'] * 1e3:.0f}ms then completed "
+        f"after termination | module-level: completed in "
+        f"{surgeon['delay_s'] * 1e3:.0f}ms, state lost",
+    )

@@ -1,0 +1,117 @@
+"""D6 — ahead-of-time preparation vs migrate-time program generation
+(paper Section 4, comparison with Theimer & Hayes [10]).
+
+Paper: "Because the number of reconfiguration points is relatively
+small, we can prepare the program for all possible reconfigurations when
+the original program is compiled, whereas they prepare a migration
+program for only the specific migration requested, thus must prepare it
+at migration time."
+
+Measured here, over N consecutive migrations of the compute module:
+
+- ours: ONE prepare_module pass, then per-migration cost = instantiate
+  the already-prepared source and restore;
+- [10]: per-migration cost = generate + compile the migration program,
+  then restore.
+
+Expected shape: our per-migration critical path excludes the generation
+cost entirely; the migrate-time approach pays it every time, so its
+total grows with a visibly larger slope.
+"""
+
+import time
+
+import pytest
+
+from repro.baselines.migration_program import generate_migration_program
+from repro.core import prepare_module
+from repro.runtime.mh import MH, ModuleStop, SleepPolicy
+from repro.runtime.refs import Ref
+
+from benchmarks.conftest import DirectPort, report
+
+from tests.core.helpers import COMPUTE_SRC, capture_compute_mid_recursion
+
+MIGRATIONS = 5
+
+
+def _restore_with_source(prepared_source_code, packet, sensor_values):
+    mh = MH("compute", status="clone", sleep_policy=SleepPolicy(0.0))
+    mh.incoming_packet = packet
+    port = DirectPort(mh, {"display": [], "sensor": list(sensor_values)})
+    port.stop_after_writes = 1
+    mh.attach_port(port)
+    namespace = {"mh": mh, "Ref": Ref}
+    exec(prepared_source_code, namespace)
+    try:
+        namespace["main"]()
+    except ModuleStop:
+        pass
+    assert port.out and port.out[0][0] == "display"
+
+
+@pytest.fixture(scope="module")
+def captured():
+    packet, port = capture_compute_mid_recursion(n=4, reconfig_after_reads=3)
+    return packet, list(port.queues["sensor"])
+
+
+@pytest.mark.benchmark(group="d6-migrate")
+def test_d6_ahead_of_time(benchmark, captured):
+    packet, sensor = captured
+
+    def ours():
+        # Preparation happened once, at "compile time" — before any
+        # migration; only instantiation is on the migration path.
+        for _ in range(MIGRATIONS):
+            _restore_with_source(PREPARED_CODE, packet, sensor)
+
+    benchmark(ours)
+
+
+@pytest.mark.benchmark(group="d6-migrate")
+def test_d6_migrate_time_generation(benchmark, captured):
+    packet, sensor = captured
+
+    def theirs():
+        for _ in range(MIGRATIONS):
+            program = generate_migration_program(COMPUTE_SRC, packet, "compute")
+            _restore_with_source(program.code, packet, sensor)
+
+    benchmark(theirs)
+
+
+# One ahead-of-time preparation for the whole module lifetime.
+PREPARED_CODE = compile(
+    prepare_module(COMPUTE_SRC, "compute").source, "<prepared>", "exec"
+)
+
+
+def test_d6_shape(captured):
+    packet, sensor = captured
+
+    def time_of(fn):
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    t_ours = time_of(lambda: _restore_with_source(PREPARED_CODE, packet, sensor))
+
+    def one_migration_theirs():
+        program = generate_migration_program(COMPUTE_SRC, packet, "compute")
+        _restore_with_source(program.code, packet, sensor)
+
+    t_theirs = time_of(one_migration_theirs)
+
+    assert t_theirs > t_ours, (t_theirs, t_ours)
+    report(
+        "D6",
+        "ahead-of-time preparation removes generation from the migration "
+        "critical path; migrate-time generation pays it per migration",
+        f"per-migration: ours {t_ours * 1e3:.2f}ms vs migrate-time "
+        f"generation {t_theirs * 1e3:.2f}ms "
+        f"(x{t_theirs / t_ours:.1f})",
+    )

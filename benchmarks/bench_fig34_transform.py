@@ -1,0 +1,75 @@
+"""FIG3/4 — transforming the compute module (paper Figures 3 and 4).
+
+Paper: the original compute module (Figure 3) is automatically prepared
+for reconfiguration (Figure 4): capture blocks after each call edge, a
+restore block at the top of each instrumented procedure, labels, and the
+flag tests.  Preparation happens when the program is compiled — ahead of
+any reconfiguration.
+
+Measured here: the transformation reproduces Figure 4's structure
+exactly (block counts per procedure), the transformed module behaves
+identically absent reconfiguration, and the ahead-of-time preparation
+cost.
+"""
+
+from repro.apps.monitor import COMPUTE_SOURCE
+from repro.core import prepare_module
+from repro.runtime.mh import MH
+from repro.runtime.refs import Ref
+
+from benchmarks.conftest import DirectPort, report
+
+
+def test_fig34_prepare_compute_module(benchmark):
+    result = benchmark(prepare_module, COMPUTE_SOURCE, "compute")
+
+    # Figure 4's structure:
+    # - main: capture blocks after both compute() call sites, no
+    #   reconfiguration block, a restore block with clone check
+    # - compute: one capture block after the recursive call, one
+    #   reconfiguration block before R, a restore block
+    assert result.reports["main"].call_capture_blocks == 2
+    assert result.reports["main"].reconfig_capture_blocks == 0
+    assert result.reports["compute"].call_capture_blocks == 1
+    assert result.reports["compute"].reconfig_capture_blocks == 1
+    assert result.reports["main"].has_restore_block
+    assert result.reports["compute"].has_restore_block
+    assert result.source.count("mh.getstatus() == 'clone'") == 1
+
+    graph = result.recon_graph
+    assert [e.number for e in graph.edges] == [1, 2, 3, 4]
+    assert graph.edges[3].kind == "reconfig"
+
+    report(
+        "FIG3/4",
+        "capture blocks: main x2 (after L1, L2), compute x1 (after L3) "
+        "+ reconfig block before R; restore blocks in both",
+        f"main: {result.reports['main'].call_capture_blocks} capture, "
+        f"compute: {result.reports['compute'].call_capture_blocks}+"
+        f"{result.reports['compute'].reconfig_capture_blocks}; edges 1-4",
+    )
+
+
+def test_fig34_transformed_module_transparent(benchmark):
+    """The prepared module computes the same averages as the original."""
+    result = prepare_module(COMPUTE_SOURCE, "compute")
+    code = compile(result.source, "<compute>", "exec")
+
+    def run_prepared():
+        mh = MH("compute")
+        mh.config["idle_interval"] = "0"
+        port = DirectPort(mh, {"display": [4], "sensor": [10, 20, 30, 40]})
+        port.stop_after_writes = 1
+        mh.attach_port(port)
+        namespace = {"mh": mh, "Ref": Ref}
+        exec(code, namespace)
+        from repro.runtime.mh import ModuleStop
+
+        try:
+            namespace["main"]()
+        except ModuleStop:
+            pass
+        return port.out
+
+    out = benchmark(run_prepared)
+    assert out == [("display", [25.0])]

@@ -1,0 +1,100 @@
+"""FIG6 — static call graph and reconfiguration graph (paper Figure 6).
+
+Paper: the reconfiguration graph is the subgraph of the static call
+graph on paths main -> reconfiguration points, augmented with the
+reconfig node and consecutively numbered edges.
+
+Measured here: construction reproduces the expected node/edge structure
+for the paper's sample shape and scales to programs with hundreds of
+procedures (graph construction is part of the ahead-of-time preparation
+cost).
+"""
+
+import ast
+
+from repro.core.callgraph import build_call_graph
+from repro.core.recongraph import RECONFIG_NODE, build_reconfiguration_graph
+
+from benchmarks.conftest import report
+
+FIGURE6_SAMPLE = """\
+def main():
+    x = 0
+    a(x)
+    b(x)
+    a(x + 1)
+
+
+def a(x: int):
+    mh.reconfig_point('R1')
+    b(x)
+
+
+def b(x: int):
+    y = x * 2
+    mh.reconfig_point('R2')
+    helper(y)
+
+
+def helper(y: int):
+    return y + 1
+"""
+
+
+def make_chain_program(length: int, fanout: int = 2) -> str:
+    """main -> p0 -> p1 -> ... -> p{length-1} with a point at the leaf,
+    plus `fanout` dead helper procedures per level."""
+    lines = ["def main():", "    p0(0)", ""]
+    for i in range(length):
+        lines.append(f"def p{i}(x: int):")
+        if i + 1 < length:
+            lines.append(f"    p{i + 1}(x + 1)")
+        else:
+            lines.append("    mh.reconfig_point('R')")
+        lines.append("")
+        for j in range(fanout):
+            lines.append(f"def helper_{i}_{j}(x):")
+            lines.append("    return x")
+            lines.append("")
+    return "\n".join(lines)
+
+
+def test_fig6_sample_program_structure(benchmark):
+    def build():
+        tree = ast.parse(FIGURE6_SAMPLE)
+        call_graph = build_call_graph(tree)
+        return call_graph, build_reconfiguration_graph(call_graph)
+
+    call_graph, recon = benchmark(build)
+
+    # Static call graph: every procedure, one edge per call site.
+    assert set(call_graph.functions) == {"main", "a", "b", "helper"}
+    assert len(call_graph.sites_between("main", "a")) == 2
+
+    # Reconfiguration graph: helper excluded, edges numbered 1..6
+    # (main->a, main->b, main->a, a->R1? ordering: per node by line).
+    assert recon.nodes == ["main", "a", "b"]
+    assert [e.number for e in recon.edges] == [1, 2, 3, 4, 5, 6]
+    assert sum(1 for e in recon.edges if e.target == RECONFIG_NODE) == 2
+
+    report(
+        "FIG6",
+        "reconfig graph = main/a/b (helper excluded), numbered edges "
+        "incl. one per point",
+        f"nodes {recon.nodes}, {len(recon.edges)} edges, "
+        f"{len(recon.reconfig_edges())} reconfig edges",
+    )
+
+
+def test_fig6_graph_construction_scales(benchmark):
+    source = make_chain_program(length=100, fanout=2)
+    tree = ast.parse(source)
+
+    def build():
+        call_graph = build_call_graph(tree)
+        return build_reconfiguration_graph(call_graph)
+
+    recon = benchmark(build)
+    # 1 main + 100 chain procedures instrumented; 200 helpers excluded.
+    assert len(recon.nodes) == 101
+    assert len(recon.edges) == 101  # 100 call edges + 1 reconfig edge

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""The evolving philosophers problem — live change in a running dinner.
+
+Kramer & Magee's canonical change-management scenario (the paper's
+reference [6]): dining philosophers whose membership changes while the
+dinner is in progress.  One philosopher is replaced and another moved
+to a different machine, both mid-dinner; nobody starves, meal counters
+survive, and the table's fork bookkeeping stays consistent — because
+the reconfiguration point sits in the *thinking* phase, where a
+philosopher holds no forks and has no outstanding request (the
+application-level consistency condition Conic asks programmers to
+guarantee by hand, here enforced by point placement alone).
+
+Run:  python examples/evolving_philosophers.py
+"""
+
+import time
+
+from repro import SoftwareBus
+from repro.apps.philosophers import build_philosophers_configuration, meal_counts
+from repro.reconfig.scripts import move_module, replace_module
+from repro.state.machine import MACHINES
+
+
+def main():
+    config = build_philosophers_configuration(count=3, think=0.01)
+    bus = SoftwareBus(sleep_scale=1.0)
+    bus.add_host("alpha", MACHINES["sparc-like"])
+    bus.add_host("beta", MACHINES["vax-like"])
+    bus.launch(config, default_host="alpha")
+
+    def wait_min_meals(minimum):
+        while not all(c >= minimum for c in meal_counts(bus)):
+            bus.check_health()
+            time.sleep(0.01)
+
+    wait_min_meals(2)
+    print(f"meal counts before changes: {meal_counts(bus)}")
+
+    print("\nreplacing phil1 mid-dinner ...")
+    report = replace_module(bus, "phil1", timeout=15)
+    print(f"  {report.describe()}")
+
+    print("moving phil2 to machine beta ...")
+    report = move_module(bus, "phil2", machine="beta", timeout=15)
+    print(f"  {report.describe()}")
+
+    wait_min_meals(5)
+    counts = meal_counts(bus)
+    table = bus.get_module("table").mh.statics
+    print(f"\nmeal counts after changes:  {counts}")
+    print(f"table grants/denials: {table['grants']}/{table['denials']}")
+    assert all(c >= 5 for c in counts), "someone starved!"
+    bus.shutdown()
+    print("OK — the dinner evolved without stopping.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Heterogeneous migration: why the abstract state format exists.
+
+Paper Section 1.2: process state must be captured "in an abstract, not
+machine-specific, format" because the same value occupies different
+native memory images on different architectures.
+
+This example:
+
+1. shows the *native* memory image of one value on four simulated
+   architectures (they all differ — a raw copy would corrupt state),
+2. captures the compute module mid-recursion on a big-endian 32-bit
+   machine and restores it on a little-endian 64-bit machine,
+3. demonstrates the platform *refusing* an unrepresentable migration
+   (a 2^40 long moving to a machine with 32-bit native longs) instead
+   of silently truncating.
+
+Run:  python examples/heterogeneous_migration.py
+"""
+
+from repro.core import prepare_module
+from repro.runtime.mh import MH, ModuleStop, SleepPolicy
+from repro.runtime.refs import Ref
+from repro.state.format import ScalarType
+from repro.state.frames import ProcessState
+from repro.state.machine import MACHINES
+from repro.apps.monitor import COMPUTE_SOURCE
+from repro.errors import MachineCompatibilityError
+
+
+class Port:
+    def __init__(self, mh, queues, reconfig_after=None, stop_after_write=False):
+        self.mh = mh
+        self.queues = {k: list(v) for k, v in queues.items()}
+        self.out = []
+        self.reads = 0
+        self.reconfig_after = reconfig_after
+        self.stop_after_write = stop_after_write
+
+    def read(self, interface, timeout, stop_event):
+        value = self.queues[interface].pop(0)
+        self.reads += 1
+        if self.reads == self.reconfig_after:
+            self.mh.request_reconfig()
+        return [value]
+
+    def write(self, interface, fmt, values):
+        self.out.append((interface, values))
+        if self.stop_after_write:
+            self.mh.stop()
+
+    def query_ifmsgs(self, interface):
+        return bool(self.queues.get(interface))
+
+
+def main():
+    print("native memory images of int 2026 (format char 'i'):")
+    for name, profile in MACHINES.items():
+        image = profile.pack_native(ScalarType("i"), 2026)
+        print(f"  {profile.describe():48s} -> {image.hex()}")
+    print("  ^ a raw state copy between any two of these is wrong;")
+    print("    the canonical abstract encoding is machine-independent.\n")
+
+    result = prepare_module(COMPUTE_SOURCE, "compute")
+    code = compile(result.source, "<compute>", "exec")
+
+    source_machine = MACHINES["sparc-like"]
+    target_machine = MACHINES["alpha-like"]
+
+    # Capture mid-recursion on the big-endian machine.
+    mh = MH("compute", source_machine)
+    mh.config["idle_interval"] = "0"
+    port = Port(mh, {"display": [4], "sensor": [10, 20, 30, 40]}, reconfig_after=3)
+    mh.attach_port(port)
+    namespace = {"mh": mh, "Ref": Ref}
+    exec(code, namespace)
+    namespace["main"]()
+    packet = mh.outgoing_packet
+    state = ProcessState.from_bytes(packet)
+    print(f"captured on {source_machine.describe()}:")
+    print(f"  {state.summary()}")
+    print(f"  abstract packet: {len(packet)} bytes (canonical, tagged)\n")
+
+    # Restore on the little-endian 64-bit machine.
+    clone = MH("compute", target_machine, status="clone",
+               sleep_policy=SleepPolicy(0.0))
+    clone.config["idle_interval"] = "0"
+    clone.incoming_packet = packet
+    clone_port = Port(clone, {"display": [], "sensor": [30, 40]},
+                      stop_after_write=True)
+    clone.attach_port(clone_port)
+    namespace2 = {"mh": clone, "Ref": Ref}
+    exec(code, namespace2)
+    try:
+        namespace2["main"]()
+    except ModuleStop:
+        pass
+    print(f"restored on {target_machine.describe()}:")
+    print(f"  resumed mid-recursion, answer = {clone_port.out[0][1][0]} "
+          f"(exact: (10+20+30+40)/4 = 25.0)\n")
+
+    # And the failure path: an unrepresentable value refuses to migrate.
+    wide = MH("counter", MACHINES["alpha-like"])  # 64-bit native longs
+    wide.begin_reconfig_capture("P")
+    wide.capture("main", "ll", 1, 2**40)
+    wide_packet = wide.encode()
+    narrow = MH("counter", MACHINES["vax-like"], status="clone")  # 32-bit longs
+    narrow.incoming_packet = wide_packet
+    try:
+        narrow.decode()
+    except MachineCompatibilityError as error:
+        print("unrepresentable migration correctly refused:")
+        print(f"  {error}")
+    else:
+        raise AssertionError("expected a MachineCompatibilityError")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+def main():
+    n = None
+    idle = float(mh.config.get('idle_interval', '2'))
+    response: Ref = None
+    mh.init()
+    while mh.running:
+        while mh.query_ifmsgs('display'):
+            n = mh.read1('display')
+            response = Ref(0.0)
+            compute(n, n, response)
+            mh.write('display', 'F', response.get())
+        if mh.query_ifmsgs('sensor'):
+            compute(1, 1, Ref(0.0))
+        mh.sleep(idle)
+
+
+def compute(num: int, n: int, rp: Ref):
+    """Recursively average n temperatures into *rp (Figure 3)."""
+    temper = None
+    if n <= 0:
+        rp.set(0.0)
+        return
+    compute(num, n - 1, rp)
+    mh.reconfig_point('R')
+    temper = mh.read1('sensor')
+    rp.set(rp.get() + float(temper) / float(num))

@@ -1,0 +1,15 @@
+def main():
+    total = int(mh.config.get('requests', '6'))
+    group = int(mh.config.get('group_size', '4'))
+    interval = float(mh.config.get('interval', '2'))
+    displayed = []
+    mh.statics['displayed'] = displayed
+    mh.init()
+    while mh.running and len(displayed) < total:
+        mh.write('temper', 'i', group)
+        value = mh.read1('temper')
+        displayed.append(value)
+        mh.sleep(interval)
+    mh.statics['done'] = True
+    while mh.running:
+        mh.sleep(1)

@@ -1,0 +1,11 @@
+def main():
+    t = int(mh.config.get('start', '1'))
+    limit = int(mh.config.get('limit', '1000000000'))
+    interval = float(mh.config.get('interval', '1'))
+    mh.init()
+    while mh.running and t <= limit:
+        mh.write('out', 'i', t)
+        t = t + 1
+        mh.sleep(interval)
+    while mh.running:
+        mh.sleep(1)

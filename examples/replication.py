@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Replication: one captured state seeds two running clones.
+
+The paper (and its companion system SURGEON [5]) lists replication among
+the reconfiguration activities a platform must support.  Here the
+monitor's compute module is replicated: the original divulges its state
+once; a replacement takes over its name and bindings, while a second
+clone starts on another machine.  A second display is then added
+dynamically and bound to the replica — the application grew a whole
+service path at runtime.
+
+Run:  python examples/replication.py
+"""
+
+import time
+
+from repro import SoftwareBus
+from repro.apps import build_monitor_configuration
+from repro.apps.monitor import DISPLAY_SOURCE
+from repro.bus.spec import BindingSpec
+from repro.reconfig.scripts import replicate_module
+from repro.state.machine import MACHINES
+
+
+def main():
+    config = build_monitor_configuration(
+        requests=16, group_size=4, interval=0.05, discard=False
+    )
+    config.modules["sensor"].attributes["interval"] = "0.004"
+    bus = SoftwareBus(sleep_scale=1.0)
+    bus.add_host("alpha", MACHINES["sparc-like"])
+    bus.add_host("beta", MACHINES["vax-like"])
+    bus.launch(config, default_host="alpha")
+
+    def displayed(instance="display"):
+        return bus.get_module(instance).mh.statics.get("displayed", [])
+
+    while len(displayed()) < 3:
+        bus.check_health()
+        time.sleep(0.01)
+
+    print("replicating compute (one divulged state, two clones) ...")
+    report, replica = replicate_module(
+        bus, "compute", "compute2", machine="beta", timeout=15
+    )
+    print(f"  {report.describe()}")
+    print(f"  replica {replica!r} started on beta with duplicated bindings")
+
+    # Grow the application: a second display served by the replica.
+    display2_spec = bus.module_specs["display"].with_attributes()
+    display2_spec.inline_source = DISPLAY_SOURCE
+    display2_spec.attributes.update(requests="6", group_size="4", interval="0.05")
+    bus.add_module(display2_spec, instance="display2", machine="beta")
+    # Rewire: replica serves display2 instead of sharing display.
+    bus.remove_binding(BindingSpec("compute2", "display", "display", "temper"))
+    bus.add_binding(BindingSpec("display2", "temper", "compute2", "display"))
+    bus.start_module("display2")
+
+    while len(displayed("display2")) < 6:
+        bus.check_health()
+        time.sleep(0.01)
+
+    print("\ncurrent configuration after replication + growth:")
+    print(bus.snapshot_configuration().describe())
+    print(f"\ndisplay  got {len(displayed())} averages")
+    print(f"display2 got {len(displayed('display2'))} averages "
+          f"(served by the replica)")
+    bus.shutdown()
+    print("OK — replication and dynamic growth while the application ran.")
+
+
+if __name__ == "__main__":
+    main()

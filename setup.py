@@ -1,0 +1,5 @@
+"""Legacy entry point so editable installs work offline (no wheel pkg)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,32 @@
+"""Reusable example applications built on the public API.
+
+- :mod:`repro.apps.monitor` — the paper's Monitor example (Section 2):
+  sensor, display, and the recursive compute module with reconfiguration
+  point ``R``.
+- :mod:`repro.apps.pipeline` — a long-running text-processing pipeline
+  used by the live-upgrade example.
+- :mod:`repro.apps.workers` — a work-queue application used by the
+  migration/replication examples.
+"""
+
+from repro.apps.monitor import (
+    COMPUTE_SOURCE,
+    DISPLAY_SOURCE,
+    MONITOR_MIL,
+    SENSOR_SOURCE,
+    build_monitor_configuration,
+)
+from repro.apps.pipeline import build_pipeline_configuration
+from repro.apps.kvstore import build_kvstore_configuration
+from repro.apps.philosophers import build_philosophers_configuration
+
+__all__ = [
+    "COMPUTE_SOURCE",
+    "DISPLAY_SOURCE",
+    "SENSOR_SOURCE",
+    "MONITOR_MIL",
+    "build_monitor_configuration",
+    "build_pipeline_configuration",
+    "build_kvstore_configuration",
+    "build_philosophers_configuration",
+]

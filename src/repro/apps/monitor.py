@@ -1,0 +1,175 @@
+"""The Monitor example (paper Section 2, Figures 1-3).
+
+Three modules: ``sensor`` produces temperature values at regular
+intervals; ``display`` requests a computed value and displays it; upon
+request, ``compute`` averages a group of temperature values — with a
+deliberately *recursive* implementation and the reconfiguration point
+``R`` inside the recursive procedure, "in order to best illustrate the
+mechanism used to capture the activation record stack".
+
+``COMPUTE_SOURCE`` is the Python rendition of Figure 3; feeding it to
+:func:`repro.core.prepare_module` yields the Figure 4 analogue.
+"""
+
+from __future__ import annotations
+
+from repro.bus.mil import parse_mil
+from repro.bus.spec import Configuration
+
+#: Figure 3 — the original compute module.  It loops forever; requests on
+#: the "display" interface trigger a recursive average of n values read
+#: from the "sensor" interface; with no request pending it discards one
+#: buffered value by trivially averaging a group of one.
+COMPUTE_SOURCE = '''\
+def main():
+    n = None
+    idle = float(mh.config.get('idle_interval', '2'))
+    response: Ref = None
+    mh.init()
+    while mh.running:
+        while mh.query_ifmsgs('display'):
+            n = mh.read1('display')
+            response = Ref(0.0)
+            compute(n, n, response)
+            mh.write('display', 'F', response.get())
+        if mh.query_ifmsgs('sensor'):
+            compute(1, 1, Ref(0.0))
+        mh.sleep(idle)
+
+
+def compute(num: int, n: int, rp: Ref):
+    """Recursively average n temperatures into *rp (Figure 3)."""
+    temper = None
+    if n <= 0:
+        rp.set(0.0)
+        return
+    compute(num, n - 1, rp)
+    mh.reconfig_point('R')
+    temper = mh.read1('sensor')
+    rp.set(rp.get() + float(temper) / float(num))
+'''
+
+#: A compute variant without the buffer-discard branch: every sensor value
+#: lands in exactly one displayed average, which makes integration tests
+#: and the FIG1 benchmark fully deterministic.
+COMPUTE_NODISCARD_SOURCE = '''\
+def main():
+    n = None
+    idle = float(mh.config.get('idle_interval', '2'))
+    response: Ref = None
+    mh.init()
+    while mh.running:
+        while mh.query_ifmsgs('display'):
+            n = mh.read1('display')
+            response = Ref(0.0)
+            compute(n, n, response)
+            mh.write('display', 'F', response.get())
+        mh.sleep(idle)
+
+
+def compute(num: int, n: int, rp: Ref):
+    temper = None
+    if n <= 0:
+        rp.set(0.0)
+        return
+    compute(num, n - 1, rp)
+    mh.reconfig_point('R')
+    temper = mh.read1('sensor')
+    rp.set(rp.get() + float(temper) / float(num))
+'''
+
+#: The sensor produces consecutive integer "temperatures" at intervals.
+#: ``start``/``limit`` attributes make runs reproducible.
+SENSOR_SOURCE = '''\
+def main():
+    t = int(mh.config.get('start', '1'))
+    limit = int(mh.config.get('limit', '1000000000'))
+    interval = float(mh.config.get('interval', '1'))
+    mh.init()
+    while mh.running and t <= limit:
+        mh.write('out', 'i', t)
+        t = t + 1
+        mh.sleep(interval)
+    while mh.running:
+        mh.sleep(1)
+'''
+
+#: The display sends ``requests`` requests for averages of ``group_size``
+#: values and records every response in ``mh.statics['displayed']``.
+DISPLAY_SOURCE = '''\
+def main():
+    total = int(mh.config.get('requests', '6'))
+    group = int(mh.config.get('group_size', '4'))
+    interval = float(mh.config.get('interval', '2'))
+    displayed = []
+    mh.statics['displayed'] = displayed
+    mh.init()
+    while mh.running and len(displayed) < total:
+        mh.write('temper', 'i', group)
+        value = mh.read1('temper')
+        displayed.append(value)
+        mh.sleep(interval)
+    mh.statics['done'] = True
+    while mh.running:
+        mh.sleep(1)
+'''
+
+#: Figure 2 — the configuration specification, in our MIL syntax.  The
+#: only reconfiguration-related change is compute's declaration of point R
+#: (exactly the paper's claim about Figure 2).
+MONITOR_MIL = '''\
+module display {
+  source = "display.py" ::
+  client interface temper pattern = {integer} accepts {-float} ::
+}
+
+module compute {
+  source = "compute.py" ::
+  server interface display pattern = {'integer} returns {float} ::
+  use interface sensor pattern = {-integer} ::
+  reconfiguration point = {R} ::
+}
+
+module sensor {
+  source = "sensor.py" ::
+  define interface out pattern = {integer} ::
+}
+
+module monitor {
+  instance display
+  instance compute
+  instance sensor
+  bind "display temper" "compute display"
+  bind "sensor out" "compute sensor"
+}
+'''
+
+
+def build_monitor_configuration(
+    requests: int = 6,
+    group_size: int = 4,
+    sensor_start: int = 1,
+    sensor_limit: int = 10_000_000,
+    interval: float = 0.01,
+    discard: bool = True,
+) -> Configuration:
+    """Parse the Figure 2 configuration and attach inline sources.
+
+    ``discard=False`` swaps in the no-discard compute variant for fully
+    deterministic runs; all pacing attributes are plumbed through module
+    attributes so tests can run at full speed.
+    """
+    config = parse_mil(MONITOR_MIL)
+    config.modules["compute"].inline_source = (
+        COMPUTE_SOURCE if discard else COMPUTE_NODISCARD_SOURCE
+    )
+    config.modules["sensor"].inline_source = SENSOR_SOURCE
+    config.modules["sensor"].attributes.update(
+        start=str(sensor_start), limit=str(sensor_limit), interval=str(interval)
+    )
+    config.modules["display"].inline_source = DISPLAY_SOURCE
+    config.modules["display"].attributes.update(
+        requests=str(requests), group_size=str(group_size), interval=str(interval)
+    )
+    config.modules["compute"].attributes.update(idle_interval=str(interval))
+    return config

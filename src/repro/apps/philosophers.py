@@ -1,0 +1,124 @@
+"""The evolving philosophers problem (Kramer & Magee, the paper's [6]).
+
+The canonical dynamic-change-management scenario: dining philosophers
+whose membership changes while dinner is in progress.  Here the fork
+manager (``table``) is a multi-client server; each philosopher thinks,
+acquires both forks atomically (retrying on denial, so no deadlock),
+eats, and releases.
+
+The reconfiguration point sits in the *thinking* phase — precisely
+Kramer & Magee's application-level consistency condition: a philosopher
+is replaceable only when it holds no forks and has no outstanding
+request, so the rest of the dinner is undisturbed by the change.  Meal
+counts live in ``mh.statics`` and survive replacement.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bus.mil import parse_mil
+from repro.bus.spec import BindingSpec, Configuration, InstanceSpec
+
+TABLE_SOURCE = '''\
+def main():
+    forks = {}
+    mh.statics['grants'] = 0
+    mh.statics['denials'] = 0
+    mh.init()
+    while mh.running:
+        request, sender = mh.read_msg('requests')
+        action = request[0]
+        left = request[1]
+        right = request[2]
+        if action == 'acquire':
+            if forks.get(left) is None and forks.get(right) is None:
+                forks[left] = sender
+                forks[right] = sender
+                mh.statics['grants'] = mh.statics['grants'] + 1
+                mh.write_to('requests', sender, 'b', True)
+            else:
+                mh.statics['denials'] = mh.statics['denials'] + 1
+                mh.write_to('requests', sender, 'b', False)
+        else:
+            if forks.get(left) == sender:
+                forks[left] = None
+            if forks.get(right) == sender:
+                forks[right] = None
+'''
+
+PHILOSOPHER_SOURCE = '''\
+def main():
+    left = None
+    right = None
+    meals = None
+    granted = None
+    left = int(mh.config['left'])
+    right = int(mh.config['right'])
+    think = float(mh.config.get('think', '0.02'))
+    meals = mh.statics.get('meals', 0)
+    mh.init()
+    while mh.running:
+        mh.reconfig_point('THINKING')
+        mh.sleep(think)
+        granted = False
+        while not granted:
+            mh.write('table', 'sll', 'acquire', left, right)
+            granted = mh.read1('table')
+            if not granted:
+                mh.sleep(think)
+        mh.sleep(think)
+        mh.write('table', 'sll', 'release', left, right)
+        meals = meals + 1
+        mh.statics['meals'] = meals
+'''
+
+PHILOSOPHERS_MIL = '''\
+module table {
+  server interface requests pattern = {string long long} returns {boolean} ::
+}
+
+module philosopher {
+  client interface table pattern = {string long long} accepts {boolean} ::
+  reconfiguration point = {THINKING} ::
+}
+'''
+
+
+def build_philosophers_configuration(
+    count: int = 3, think: float = 0.02
+) -> Configuration:
+    """A dinner of ``count`` philosophers around one table."""
+    config = parse_mil(PHILOSOPHERS_MIL)
+    config.modules["table"].inline_source = TABLE_SOURCE
+    config.modules["philosopher"].inline_source = PHILOSOPHER_SOURCE
+
+    from repro.bus.spec import ApplicationSpec
+
+    app = ApplicationSpec(name="dinner")
+    app.instances.append(InstanceSpec(instance="table", module="table"))
+    for i in range(count):
+        app.instances.append(
+            InstanceSpec(
+                instance=f"phil{i}",
+                module="philosopher",
+                attributes={
+                    "left": str(i),
+                    "right": str((i + 1) % count),
+                    "think": str(think),
+                },
+            )
+        )
+        app.bindings.append(
+            BindingSpec(f"phil{i}", "table", "table", "requests")
+        )
+    config.application = app
+    return config
+
+
+def meal_counts(bus) -> List[int]:
+    counts = []
+    for name in sorted(bus.instances()):
+        if name.startswith("phil"):
+            counts.append(bus.get_module(name).mh.statics.get("meals", 0))
+    return counts

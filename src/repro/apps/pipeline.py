@@ -1,0 +1,115 @@
+"""A long-running conversion pipeline used by the live-upgrade example.
+
+``producer -> worker -> sink``: the producer emits Celsius readings, the
+worker converts them to Fahrenheit and forwards, the sink records them.
+The worker is reconfigurable (point ``P`` at the top of its service
+loop), and — deliberately — version 1 ships with a wrong conversion
+formula.  The live-upgrade example replaces it with version 2 *without
+stopping the pipeline*: every reading is converted exactly once, readings
+before the upgrade with the old formula, after with the new, and the
+worker's running ``count`` static carries across the replacement.
+
+This is the paper's "software maintenance" motivation for dynamic
+reconfiguration, made concrete.
+"""
+
+from __future__ import annotations
+
+from repro.bus.mil import parse_mil
+from repro.bus.spec import Configuration
+
+PRODUCER_SOURCE = '''\
+def main():
+    first = int(mh.config.get('first', '0'))
+    count = int(mh.config.get('count', '20'))
+    interval = float(mh.config.get('interval', '0.5'))
+    i = 0
+    mh.init()
+    while mh.running and i < count:
+        mh.write('out', 'i', first + i)
+        i = i + 1
+        mh.sleep(interval)
+    mh.statics['done'] = True
+    while mh.running:
+        mh.sleep(1)
+'''
+
+#: Version 1: wrong formula (doubles instead of 9/5).
+WORKER_V1_SOURCE = '''\
+def main():
+    c = None
+    f = None
+    mh.init()
+    while mh.running:
+        mh.reconfig_point('P')
+        c = mh.read1('inp')
+        f = to_fahrenheit(c)
+        mh.statics['count'] = mh.statics.get('count', 0) + 1
+        mh.write('out', 'F', f)
+
+
+def to_fahrenheit(c):
+    return float(c * 2 + 32)
+'''
+
+#: Version 2: the maintenance fix.  Only the helper changed, so the
+#: reconfiguration graph and frame layouts are identical to v1 and the
+#: captured state restores cleanly into the new version.
+WORKER_V2_SOURCE = WORKER_V1_SOURCE.replace(
+    "return float(c * 2 + 32)", "return float(c * 9 / 5 + 32)"
+)
+
+SINK_SOURCE = '''\
+def main():
+    values = []
+    mh.statics['values'] = values
+    mh.init()
+    while mh.running:
+        values.append(mh.read1('inp'))
+'''
+
+PIPELINE_MIL = '''\
+module producer {
+  define interface out pattern = {integer} ::
+}
+
+module worker {
+  use interface inp pattern = {integer} ::
+  define interface out pattern = {double} ::
+  reconfiguration point = {P} ::
+}
+
+module sink {
+  use interface inp pattern = {double} ::
+}
+
+application pipeline {
+  instance producer
+  instance worker
+  instance sink
+  bind "producer out" "worker inp"
+  bind "worker out" "sink inp"
+}
+'''
+
+
+def v1_formula(c: int) -> float:
+    return float(c * 2 + 32)
+
+
+def v2_formula(c: int) -> float:
+    return float(c * 9 / 5 + 32)
+
+
+def build_pipeline_configuration(
+    count: int = 20, first: int = 0, interval: float = 0.02
+) -> Configuration:
+    """Parse the pipeline MIL and attach inline sources (worker = v1)."""
+    config = parse_mil(PIPELINE_MIL)
+    config.modules["producer"].inline_source = PRODUCER_SOURCE
+    config.modules["producer"].attributes.update(
+        count=str(count), first=str(first), interval=str(interval)
+    )
+    config.modules["worker"].inline_source = WORKER_V1_SOURCE
+    config.modules["sink"].inline_source = SINK_SOURCE
+    return config

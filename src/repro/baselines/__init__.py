@@ -1,0 +1,45 @@
+"""Comparison systems from the paper's Discussion and related work.
+
+The paper positions its technique against three alternatives, each of
+which we implement so the benchmarks can measure the trade-offs the
+paper argues qualitatively:
+
+- :mod:`repro.baselines.checkpoint` — periodic checkpoint/rollback
+  (Section 4, first paragraph: the approach the paper explicitly does
+  *not* take, paying capture cost at every interval)
+- :mod:`repro.baselines.procedure_update` — Frieder & Segal [4]:
+  procedure-level atomicity, bottom-up replacement of inactive
+  procedures, no relocation
+- :mod:`repro.baselines.module_atomic` — module-level atomicity
+  ([5]/[9], SURGEON): reconfiguration without participation — a module
+  cannot be updated while executing, and in-flight state is lost
+- :mod:`repro.baselines.migration_program` — Theimer & Hayes [10]:
+  migrate-by-recompilation, generating and compiling a migration
+  program *at migration time* rather than preparing ahead of time
+"""
+
+from repro.baselines.checkpoint import CheckpointStore, CheckpointedLoop
+from repro.baselines.module_atomic import module_level_replace, wait_for_quiescence
+from repro.baselines.procedure_update import (
+    Procedure,
+    ProcedureTable,
+    ProcedureUpdater,
+    UpdateBlocked,
+)
+from repro.baselines.migration_program import (
+    generate_migration_program,
+    run_migration_program,
+)
+
+__all__ = [
+    "CheckpointStore",
+    "CheckpointedLoop",
+    "module_level_replace",
+    "wait_for_quiescence",
+    "Procedure",
+    "ProcedureTable",
+    "ProcedureUpdater",
+    "UpdateBlocked",
+    "generate_migration_program",
+    "run_migration_program",
+]

@@ -1,0 +1,101 @@
+"""Manual module participation (related work [3], [6] — Conic et al.).
+
+Paper introduction: "Existing dynamic reconfiguration environments
+support the application-level reconfiguration activities of adding or
+deleting modules and the bindings between them, but these environments
+require the programmer to manually adapt a module to participate during
+reconfiguration."
+
+This baseline is that manual adaptation, written out for a depth-1
+worker (state = two scalars at a single quiescent point — Conic's
+``passivate``/``checkpoint`` style).  Two things become measurable:
+
+1. the programmer burden — :func:`participation_line_counts` compares
+   the hand-written participation code against the single marker line
+   our transformer needs;
+2. the feasibility cliff — manual participation is *practical* only for
+   flat, single-point modules; the paper's recursive compute module
+   would require hand-writing the entire Figure 4, which is exactly what
+   the automatic transformation generates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: The functional core, before any reconfiguration support.
+PLAIN_WORKER = '''\
+def main():
+    i = 0
+    acc = 0.0
+    while mh.running:
+        value = mh.read1('inp')
+        acc = acc + float(value)
+        i = i + 1
+        mh.write('out', 'F', acc)
+'''
+
+#: The same worker adapted BY HAND to participate in reconfiguration:
+#: the programmer writes the restore prologue, the capture block, the
+#: flag handling and the state format — and must keep all of it
+#: consistent with the module's variables forever after.
+MANUAL_WORKER = '''\
+def main():
+    i = 0
+    acc = 0.0
+    # ---- hand-written restore prologue (cf. Figure 4) ----
+    if mh.getstatus() == 'clone' and not mh.restoring:
+        mh.decode()
+    if mh.restoring:
+        _vals = mh.restore('main')
+        i = _vals[1]
+        acc = _vals[2]
+        mh.end_restore()
+    # ---- end restore prologue ----
+    while mh.running:
+        # ---- hand-written capture block ----
+        if mh.reconfig:
+            mh.begin_reconfig_capture('P')
+            mh.capture('main', 'llF', 1, i, acc)
+            mh.encode()
+            return
+        # ---- end capture block ----
+        value = mh.read1('inp')
+        acc = acc + float(value)
+        i = i + 1
+        mh.write('out', 'F', acc)
+'''
+
+#: What the same module looks like under AUTOMATIC preparation: the
+#: functional core plus exactly one marker line.
+AUTO_WORKER = '''\
+def main():
+    i = 0
+    acc = 0.0
+    while mh.running:
+        mh.reconfig_point('P')
+        value = mh.read1('inp')
+        acc = acc + float(value)
+        i = i + 1
+        mh.write('out', 'F', acc)
+'''
+
+
+def _count_code_lines(source: str) -> int:
+    return sum(
+        1
+        for line in source.split("\n")
+        if line.strip() and not line.strip().startswith("#")
+    )
+
+
+def participation_line_counts() -> Dict[str, int]:
+    """Programmer-written lines devoted to participation, per approach."""
+    plain = _count_code_lines(PLAIN_WORKER)
+    manual = _count_code_lines(MANUAL_WORKER)
+    auto = _count_code_lines(AUTO_WORKER)
+    return {
+        "functional_core": plain,
+        "manual_participation_lines": manual - plain,
+        "automatic_participation_lines": auto - plain,  # the marker
+    }

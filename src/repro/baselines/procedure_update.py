@@ -1,0 +1,187 @@
+"""Procedure-level dynamic update (Frieder & Segal [4]).
+
+Paper Section 4: "A system that supports updates with procedure-level
+atomicity is described in [4].  This system is restricted to updating a
+program without moving it from the original machine.  The program is
+updated by replacing each procedure when it is not executing.  To
+maintain consistency between the old version and the new during the
+replacement, they perform the update from the bottom up, by allowing a
+procedure to be replaced only after all the procedures it invokes have
+been replaced. ... when the higher-level procedures have changed, the
+update cannot complete until these procedures are inactive.  For
+example, when the main procedure has changed, the update cannot complete
+until the program terminates."
+
+We implement that system: procedures execute through an indirection
+table that tracks per-procedure activity; an updater applies a new
+version bottom-up, replacing each changed procedure only when it is
+inactive and all its callees are already updated.  Benchmark D4 uses it
+to demonstrate exactly the paper's claims — leaf updates complete
+quickly, changed-``main`` updates block until termination.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.errors import ReconfigError
+
+
+class UpdateBlocked(ReconfigError):
+    """The update could not complete within the deadline; carries the
+    procedures still blocking it."""
+
+    def __init__(self, message: str, blocked: List[str]):
+        super().__init__(message)
+        self.blocked = blocked
+
+
+@dataclass
+class Procedure:
+    """One named, versioned procedure.
+
+    ``body`` receives the :class:`ProcedureTable` first so all intra-
+    program calls go through the indirection (that is what makes hot
+    replacement possible), then its ordinary arguments.
+    """
+
+    name: str
+    body: Callable[..., object]
+    version: int = 1
+    calls: Set[str] = field(default_factory=set)  # static callees
+
+
+class ProcedureTable:
+    """The running program: an indirection table with activity tracking."""
+
+    def __init__(self, procedures: List[Procedure]):
+        self._procedures: Dict[str, Procedure] = {}
+        self._active: Dict[str, int] = {}
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        for procedure in procedures:
+            self._procedures[procedure.name] = procedure
+            self._active[procedure.name] = 0
+        self._check_callgraph()
+
+    def _check_callgraph(self) -> None:
+        for procedure in self._procedures.values():
+            unknown = procedure.calls - set(self._procedures)
+            if unknown:
+                raise ReconfigError(
+                    f"procedure {procedure.name!r} declares unknown callees "
+                    f"{sorted(unknown)}"
+                )
+
+    # -- execution ----------------------------------------------------------
+
+    def call(self, name: str, *args: object) -> object:
+        """Invoke a procedure through the table (hot-swappable)."""
+        with self._lock:
+            procedure = self._procedures[name]
+            self._active[name] += 1
+        try:
+            return procedure.body(self, *args)
+        finally:
+            with self._idle:
+                self._active[name] -= 1
+                self._idle.notify_all()
+
+    def version(self, name: str) -> int:
+        with self._lock:
+            return self._procedures[name].version
+
+    def versions(self) -> Dict[str, int]:
+        with self._lock:
+            return {name: p.version for name, p in self._procedures.items()}
+
+    def is_active(self, name: str) -> bool:
+        with self._lock:
+            return self._active[name] > 0
+
+    def callees(self, name: str) -> Set[str]:
+        with self._lock:
+            return set(self._procedures[name].calls)
+
+    # -- replacement ----------------------------------------------------------
+
+    def try_replace(self, new: Procedure) -> bool:
+        """Atomically swap in a new version if the procedure is inactive."""
+        with self._lock:
+            if self._active[new.name] > 0:
+                return False
+            self._procedures[new.name] = new
+            return True
+
+    def wait_inactive(self, name: str, timeout: float) -> bool:
+        deadline = time.monotonic() + timeout
+        with self._idle:
+            while self._active[name] > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._idle.wait(min(remaining, 0.05))
+            return True
+
+
+class ProcedureUpdater:
+    """Applies a set of new procedure versions bottom-up."""
+
+    def __init__(self, table: ProcedureTable):
+        self.table = table
+        self.log: List[str] = []
+
+    def _update_order(self, new_versions: Dict[str, Procedure]) -> List[str]:
+        """Bottom-up order: a procedure follows all its changed callees.
+
+        Cycles (recursion) are updated together — we order members of a
+        cycle arbitrarily but replace each only when inactive, which for
+        direct recursion means when the whole recursive computation is
+        between invocations.
+        """
+        pending = set(new_versions)
+        order: List[str] = []
+        while pending:
+            progressed = False
+            for name in sorted(pending):
+                changed_callees = self.table.callees(name) & pending - {name}
+                if not changed_callees:
+                    order.append(name)
+                    pending.remove(name)
+                    progressed = True
+                    break
+            if not progressed:
+                # Mutual recursion among the remaining: take them as a group.
+                order.extend(sorted(pending))
+                pending.clear()
+        return order
+
+    def update(
+        self, new_versions: Dict[str, Procedure], timeout: float = 5.0
+    ) -> List[str]:
+        """Replace every changed procedure, bottom-up; returns the order.
+
+        Raises :class:`UpdateBlocked` if some procedure stays active past
+        the deadline (the paper's changed-``main`` scenario).
+        """
+        order = self._update_order(new_versions)
+        deadline = time.monotonic() + timeout
+        for index, name in enumerate(order):
+            new = new_versions[name]
+            while True:
+                if self.table.try_replace(new):
+                    self.log.append(f"replaced {name} -> v{new.version}")
+                    break
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise UpdateBlocked(
+                        f"update stalled: {name!r} never became inactive "
+                        f"within {timeout}s (procedures are replaced only "
+                        f"when not executing)",
+                        blocked=order[index:],
+                    )
+                self.table.wait_inactive(name, min(remaining, 0.1))
+        return order

@@ -1,0 +1,442 @@
+"""The software bus: routing, lifecycle, and configuration introspection.
+
+POLYLITH's bus "initiates the execution of each module and establishes
+communication channels between modules in the running application",
+provides "basic operations for sending and receiving messages, and for
+obtaining the current configuration", and (after [9]) the
+reconfiguration primitives — adding and deleting modules and bindings,
+and moving divulged state between modules.  All of those live here; the
+Figure-5-style scripted API wrapping them is :mod:`repro.reconfig`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.bus.machine import HostRegistry
+from repro.bus.message import Message
+from repro.bus.module import ModuleInstance, ModuleState
+from repro.bus.spec import (
+    ApplicationSpec,
+    BindingSpec,
+    Configuration,
+    InstanceSpec,
+    ModuleSpec,
+)
+from repro.errors import (
+    BindingError,
+    BusError,
+    ReconfigTimeoutError,
+    UnknownModuleError,
+)
+from repro.runtime.mh import SleepPolicy
+from repro.state.machine import MachineProfile
+
+
+class SoftwareBus:
+    """An in-process software bus whose modules are threads on simulated hosts.
+
+    ``sleep_scale`` is forwarded to every module's
+    :class:`~repro.runtime.mh.SleepPolicy`: examples use 1.0 (the paper's
+    wall-clock pacing), tests and benchmarks use 0.0.
+    """
+
+    def __init__(self, sleep_scale: float = 1.0):
+        self.hosts = HostRegistry()
+        self.module_specs: Dict[str, ModuleSpec] = {}
+        self._instances: Dict[str, ModuleInstance] = {}
+        self._bindings: List[BindingSpec] = []
+        self._lock = threading.RLock()
+        self._sleep_policy = SleepPolicy(scale=sleep_scale)
+        self.application_name = ""
+        self.trace: List[str] = []  # reconfiguration/audit log
+
+    # ------------------------------------------------------------------
+    # Hosts and module specifications
+    # ------------------------------------------------------------------
+
+    def add_host(self, name: str, profile: Optional[MachineProfile] = None):
+        return self.hosts.add(name, profile)
+
+    def register_module_spec(self, spec: ModuleSpec) -> None:
+        self.module_specs[spec.name] = spec
+
+    # ------------------------------------------------------------------
+    # Application launch
+    # ------------------------------------------------------------------
+
+    def launch(self, config: Configuration, default_host: str = "local") -> None:
+        """Instantiate and start an application from a parsed MIL config."""
+        config.validate()
+        if config.application is None:
+            raise BusError("configuration has no application specification")
+        for spec in config.modules.values():
+            self.register_module_spec(spec)
+        self.application_name = config.application.name
+        for inst in config.application.instances:
+            machine = inst.machine or default_host
+            self.hosts.ensure(machine)
+            self.add_module(
+                config.modules[inst.module],
+                instance=inst.instance,
+                machine=machine,
+                attributes=inst.attributes,
+            )
+        for binding in config.application.bindings:
+            self.add_binding(binding)
+        for inst in config.application.instances:
+            self.start_module(inst.instance)
+
+    # ------------------------------------------------------------------
+    # Reconfiguration primitives: modules (paper [9]: mh_chg_obj)
+    # ------------------------------------------------------------------
+
+    def add_module(
+        self,
+        spec: ModuleSpec,
+        instance: Optional[str] = None,
+        machine: str = "local",
+        status: str = "original",
+        state_packet: Optional[bytes] = None,
+        start: bool = False,
+        attributes: Optional[Dict[str, str]] = None,
+    ) -> ModuleInstance:
+        """Create a module instance (the ``add`` half of ``mh_chg_obj``).
+
+        ``attributes`` are per-*instance* attributes (from the
+        application spec's instance line); they merge over the module
+        spec's attributes and therefore survive replacement, since
+        ``obj_cap`` reads the merged spec back.
+        """
+        name = instance or spec.name
+        if attributes:
+            spec = spec.with_attributes(**attributes)
+        with self._lock:
+            if name in self._instances:
+                raise BusError(f"instance {name!r} already exists")
+            host = self.hosts.ensure(machine)
+            module = ModuleInstance(
+                name=name,
+                spec=spec,
+                host=host,
+                bus=self,
+                status=status,
+                sleep_policy=self._sleep_policy,
+            )
+            if state_packet is not None:
+                module.mh.incoming_packet = state_packet
+            module.load()
+            self._instances[name] = module
+        self.trace.append(f"add module {name} on {machine} (status={status})")
+        if start:
+            self.start_module(name)
+        return module
+
+    def start_module(self, instance: str) -> None:
+        self.get_module(instance).start()
+        self.trace.append(f"start module {instance}")
+
+    def remove_module(self, instance: str, timeout: float = 5.0) -> None:
+        """Stop and delete an instance (the ``del`` half of ``mh_chg_obj``)."""
+        with self._lock:
+            module = self.get_module(instance)
+            remaining = [b for b in self._bindings if b.involves(instance)]
+        if remaining:
+            raise BindingError(
+                f"cannot remove {instance!r}: {len(remaining)} binding(s) "
+                f"still attached — delete them first"
+            )
+        module.stop(timeout)
+        with self._lock:
+            module.state = ModuleState.REMOVED
+            del self._instances[instance]
+        self.trace.append(f"remove module {instance}")
+
+    def rename_instance(self, old_name: str, new_name: str) -> None:
+        """Rename an instance, rewriting every binding that mentions it.
+
+        Used by replacement scripts so the clone takes over the replaced
+        module's instance name once the original is gone.
+        """
+        with self._lock:
+            module = self.get_module(old_name)
+            if new_name in self._instances:
+                raise BusError(f"instance {new_name!r} already exists")
+            del self._instances[old_name]
+            module.name = new_name
+            self._instances[new_name] = module
+
+            def rewrite(binding: BindingSpec) -> BindingSpec:
+                return BindingSpec(
+                    from_instance=new_name
+                    if binding.from_instance == old_name
+                    else binding.from_instance,
+                    from_interface=binding.from_interface,
+                    to_instance=new_name
+                    if binding.to_instance == old_name
+                    else binding.to_instance,
+                    to_interface=binding.to_interface,
+                )
+
+            self._bindings = [rewrite(b) for b in self._bindings]
+        self.trace.append(f"rename {old_name} -> {new_name}")
+
+    def get_module(self, instance: str) -> ModuleInstance:
+        with self._lock:
+            try:
+                return self._instances[instance]
+            except KeyError:
+                raise UnknownModuleError(f"no module instance {instance!r}") from None
+
+    def has_module(self, instance: str) -> bool:
+        with self._lock:
+            return instance in self._instances
+
+    def instances(self) -> List[str]:
+        with self._lock:
+            return sorted(self._instances)
+
+    # ------------------------------------------------------------------
+    # Reconfiguration primitives: bindings
+    # ------------------------------------------------------------------
+
+    def add_binding(self, binding: BindingSpec) -> None:
+        with self._lock:
+            left = self.get_module(binding.from_instance)
+            right = self.get_module(binding.to_instance)
+            left_decl = left.spec.interface(binding.from_interface)
+            right_decl = right.spec.interface(binding.to_interface)
+            if not left_decl.compatible_with(right_decl):
+                raise BindingError(
+                    f"{binding.describe()}: incompatible interfaces "
+                    f"({left_decl.describe()} vs {right_decl.describe()})"
+                )
+            if binding in self._bindings:
+                raise BindingError(f"{binding.describe()}: already bound")
+            self._bindings.append(binding)
+        self.trace.append(binding.describe())
+
+    def remove_binding(self, binding: BindingSpec) -> None:
+        with self._lock:
+            # A binding is the same link regardless of endpoint order.
+            for existing in list(self._bindings):
+                if existing == binding or (
+                    existing.from_instance == binding.to_instance
+                    and existing.from_interface == binding.to_interface
+                    and existing.to_instance == binding.from_instance
+                    and existing.to_interface == binding.from_interface
+                ):
+                    self._bindings.remove(existing)
+                    self.trace.append(f"unbind {existing.describe()[5:]}")
+                    return
+            raise BindingError(f"{binding.describe()}: no such binding")
+
+    def bindings(self) -> List[BindingSpec]:
+        with self._lock:
+            return list(self._bindings)
+
+    def bindings_of(self, instance: str) -> List[BindingSpec]:
+        with self._lock:
+            return [b for b in self._bindings if b.involves(instance)]
+
+    # ------------------------------------------------------------------
+    # Message routing
+    # ------------------------------------------------------------------
+
+    def route(self, instance: str, interface: str, message: Message) -> None:
+        """Deliver a message written on (instance, interface).
+
+        Asynchronous: the message is enqueued at every bound peer whose
+        interface can receive; cross-host deliveries round-trip through
+        the canonical encoding.
+        """
+        with self._lock:
+            sender = self.get_module(instance)
+            peers: List[Tuple[ModuleInstance, str]] = []
+            for binding in self._bindings:
+                (a_inst, a_if), (b_inst, b_if) = binding.endpoints()
+                if (a_inst, a_if) == (instance, interface):
+                    peer_name, peer_if = b_inst, b_if
+                elif (b_inst, b_if) == (instance, interface):
+                    peer_name, peer_if = a_inst, a_if
+                else:
+                    continue
+                peer = self.get_module(peer_name)
+                if peer.spec.interface(peer_if).direction.can_receive:
+                    peers.append((peer, peer_if))
+        for peer, peer_if in peers:
+            delivered = message.transferred(
+                sender.host.profile, peer.host.profile
+            )
+            peer.deliver(peer_if, delivered)
+
+    def route_to(
+        self, instance: str, interface: str, destination: str, message: Message
+    ) -> None:
+        """Directed delivery: only the named bound peer receives.
+
+        Used for server replies on multi-client bindings.  The
+        destination must actually be bound to (instance, interface) —
+        an unbound directed send is a programming error, not a silent drop.
+        """
+        with self._lock:
+            sender = self.get_module(instance)
+            for binding in self._bindings:
+                (a_inst, a_if), (b_inst, b_if) = binding.endpoints()
+                if (a_inst, a_if) == (instance, interface) and b_inst == destination:
+                    peer, peer_if = b_inst, b_if
+                elif (b_inst, b_if) == (instance, interface) and a_inst == destination:
+                    peer, peer_if = a_inst, a_if
+                else:
+                    continue
+                target = self.get_module(peer)
+                if target.spec.interface(peer_if).direction.can_receive:
+                    target.deliver(
+                        peer_if,
+                        message.transferred(
+                            sender.host.profile, target.host.profile
+                        ),
+                    )
+                    return
+        raise BindingError(
+            f"directed send from {instance}.{interface} to {destination!r}: "
+            f"no such binding"
+        )
+
+    # ------------------------------------------------------------------
+    # Configuration introspection (paper: "obtaining the current
+    # configuration of the application")
+    # ------------------------------------------------------------------
+
+    def interface_names(self, instance: str) -> List[str]:
+        return self.get_module(instance).spec.interface_names()
+
+    def destinations_of(self, instance: str, interface: str) -> List[Tuple[str, str]]:
+        """Peers reached by messages written on (instance, interface)."""
+        result = []
+        with self._lock:
+            for binding in self._bindings:
+                (a_inst, a_if), (b_inst, b_if) = binding.endpoints()
+                if (a_inst, a_if) == (instance, interface):
+                    result.append((b_inst, b_if))
+                elif (b_inst, b_if) == (instance, interface):
+                    result.append((a_inst, a_if))
+        return [
+            (peer, peer_if)
+            for peer, peer_if in result
+            if self.get_module(peer).spec.interface(peer_if).direction.can_receive
+        ]
+
+    def sources_of(self, instance: str, interface: str) -> List[Tuple[str, str]]:
+        """Peers whose writes arrive at (instance, interface)."""
+        result = []
+        with self._lock:
+            for binding in self._bindings:
+                (a_inst, a_if), (b_inst, b_if) = binding.endpoints()
+                if (a_inst, a_if) == (instance, interface):
+                    result.append((b_inst, b_if))
+                elif (b_inst, b_if) == (instance, interface):
+                    result.append((a_inst, a_if))
+        return [
+            (peer, peer_if)
+            for peer, peer_if in result
+            if self.get_module(peer).spec.interface(peer_if).direction.can_send
+        ]
+
+    def snapshot_configuration(self) -> ApplicationSpec:
+        """The *current* application specification, reconfigurations included."""
+        with self._lock:
+            app = ApplicationSpec(name=self.application_name or "current")
+            for name, module in sorted(self._instances.items()):
+                app.instances.append(
+                    InstanceSpec(
+                        instance=name,
+                        module=module.spec.name,
+                        machine=module.host.name,
+                    )
+                )
+            app.bindings = list(self._bindings)
+            return app
+
+    # ------------------------------------------------------------------
+    # Module participation plumbing (paper [9]: mh_objstate_move)
+    # ------------------------------------------------------------------
+
+    def signal_reconfig(self, instance: str) -> None:
+        """Deliver the reconfiguration signal (the paper's SIGHUP)."""
+        self.get_module(instance).mh.request_reconfig()
+        self.trace.append(f"signal reconfig {instance}")
+
+    def objstate_move(
+        self, old: str, new: str, timeout: float = 10.0
+    ) -> bytes:
+        """Signal ``old`` to divulge its state, wait, install it in ``new``.
+
+        The paper: "signals a module to divulge state information on a
+        particular interface, then moves that state information to an
+        interface of another module."  The divulged packet crosses the
+        two hosts' machine profiles like any other message.
+        """
+        old_module = self.get_module(old)
+        new_module = self.get_module(new)
+        if new_module.state not in (ModuleState.CREATED, ModuleState.LOADED):
+            raise BusError(
+                f"objstate_move target {new!r} already started; state must "
+                f"be installed before the clone runs"
+            )
+        self.signal_reconfig(old)
+        packet = old_module.wait_divulged(timeout)
+        new_module.mh.incoming_packet = packet
+        self.trace.append(f"objstate_move {old} -> {new} ({len(packet)} bytes)")
+        return packet
+
+    # ------------------------------------------------------------------
+    # Queue transfer (Figure 5's ``cq`` / ``rmq`` bind commands)
+    # ------------------------------------------------------------------
+
+    def copy_queue(self, old: str, interface: str, new: str) -> int:
+        """Copy messages queued at old's interface to new's same interface."""
+        old_module = self.get_module(old)
+        new_module = self.get_module(new)
+        if not old_module.has_queue(interface):
+            return 0
+        messages = old_module.queue(interface).snapshot()
+        if messages:
+            transferred = [
+                m.transferred(old_module.host.profile, new_module.host.profile)
+                for m in messages
+            ]
+            new_module.queue(interface).prepend(transferred)
+        self.trace.append(f"cq {old}.{interface} -> {new} ({len(messages)} msgs)")
+        return len(messages)
+
+    def remove_queue(self, old: str, interface: str) -> int:
+        old_module = self.get_module(old)
+        if not old_module.has_queue(interface):
+            return 0
+        removed = len(old_module.queue(interface).drain())
+        self.trace.append(f"rmq {old}.{interface} ({removed} msgs)")
+        return removed
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        with self._lock:
+            modules = list(self._instances.values())
+        for module in modules:
+            module.mh.stop()
+        for module in modules:
+            module.join(timeout)
+        with self._lock:
+            self._instances.clear()
+            self._bindings.clear()
+
+    def check_health(self) -> None:
+        """Raise the first crash found among running modules."""
+        with self._lock:
+            modules = list(self._instances.values())
+        for module in modules:
+            module.check_alive()

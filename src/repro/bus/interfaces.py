@@ -1,0 +1,140 @@
+"""Named, directional module interfaces (paper Section 1.1, Figure 2).
+
+"Modules can communicate with each other via named interfaces, which are
+logical communication ports designated as incoming, outgoing, or
+bi-directional."  The MIL of Figure 2 declares interfaces with *roles*:
+
+====================  ==========================================
+``define interface``  outgoing stream (sensor's ``out``)
+``use interface``     incoming stream (compute's ``sensor``)
+``client interface``  bi-directional, initiates request/reply
+                      (display's ``temper``)
+``server interface``  bi-directional, answers request/reply
+                      (compute's ``display``)
+====================  ==========================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import SpecError
+
+
+class Direction(enum.Enum):
+    INCOMING = "incoming"
+    OUTGOING = "outgoing"
+    BIDIRECTIONAL = "bidirectional"
+
+    @property
+    def can_send(self) -> bool:
+        return self in (Direction.OUTGOING, Direction.BIDIRECTIONAL)
+
+    @property
+    def can_receive(self) -> bool:
+        return self in (Direction.INCOMING, Direction.BIDIRECTIONAL)
+
+
+class Role(enum.Enum):
+    """MIL interface roles, mapped onto directions."""
+
+    DEFINE = "define"  # outgoing
+    USE = "use"  # incoming
+    CLIENT = "client"  # bidirectional (sends pattern, accepts replies)
+    SERVER = "server"  # bidirectional (receives pattern, returns replies)
+
+    @property
+    def direction(self) -> Direction:
+        if self is Role.DEFINE:
+            return Direction.OUTGOING
+        if self is Role.USE:
+            return Direction.INCOMING
+        return Direction.BIDIRECTIONAL
+
+
+@dataclass
+class InterfaceDecl:
+    """One declared interface of a module.
+
+    ``pattern`` is the format string of messages travelling in the
+    interface's primary direction; ``returns`` (servers) / ``accepts``
+    (clients) is the format of the reply leg of a bi-directional
+    interface.
+    """
+
+    name: str
+    role: Role
+    pattern: str = ""
+    returns: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("interface name must be non-empty")
+
+    @property
+    def direction(self) -> Direction:
+        return self.role.direction
+
+    def send_fmt(self) -> str:
+        """Format of messages this side sends on the interface."""
+        if self.role in (Role.DEFINE, Role.CLIENT):
+            return self.pattern
+        if self.role is Role.SERVER:
+            return self.returns
+        raise SpecError(f"interface {self.name!r} ({self.role.value}) cannot send")
+
+    def receive_fmt(self) -> str:
+        """Format of messages this side receives on the interface."""
+        if self.role in (Role.USE, Role.SERVER):
+            return self.pattern
+        if self.role is Role.CLIENT:
+            return self.returns
+        raise SpecError(f"interface {self.name!r} ({self.role.value}) cannot receive")
+
+    def compatible_with(self, other: "InterfaceDecl") -> bool:
+        """Can a binding connect this interface to ``other``?
+
+        Streams: an outgoing side must meet an incoming side.
+        Request/reply: a client must meet a server, and the patterns of
+        the two legs must agree (the bus checks shape, not semantics).
+        """
+        pair = {self.role, other.role}
+        if pair == {Role.DEFINE, Role.USE}:
+            return self.pattern == other.pattern or not self.pattern or not other.pattern
+        if pair == {Role.CLIENT, Role.SERVER}:
+            client, server = (
+                (self, other) if self.role is Role.CLIENT else (other, self)
+            )
+            request_ok = (
+                not client.pattern
+                or not server.pattern
+                or client.pattern == server.pattern
+            )
+            reply_ok = (
+                not client.returns
+                or not server.returns
+                or client.returns == server.returns
+            )
+            return request_ok and reply_ok
+        return False
+
+    def describe(self) -> str:
+        """MIL-syntax rendering (re-parseable by the MIL parser)."""
+        from repro.state.format import format_to_pattern
+
+        parts = [f"{self.role.value} interface {self.name}"]
+        if self.pattern:
+            parts.append(f"pattern = {{{format_to_pattern(self.pattern)}}}")
+        if self.returns:
+            key = "returns" if self.role is Role.SERVER else "accepts"
+            parts.append(f"{key} = {{{format_to_pattern(self.returns)}}}")
+        return " ".join(parts)
+
+
+def find_interface(interfaces: List[InterfaceDecl], name: str) -> Optional[InterfaceDecl]:
+    for decl in interfaces:
+        if decl.name == name:
+            return decl
+    return None

@@ -1,0 +1,281 @@
+"""Module instances: a namespace, a thread of control, and a bus port.
+
+"A module is a software process with its own memory and its own thread
+of control."  Here each instance executes in its own Python namespace
+(its memory) on its own thread.  The instance's :class:`ModulePort`
+bridges the module's ``mh.read``/``mh.write``/``mh.query_ifmsgs`` calls
+to the bus, and its per-interface :class:`MessageQueue`\\ s hold
+asynchronously delivered messages.
+
+A reconfigurable module (its spec declares reconfiguration points) is
+passed through :func:`repro.core.prepare_module` at load time — the
+paper prepares modules "when the original program is compiled", i.e.
+ahead of any reconfiguration request.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import traceback
+from typing import Dict, List, Optional
+
+from repro.bus.machine import Host
+from repro.bus.message import Message
+from repro.bus.queues import MessageQueue
+from repro.bus.spec import ModuleSpec
+from repro.core.transformer import TransformResult, prepare_module
+from repro.errors import (
+    ModuleCrashedError,
+    ModuleLifecycleError,
+    TransportError,
+    UnknownInterfaceError,
+)
+from repro.runtime.mh import MH, ModuleStop, SleepPolicy
+from repro.runtime.refs import Ref
+
+
+class ModuleState(enum.Enum):
+    CREATED = "created"
+    LOADED = "loaded"
+    RUNNING = "running"
+    DIVULGED = "divulged"  # main returned after a state capture
+    STOPPED = "stopped"
+    CRASHED = "crashed"
+    REMOVED = "removed"
+
+
+class ModulePort:
+    """The side of the bus a module's MH runtime talks to."""
+
+    def __init__(self, instance: "ModuleInstance"):
+        self.instance = instance
+
+    def write(self, interface: str, fmt: str, values: List[object]) -> None:
+        decl = self.instance.spec.interface(interface)
+        if not decl.direction.can_send:
+            raise UnknownInterfaceError(
+                f"{self.instance.name}: interface {interface!r} "
+                f"({decl.role.value}) cannot send"
+            )
+        message = Message(
+            values=list(values),
+            fmt=fmt or decl.send_fmt(),
+            source_instance=self.instance.name,
+            source_interface=interface,
+        ).validated()
+        self.instance.bus.route(self.instance.name, interface, message)
+
+    def write_to(
+        self, interface: str, destination: str, fmt: str, values: List[object]
+    ) -> None:
+        """Directed delivery to one bound peer (server replies)."""
+        decl = self.instance.spec.interface(interface)
+        if not decl.direction.can_send:
+            raise UnknownInterfaceError(
+                f"{self.instance.name}: interface {interface!r} "
+                f"({decl.role.value}) cannot send"
+            )
+        message = Message(
+            values=list(values),
+            fmt=fmt or decl.send_fmt(),
+            source_instance=self.instance.name,
+            source_interface=interface,
+        ).validated()
+        self.instance.bus.route_to(
+            self.instance.name, interface, destination, message
+        )
+
+    def read(
+        self,
+        interface: str,
+        timeout: Optional[float],
+        stop_event: threading.Event,
+    ) -> List[object]:
+        message = self.instance.queue(interface).get(timeout, stop_event)
+        return list(message.values)
+
+    def read_msg(
+        self,
+        interface: str,
+        timeout: Optional[float],
+        stop_event: threading.Event,
+    ):
+        message = self.instance.queue(interface).get(timeout, stop_event)
+        return list(message.values), message.source_instance
+
+    def query_ifmsgs(self, interface: str) -> bool:
+        return self.instance.queue(interface).peek_count() > 0
+
+
+class ModuleInstance:
+    """One executing (or executable) module on a host."""
+
+    def __init__(
+        self,
+        name: str,
+        spec: ModuleSpec,
+        host: Host,
+        bus,
+        status: str = "original",
+        sleep_policy: Optional[SleepPolicy] = None,
+    ):
+        self.name = name
+        self.spec = spec
+        self.host = host
+        self.bus = bus
+        self.state = ModuleState.CREATED
+        self.mh = MH(
+            module=spec.name,
+            machine=host.profile,
+            status=status,
+            sleep_policy=sleep_policy,
+        )
+        self.mh.attach_port(ModulePort(self))
+        self.mh.config.update(spec.attributes)
+        self.transform: Optional[TransformResult] = None
+        self.namespace: Dict[str, object] = {}
+        self.thread: Optional[threading.Thread] = None
+        self.crash: Optional[BaseException] = None
+        self._queues: Dict[str, MessageQueue] = {}
+        for decl in spec.interfaces:
+            if decl.direction.can_receive:
+                self._queues[decl.name] = MessageQueue(f"{name}.{decl.name}")
+
+    # -- queues --------------------------------------------------------------
+
+    def queue(self, interface: str) -> MessageQueue:
+        try:
+            return self._queues[interface]
+        except KeyError:
+            decl = self.spec.interface(interface)  # raises if undeclared
+            raise UnknownInterfaceError(
+                f"{self.name}: interface {interface!r} ({decl.role.value}) "
+                f"has no receive queue"
+            ) from None
+
+    def has_queue(self, interface: str) -> bool:
+        return interface in self._queues
+
+    def deliver(self, interface: str, message: Message) -> None:
+        self.queue(interface).put(message)
+
+    def queued_counts(self) -> Dict[str, int]:
+        return {name: q.peek_count() for name, q in self._queues.items()}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def load(self) -> None:
+        """Resolve the source and (if reconfigurable) prepare it.
+
+        The transformation runs once per instance creation — i.e. ahead
+        of time, never at reconfiguration time.
+        """
+        if self.state not in (ModuleState.CREATED,):
+            raise ModuleLifecycleError(f"{self.name}: cannot load in {self.state}")
+        source = self.spec.inline_source
+        if not source:
+            if not self.spec.source:
+                raise ModuleLifecycleError(
+                    f"{self.name}: module spec has neither inline source nor "
+                    f"a source path"
+                )
+            with open(self.spec.source, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        if self.spec.is_reconfigurable:
+            prune = self.spec.attributes.get("prune_dead_captures", "").lower() in (
+                "true",
+                "yes",
+                "1",
+            )
+            self.transform = prepare_module(
+                source,
+                module_name=self.spec.name,
+                declared_points=list(self.spec.reconfig_points),
+                prune_dead_captures=prune,
+            )
+            source = self.transform.source
+        self.executable_source = source
+        self.state = ModuleState.LOADED
+
+    def start(self) -> None:
+        """Spawn the module's thread of control running ``main()``."""
+        if self.state is ModuleState.CREATED:
+            self.load()
+        if self.state is not ModuleState.LOADED:
+            raise ModuleLifecycleError(f"{self.name}: cannot start in {self.state}")
+        self.namespace = {"mh": self.mh, "Ref": Ref, "__name__": self.spec.name}
+        code = compile(self.executable_source, f"<module {self.name}>", "exec")
+        exec(code, self.namespace)
+        main = self.namespace.get("main")
+        if not callable(main):
+            raise ModuleLifecycleError(
+                f"{self.name}: module source defines no main() procedure"
+            )
+        self.state = ModuleState.RUNNING
+        self.thread = threading.Thread(
+            target=self._run, name=f"module-{self.name}", daemon=True
+        )
+        self.thread.start()
+
+    def _run(self) -> None:
+        try:
+            self.namespace["main"]()
+        except ModuleStop:
+            self.state = ModuleState.STOPPED
+            return
+        except TransportError:
+            # A read interrupted by stop surfaces as TransportError when the
+            # module swallowed ModuleStop; treat as a clean stop.
+            if not self.mh.running:
+                self.state = ModuleState.STOPPED
+                return
+            self.crash = TransportError(traceback.format_exc())
+            self.state = ModuleState.CRASHED
+            return
+        except BaseException as exc:  # noqa: BLE001 - report, don't die silently
+            self.crash = exc
+            self.state = ModuleState.CRASHED
+            return
+        if self.mh.divulged.is_set():
+            self.state = ModuleState.DIVULGED
+        else:
+            self.state = ModuleState.STOPPED
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Ask the thread of control to exit and wait for it."""
+        self.mh.stop()
+        self.join(timeout)
+        if self.state is ModuleState.RUNNING:
+            self.state = ModuleState.STOPPED
+
+    def join(self, timeout: float = 5.0) -> None:
+        if self.thread is not None:
+            self.thread.join(timeout)
+
+    def check_alive(self) -> None:
+        """Raise the module's crash, if it crashed."""
+        if self.state is ModuleState.CRASHED and self.crash is not None:
+            raise ModuleCrashedError(self.name, self.crash)
+
+    def wait_divulged(self, timeout: float) -> bytes:
+        """Block until the module has captured and divulged its state."""
+        if not self.mh.divulged.wait(timeout):
+            self.check_alive()
+            from repro.errors import ReconfigTimeoutError
+
+            raise ReconfigTimeoutError(
+                f"{self.name}: no reconfiguration point reached within "
+                f"{timeout}s"
+            )
+        self.join(timeout)
+        packet = self.mh.outgoing_packet
+        if packet is None:  # pragma: no cover - divulged implies packet
+            raise ModuleLifecycleError(f"{self.name}: divulged without packet")
+        return packet
+
+    def describe(self) -> str:
+        return (
+            f"{self.name} [{self.spec.name}] on {self.host.name} "
+            f"({self.state.value})"
+        )

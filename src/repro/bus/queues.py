@@ -1,0 +1,104 @@
+"""Thread-safe per-interface message queues.
+
+The reconfiguration script of Figure 5 issues ``cq`` (copy queue) and
+``rmq`` (remove queue) bind commands so messages queued at the old
+module's interfaces are not lost during a replacement.  The queue type
+therefore supports an atomic snapshot-copy and a drain, in addition to
+the usual blocking get.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional
+
+from repro.bus.message import Message
+from repro.errors import TransportError
+
+
+class MessageQueue:
+    """Unbounded FIFO of :class:`Message` with stop-aware blocking get."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._items: List[Message] = []
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def put(self, message: Message) -> None:
+        with self._not_empty:
+            if self._closed:
+                raise TransportError(f"queue {self.name!r} is closed")
+            self._items.append(message)
+            self._not_empty.notify()
+
+    def get(
+        self,
+        timeout: Optional[float] = None,
+        stop_event: Optional[threading.Event] = None,
+    ) -> Message:
+        """Block for the next message.
+
+        Wakes periodically to honour ``stop_event`` (a stopping module
+        must not stay parked on an empty queue) and raises
+        :class:`TransportError` on timeout or stop.
+        """
+        deadline = None
+        if timeout is not None:
+            deadline = threading.TIMEOUT_MAX if timeout < 0 else timeout
+        waited = 0.0
+        slice_ = 0.05
+        with self._not_empty:
+            while not self._items:
+                if stop_event is not None and stop_event.is_set():
+                    raise TransportError(
+                        f"queue {self.name!r}: read interrupted by stop"
+                    )
+                if deadline is not None and waited >= deadline:
+                    raise TransportError(
+                        f"queue {self.name!r}: read timed out after {timeout}s"
+                    )
+                self._not_empty.wait(slice_)
+                waited += slice_
+            return self._items.pop(0)
+
+    def peek_count(self) -> int:
+        return len(self)
+
+    def snapshot(self) -> List[Message]:
+        """Atomic copy of the queued messages (the ``cq`` command)."""
+        with self._lock:
+            return list(self._items)
+
+    def drain(self) -> List[Message]:
+        """Atomically remove and return everything (the ``rmq`` command)."""
+        with self._lock:
+            items, self._items = self._items, []
+            return items
+
+    def extend(self, messages: List[Message]) -> None:
+        """Append copied messages at the back."""
+        with self._not_empty:
+            self._items.extend(messages)
+            self._not_empty.notify_all()
+
+    def prepend(self, messages: List[Message]) -> None:
+        """Insert copied messages at the *front*, preserving their order.
+
+        The ``cq`` command runs after the new module's bindings are live,
+        so fresh messages may already sit in its queue; the old module's
+        messages are strictly older and must be consumed first.
+        """
+        with self._not_empty:
+            self._items[:0] = messages
+            self._not_empty.notify_all()
+
+    def close(self) -> None:
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()

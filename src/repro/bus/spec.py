@@ -1,0 +1,192 @@
+"""Module and application specifications (paper Figure 2).
+
+"Each of the three modules is described by a *module specification*,
+which defines the interfaces of the module, where the executable resides,
+and other attributes.  The *application specification* lists the modules
+used in the application and the bindings between interfaces."
+
+A :class:`ModuleSpec` additionally carries the reconfiguration points
+(the only change the paper makes to a configuration to render a module
+reconfigurable) and free-form attributes such as MACHINE and STATUS —
+the replacement script of Figure 5 creates the new module from the old
+module's spec with a new MACHINE attribute and STATUS ``"clone"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.bus.interfaces import InterfaceDecl, find_interface
+from repro.errors import SpecError
+
+
+@dataclass
+class ModuleSpec:
+    """One module's specification."""
+
+    name: str
+    source: str = ""  # path or inline source (see ``inline_source``)
+    interfaces: List[InterfaceDecl] = field(default_factory=list)
+    reconfig_points: List[str] = field(default_factory=list)
+    attributes: Dict[str, str] = field(default_factory=dict)
+    inline_source: str = ""  # Python source text; takes precedence over path
+
+    def interface(self, name: str) -> InterfaceDecl:
+        decl = find_interface(self.interfaces, name)
+        if decl is None:
+            raise SpecError(f"module {self.name!r} has no interface {name!r}")
+        return decl
+
+    def has_interface(self, name: str) -> bool:
+        return find_interface(self.interfaces, name) is not None
+
+    def interface_names(self) -> List[str]:
+        return [decl.name for decl in self.interfaces]
+
+    @property
+    def is_reconfigurable(self) -> bool:
+        return bool(self.reconfig_points)
+
+    def with_attributes(self, **attrs: str) -> "ModuleSpec":
+        """Copy with updated attributes (the Figure 5 new-module spec)."""
+        merged = dict(self.attributes)
+        merged.update(attrs)
+        return replace(
+            self,
+            interfaces=list(self.interfaces),
+            reconfig_points=list(self.reconfig_points),
+            attributes=merged,
+        )
+
+    def describe(self) -> str:
+        lines = [f"module {self.name} {{"]
+        if self.source:
+            lines.append(f'  source = "{self.source}"')
+        for decl in self.interfaces:
+            lines.append(f"  {decl.describe()}")
+        if self.reconfig_points:
+            lines.append(
+                "  reconfiguration point = {" + ", ".join(self.reconfig_points) + "}"
+            )
+        for key, value in self.attributes.items():
+            lines.append(f'  {key} = "{value}"')
+        lines.append("}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class BindingSpec:
+    """A binding between two (instance, interface) endpoints."""
+
+    from_instance: str
+    from_interface: str
+    to_instance: str
+    to_interface: str
+
+    def endpoints(self) -> Tuple[Tuple[str, str], Tuple[str, str]]:
+        return (
+            (self.from_instance, self.from_interface),
+            (self.to_instance, self.to_interface),
+        )
+
+    def involves(self, instance: str) -> bool:
+        return instance in (self.from_instance, self.to_instance)
+
+    def describe(self) -> str:
+        return (
+            f'bind "{self.from_instance} {self.from_interface}" '
+            f'"{self.to_instance} {self.to_interface}"'
+        )
+
+
+@dataclass
+class InstanceSpec:
+    """One instantiation of a module within an application."""
+
+    instance: str
+    module: str
+    machine: str = ""
+    attributes: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ApplicationSpec:
+    """The application specification: instances plus bindings."""
+
+    name: str
+    instances: List[InstanceSpec] = field(default_factory=list)
+    bindings: List[BindingSpec] = field(default_factory=list)
+
+    def instance(self, name: str) -> InstanceSpec:
+        for inst in self.instances:
+            if inst.instance == name:
+                return inst
+        raise SpecError(f"application {self.name!r} has no instance {name!r}")
+
+    def instance_names(self) -> List[str]:
+        return [inst.instance for inst in self.instances]
+
+    def bindings_of(self, instance: str) -> List[BindingSpec]:
+        return [b for b in self.bindings if b.involves(instance)]
+
+    def validate(self, modules: Dict[str, ModuleSpec]) -> None:
+        """Cross-check instances and bindings against module specs."""
+        for inst in self.instances:
+            if inst.module not in modules:
+                raise SpecError(
+                    f"instance {inst.instance!r} uses unknown module "
+                    f"{inst.module!r}"
+                )
+        by_instance = {inst.instance: modules[inst.module] for inst in self.instances}
+        for binding in self.bindings:
+            for instance, interface in binding.endpoints():
+                if instance not in by_instance:
+                    raise SpecError(
+                        f"{binding.describe()}: unknown instance {instance!r}"
+                    )
+                if not by_instance[instance].has_interface(interface):
+                    raise SpecError(
+                        f"{binding.describe()}: module "
+                        f"{by_instance[instance].name!r} has no interface "
+                        f"{interface!r}"
+                    )
+            left = by_instance[binding.from_instance].interface(binding.from_interface)
+            right = by_instance[binding.to_instance].interface(binding.to_interface)
+            if not left.compatible_with(right):
+                raise SpecError(
+                    f"{binding.describe()}: incompatible interfaces "
+                    f"({left.describe()} vs {right.describe()})"
+                )
+
+    def describe(self) -> str:
+        lines = [f"application {self.name} {{"]
+        for inst in self.instances:
+            line = f"  instance {inst.instance}"
+            if inst.module != inst.instance:
+                line += f" : {inst.module}"
+            if inst.machine:
+                line += f' machine = "{inst.machine}"'
+            lines.append(line)
+        for binding in self.bindings:
+            lines.append(f"  {binding.describe()}")
+        lines.append("}")
+        return "\n".join(lines)
+
+
+@dataclass
+class Configuration:
+    """A parsed MIL file: module specs plus (optionally) an application."""
+
+    modules: Dict[str, ModuleSpec] = field(default_factory=dict)
+    application: Optional[ApplicationSpec] = None
+
+    def module(self, name: str) -> ModuleSpec:
+        try:
+            return self.modules[name]
+        except KeyError:
+            raise SpecError(f"no module specification named {name!r}") from None
+
+    def validate(self) -> None:
+        if self.application is not None:
+            self.application.validate(self.modules)

@@ -1,0 +1,910 @@
+"""Genuine multi-process distributed operation over TCP.
+
+The in-process :class:`~repro.bus.bus.SoftwareBus` simulates machines as
+threads.  This module runs each machine as a real OS process (a *machine
+daemon*) connected to a central bus process over TCP — the closest a
+single host gets to the paper's heterogeneous network of workstations:
+
+- every message and state packet crossing machines travels as canonical
+  abstract bytes over a real socket;
+- each daemon decodes with its own :class:`MachineProfile`, so moving a
+  module between daemons with different simulated architectures
+  exercises the full native -> canonical -> native path across process
+  boundaries;
+- module preparation (the source transformation) happens once, in the
+  bus process, ahead of time; daemons receive the already-prepared
+  source, mirroring the paper's "prepare when the original program is
+  compiled".
+
+Wire protocol: length-prefixed frames whose payload is one self-described
+value in our own canonical encoding (dogfooding ``repro.state.encoding``).
+Each frame is ``[kind, seq, command, args...]`` with ``kind`` in
+``req``/``rep``/``evt``.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.bus.interfaces import InterfaceDecl, Role
+from repro.bus.machine import Host
+from repro.bus.message import Message
+from repro.bus.module import ModuleInstance, ModuleState
+from repro.bus.spec import BindingSpec, Configuration, ModuleSpec
+from repro.core.transformer import prepare_module
+from repro.errors import (
+    BusError,
+    ReconfigTimeoutError,
+    TransportError,
+    UnknownModuleError,
+)
+from repro.runtime.mh import SleepPolicy
+from repro.state.encoding import decode_any, encode_any
+from repro.state.machine import MACHINES, Endianness, MachineProfile
+
+_FRAME_HEADER = struct.Struct(">I")
+_MAX_FRAME = 64 * 1024 * 1024
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+
+def send_frame(sock: socket.socket, value: object) -> None:
+    payload = encode_any(value)
+    if len(payload) > _MAX_FRAME:
+        raise TransportError(f"frame too large ({len(payload)} bytes)")
+    try:
+        sock.sendall(_FRAME_HEADER.pack(len(payload)) + payload)
+    except OSError as exc:
+        raise TransportError(f"send failed: {exc}") from exc
+
+
+def recv_frame(sock: socket.socket) -> object:
+    header = _recv_exact(sock, _FRAME_HEADER.size)
+    (length,) = _FRAME_HEADER.unpack(header)
+    if length > _MAX_FRAME:
+        raise TransportError(f"oversized frame announced ({length} bytes)")
+    return decode_any(_recv_exact(sock, length))
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        try:
+            chunk = sock.recv(remaining)
+        except OSError as exc:
+            raise TransportError(f"recv failed: {exc}") from exc
+        if not chunk:
+            raise TransportError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# ---------------------------------------------------------------------------
+# Spec serialization
+# ---------------------------------------------------------------------------
+
+
+def spec_to_abstract(spec: ModuleSpec, prepared_source: str) -> dict:
+    return {
+        "name": spec.name,
+        "source": prepared_source,
+        "interfaces": [
+            {
+                "name": decl.name,
+                "role": decl.role.value,
+                "pattern": decl.pattern,
+                "returns": decl.returns,
+            }
+            for decl in spec.interfaces
+        ],
+        "attributes": dict(spec.attributes),
+    }
+
+
+def spec_from_abstract(value: dict) -> ModuleSpec:
+    interfaces = [
+        InterfaceDecl(
+            name=str(item["name"]),
+            role=Role(str(item["role"])),
+            pattern=str(item["pattern"]),
+            returns=str(item["returns"]),
+        )
+        for item in value["interfaces"]
+    ]
+    return ModuleSpec(
+        name=str(value["name"]),
+        inline_source=str(value["source"]),
+        interfaces=interfaces,
+        reconfig_points=[],  # source arrives already prepared
+        attributes={str(k): str(v) for k, v in dict(value["attributes"]).items()},
+    )
+
+
+def profile_to_abstract(profile: MachineProfile) -> dict:
+    return {
+        "name": profile.name,
+        "endianness": profile.endianness.value,
+        "int_bits": profile.int_bits,
+        "long_bits": profile.long_bits,
+        "float_bits": profile.float_bits,
+    }
+
+
+def profile_from_abstract(value: dict) -> MachineProfile:
+    return MachineProfile(
+        name=str(value["name"]),
+        endianness=Endianness(str(value["endianness"])),
+        int_bits=int(value["int_bits"]),  # type: ignore[call-overload]
+        long_bits=int(value["long_bits"]),  # type: ignore[call-overload]
+        float_bits=int(value["float_bits"]),  # type: ignore[call-overload]
+    )
+
+
+# ---------------------------------------------------------------------------
+# Machine daemon (runs in its own OS process)
+# ---------------------------------------------------------------------------
+
+
+class _DaemonBusShim:
+    """What daemon-side ModuleInstances see as 'the bus': writes tunnel
+    to the central bus as ``evt write`` frames, already canonical."""
+
+    def __init__(self, daemon: "MachineDaemon"):
+        self.daemon = daemon
+
+    def route(self, instance: str, interface: str, message: Message) -> None:
+        wire = message.to_wire(self.daemon.profile)
+        self.daemon.send_event(["write", instance, interface, wire])
+
+    def route_to(
+        self, instance: str, interface: str, destination: str, message: Message
+    ) -> None:
+        wire = message.to_wire(self.daemon.profile)
+        self.daemon.send_event(["write_to", instance, interface, destination, wire])
+
+
+class MachineDaemon:
+    """One simulated machine as a real process hosting module threads."""
+
+    def __init__(
+        self,
+        machine_name: str,
+        profile: MachineProfile,
+        bus_address: Tuple[str, int],
+        sleep_scale: float = 0.0,
+    ):
+        self.machine_name = machine_name
+        self.profile = profile
+        self.bus_address = bus_address
+        self.sleep_policy = SleepPolicy(scale=sleep_scale)
+        self.modules: Dict[str, ModuleInstance] = {}
+        # Guards modules-dict mutations against concurrent deliveries
+        # (deliver events run inline in the reader loop while commands
+        # like swap run on their own threads).
+        self._modules_lock = threading.Lock()
+        self.host = Host(name=machine_name, profile=profile)
+        self._sock: Optional[socket.socket] = None
+        self._send_lock = threading.Lock()
+        self._shim = _DaemonBusShim(self)
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def send_event(self, command: List[object]) -> None:
+        with self._send_lock:
+            assert self._sock is not None
+            send_frame(self._sock, ["evt", 0] + command)
+
+    def _reply(self, seq: int, value: object) -> None:
+        with self._send_lock:
+            assert self._sock is not None
+            send_frame(self._sock, ["rep", seq, value])
+
+    def _reply_error(self, seq: int, message: str) -> None:
+        with self._send_lock:
+            assert self._sock is not None
+            send_frame(self._sock, ["err", seq, message])
+
+    # -- main loop -----------------------------------------------------------------
+
+    def run(self) -> None:
+        self._sock = socket.create_connection(self.bus_address, timeout=30)
+        self._sock.settimeout(None)
+        self.send_event(["hello", self.machine_name, profile_to_abstract(self.profile)])
+        try:
+            while True:
+                frame = recv_frame(self._sock)
+                if not isinstance(frame, list) or len(frame) < 3:
+                    raise TransportError(f"malformed frame {frame!r}")
+                kind, seq, command = frame[0], frame[1], frame[2]
+                args = frame[3:]
+                if kind == "evt":
+                    # Fire-and-forget events (message delivery): no reply,
+                    # so the bus can route from its reader threads without
+                    # deadlocking on its own request path.
+                    try:
+                        self._handle(str(command), args)
+                    except Exception:  # noqa: BLE001 - drop bad event
+                        pass
+                    continue
+                if kind != "req":
+                    continue
+                if command == "shutdown":
+                    self._reply(int(seq), True)
+                    return
+                # Handle each request on its own thread: wait_divulged can
+                # take seconds, during which message deliveries and other
+                # commands must keep flowing.
+                threading.Thread(
+                    target=self._handle_request,
+                    args=(int(seq), str(command), args),
+                    daemon=True,
+                ).start()
+        except TransportError:
+            pass  # bus went away; daemon exits
+        finally:
+            for module in self.modules.values():
+                module.mh.stop()
+            if self._sock is not None:
+                self._sock.close()
+
+    # -- command handlers -------------------------------------------------------------
+
+    def _handle_request(self, seq: int, command: str, args: List[object]) -> None:
+        try:
+            result = self._handle(command, args)
+        except Exception as exc:  # noqa: BLE001 - ship error to bus
+            self._reply_error(seq, f"{type(exc).__name__}: {exc}")
+        else:
+            self._reply(seq, result)
+
+    def _handle(self, command: str, args: List[object]) -> object:
+        handler = getattr(self, f"_cmd_{command}", None)
+        if handler is None:
+            raise BusError(f"daemon: unknown command {command!r}")
+        return handler(*args)
+
+    def _module(self, instance: str) -> ModuleInstance:
+        try:
+            return self.modules[str(instance)]
+        except KeyError:
+            raise UnknownModuleError(
+                f"daemon {self.machine_name}: no instance {instance!r}"
+            ) from None
+
+    def _cmd_add(self, instance, spec_raw, status, packet) -> bool:
+        spec = spec_from_abstract(dict(spec_raw))
+        module = ModuleInstance(
+            name=str(instance),
+            spec=spec,
+            host=self.host,
+            bus=self._shim,
+            status=str(status),
+            sleep_policy=self.sleep_policy,
+        )
+        if packet is not None:
+            module.mh.incoming_packet = bytes(packet)
+        module.load()
+        with self._modules_lock:
+            if str(instance) in self.modules:
+                raise BusError(
+                    f"daemon {self.machine_name}: instance {instance!r} "
+                    f"already present"
+                )
+            self.modules[str(instance)] = module
+        return True
+
+    def _cmd_swap(self, instance, temp) -> bool:
+        """Atomically let the clone ``temp`` take over ``instance``.
+
+        Used for same-daemon replacement: the old module's queued
+        messages move to the front of the clone's queues, and the name
+        mapping flips in one step, so no delivery lands in a gap.
+        """
+        with self._modules_lock:
+            old = self.modules.pop(str(instance))
+            clone = self.modules.pop(str(temp))
+            for decl in old.spec.interfaces:
+                if old.has_queue(decl.name) and clone.has_queue(decl.name):
+                    clone.queue(decl.name).prepend(old.queue(decl.name).drain())
+            clone.name = str(instance)
+            self.modules[str(instance)] = clone
+        old.stop()
+        return True
+
+    def _cmd_start(self, instance) -> bool:
+        self._module(instance).start()
+        return True
+
+    def _cmd_signal(self, instance) -> bool:
+        self._module(instance).mh.request_reconfig()
+        return True
+
+    def _cmd_wait_divulged(self, instance, timeout) -> bytes:
+        return self._module(instance).wait_divulged(float(timeout))
+
+    def _cmd_deliver(self, instance, interface, wire) -> bool:
+        message = Message.from_wire(bytes(wire), self.profile)
+        with self._modules_lock:
+            module = self._module(instance)
+            module.deliver(str(interface), message)
+        return True
+
+    def _cmd_deliver_front(self, instance, interface, wires) -> bool:
+        """Prepend a batch of (older) messages — the ``cq`` transfer."""
+        messages = [Message.from_wire(bytes(w), self.profile) for w in wires]
+        with self._modules_lock:
+            self._module(instance).queue(str(interface)).prepend(messages)
+        return True
+
+    def _cmd_counts(self, instance) -> Dict[str, int]:
+        return self._module(instance).queued_counts()
+
+    def _cmd_drain_queues(self, instance) -> Dict[str, List[bytes]]:
+        module = self._module(instance)
+        result: Dict[str, List[bytes]] = {}
+        for decl in module.spec.interfaces:
+            if module.has_queue(decl.name):
+                drained = module.queue(decl.name).drain()
+                result[decl.name] = [m.to_wire(self.profile) for m in drained]
+        return result
+
+    def _cmd_statics(self, instance) -> Dict[str, object]:
+        # Test/debug introspection: only canonical-encodable statics travel.
+        statics = self._module(instance).mh.statics
+        return {k: v for k, v in statics.items()}
+
+    def _cmd_state(self, instance) -> str:
+        return self._module(instance).state.value
+
+    def _cmd_crash_info(self, instance) -> str:
+        crash = self._module(instance).crash
+        return repr(crash) if crash is not None else ""
+
+    def _cmd_stop(self, instance) -> bool:
+        self._module(instance).stop()
+        return True
+
+    def _cmd_remove(self, instance) -> bool:
+        with self._modules_lock:
+            module = self.modules.pop(str(instance))
+        module.stop()
+        module.state = ModuleState.REMOVED
+        return True
+
+    def _cmd_rename(self, old_name, new_name) -> bool:
+        module = self.modules.pop(str(old_name))
+        module.name = str(new_name)
+        self.modules[str(new_name)] = module
+        return True
+
+    def _cmd_ping(self) -> str:
+        return self.machine_name
+
+
+def daemon_entry(
+    machine_name: str,
+    profile_raw: dict,
+    bus_host: str,
+    bus_port: int,
+    sleep_scale: float,
+) -> None:
+    """Entry point for the daemon process."""
+    MachineDaemon(
+        machine_name,
+        profile_from_abstract(profile_raw),
+        (bus_host, bus_port),
+        sleep_scale=sleep_scale,
+    ).run()
+
+
+def _daemon_argv(
+    machine_name: str,
+    profile: MachineProfile,
+    address: Tuple[str, int],
+    sleep_scale: float,
+) -> List[str]:
+    """Command line for ``python -m repro.bus.tcp`` daemon processes."""
+    return [
+        sys.executable,
+        "-m",
+        "repro.bus.tcp",
+        machine_name,
+        profile.endianness.value,
+        str(profile.int_bits),
+        str(profile.long_bits),
+        str(profile.float_bits),
+        address[0],
+        str(address[1]),
+        str(sleep_scale),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Central distributed bus
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _RemoteInstance:
+    instance: str
+    spec: ModuleSpec  # unprepared spec (bus-side view)
+    machine: str
+    prepared_source: str
+
+
+class _Waiter:
+    """One pending request awaiting its reply frame."""
+
+    __slots__ = ("event", "kind", "value")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.kind = ""
+        self.value: object = None
+
+    def complete(self, kind: str, value: object) -> None:
+        self.kind = kind
+        self.value = value
+        self.event.set()
+
+
+class _DaemonLink:
+    """Bus-side connection to one machine daemon."""
+
+    def __init__(self, name: str, profile: MachineProfile, sock: socket.socket, bus):
+        self.name = name
+        self.profile = profile
+        self.sock = sock
+        self.bus = bus
+        self._seq = 0
+        self._send_lock = threading.Lock()
+        self._lock = threading.Lock()
+        self._pending: Dict[int, _Waiter] = {}
+        self._reader = threading.Thread(
+            target=self._read_loop, name=f"daemon-link-{name}", daemon=True
+        )
+        self._reader.start()
+
+    def _read_loop(self) -> None:
+        try:
+            while True:
+                frame = recv_frame(self.sock)
+                kind = frame[0]  # type: ignore[index]
+                if kind in ("rep", "err"):
+                    seq = int(frame[1])  # type: ignore[index,arg-type]
+                    with self._lock:
+                        waiter = self._pending.pop(seq, None)
+                    if waiter is not None:
+                        waiter.complete(str(kind), frame[2])  # type: ignore[index]
+                elif kind == "evt":
+                    command = frame[2]  # type: ignore[index]
+                    if command == "write":
+                        _, _, _, instance, interface, wire = frame  # type: ignore[misc]
+                        self.bus._on_remote_write(
+                            str(instance), str(interface), bytes(wire)
+                        )
+                    elif command == "write_to":
+                        _, _, _, instance, interface, dest, wire = frame  # type: ignore[misc]
+                        self.bus._on_remote_write_to(
+                            str(instance), str(interface), str(dest), bytes(wire)
+                        )
+        except (TransportError, OSError):
+            return
+
+    def send_event(self, command: List[object]) -> None:
+        """Fire-and-forget frame (used for message delivery)."""
+        with self._send_lock:
+            send_frame(self.sock, ["evt", 0] + command)
+
+    def request(self, command: List[object], timeout: float = 30.0) -> object:
+        waiter = _Waiter()
+        with self._lock:
+            self._seq += 1
+            seq = self._seq
+            self._pending[seq] = waiter
+        with self._send_lock:
+            send_frame(self.sock, ["req", seq] + command)
+        if not waiter.event.wait(timeout):
+            with self._lock:
+                self._pending.pop(seq, None)
+            raise TransportError(
+                f"daemon {self.name}: no reply to {command[0]!r} in {timeout}s"
+            )
+        if waiter.kind == "err":
+            message = str(waiter.value)
+            if "ReconfigTimeoutError" in message:
+                raise ReconfigTimeoutError(message)
+            raise BusError(f"daemon {self.name}: {message}")
+        return waiter.value
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class DistributedBus:
+    """The central bus process of a TCP-distributed application.
+
+    Modules run inside machine daemons (real OS processes); this object
+    holds the binding table, routes canonical message bytes between
+    daemons, and executes move/replace reconfigurations whose state
+    packets genuinely cross the network.
+    """
+
+    def __init__(self, sleep_scale: float = 0.0):
+        self.sleep_scale = sleep_scale
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(16)
+        self.address: Tuple[str, int] = self._listener.getsockname()
+        self._links: Dict[str, _DaemonLink] = {}
+        self._processes: List[subprocess.Popen] = []
+        self._instances: Dict[str, _RemoteInstance] = {}
+        self._bindings: List[BindingSpec] = []
+        self._lock = threading.RLock()
+        self.trace: List[str] = []
+
+    # -- machines ---------------------------------------------------------------
+
+    def spawn_machine(self, name: str, architecture: str = "modern-64") -> None:
+        """Launch a machine daemon process and wait for its hello."""
+        base = MACHINES[architecture]
+        profile = MachineProfile(
+            name=name,
+            endianness=base.endianness,
+            int_bits=base.int_bits,
+            long_bits=base.long_bits,
+            float_bits=base.float_bits,
+        )
+        process = subprocess.Popen(
+            _daemon_argv(name, profile, self.address, self.sleep_scale)
+        )
+        self._processes.append(process)
+        self._listener.settimeout(30)
+        sock, _addr = self._listener.accept()
+        hello = recv_frame(sock)
+        if not (isinstance(hello, list) and hello[2] == "hello"):
+            raise TransportError(f"unexpected first frame {hello!r}")
+        daemon_name = str(hello[3])
+        daemon_profile = profile_from_abstract(dict(hello[4]))
+        link = _DaemonLink(daemon_name, daemon_profile, sock, self)
+        self._links[daemon_name] = link
+        self.trace.append(f"machine {daemon_name} up ({daemon_profile.describe()})")
+
+    def _link(self, machine: str) -> _DaemonLink:
+        try:
+            return self._links[machine]
+        except KeyError:
+            raise BusError(f"no machine daemon named {machine!r}") from None
+
+    # -- application --------------------------------------------------------------
+
+    def launch(self, config: Configuration, placement: Dict[str, str]) -> None:
+        """Place and start every instance of a parsed MIL application."""
+        config.validate()
+        if config.application is None:
+            raise BusError("configuration has no application specification")
+        for inst in config.application.instances:
+            machine = placement.get(inst.instance) or inst.machine
+            if not machine:
+                raise BusError(f"no placement for instance {inst.instance!r}")
+            self.add_module(config.modules[inst.module], inst.instance, machine)
+        for binding in config.application.bindings:
+            self.add_binding(binding)
+        for inst in config.application.instances:
+            self.start_module(inst.instance)
+
+    def add_module(
+        self,
+        spec: ModuleSpec,
+        instance: str,
+        machine: str,
+        status: str = "original",
+        state_packet: Optional[bytes] = None,
+    ) -> None:
+        with self._lock:
+            if instance in self._instances:
+                raise BusError(f"instance {instance!r} already exists")
+            source = spec.inline_source
+            if not source:
+                with open(spec.source, "r", encoding="utf-8") as handle:
+                    source = handle.read()
+            if spec.is_reconfigurable:
+                prepared = prepare_module(
+                    source,
+                    module_name=spec.name,
+                    declared_points=list(spec.reconfig_points),
+                ).source
+            else:
+                prepared = source
+            self._link(machine).request(
+                [
+                    "add",
+                    instance,
+                    spec_to_abstract(spec, prepared),
+                    status,
+                    state_packet,
+                ]
+            )
+            self._instances[instance] = _RemoteInstance(
+                instance=instance,
+                spec=spec,
+                machine=machine,
+                prepared_source=prepared,
+            )
+        self.trace.append(f"add {instance} on {machine} (status={status})")
+
+    def start_module(self, instance: str) -> None:
+        remote = self._instance(instance)
+        self._link(remote.machine).request(["start", instance])
+
+    def remove_module(self, instance: str) -> None:
+        with self._lock:
+            remote = self._instance(instance)
+            self._link(remote.machine).request(["remove", instance])
+            del self._instances[instance]
+
+    def _instance(self, instance: str) -> _RemoteInstance:
+        with self._lock:
+            try:
+                return self._instances[instance]
+            except KeyError:
+                raise UnknownModuleError(f"no instance {instance!r}") from None
+
+    # -- bindings -------------------------------------------------------------------
+
+    def add_binding(self, binding: BindingSpec) -> None:
+        with self._lock:
+            self._bindings.append(binding)
+
+    def remove_binding(self, binding: BindingSpec) -> None:
+        with self._lock:
+            self._bindings.remove(binding)
+
+    # -- routing --------------------------------------------------------------------
+
+    def _on_remote_write(self, instance: str, interface: str, wire: bytes) -> None:
+        """A daemon reported a module write; fan out to bound peers.
+
+        Peer resolution AND the sends happen under the bus lock: a move
+        switches an instance's machine under the same lock, so every
+        delivery is either fully routed to the old daemon (and then
+        drained) or fully routed to the new one — never dropped between.
+        Per-link TCP FIFO then guarantees drains see all prior deliveries.
+        """
+        with self._lock:
+            for binding in self._bindings:
+                (a_inst, a_if), (b_inst, b_if) = binding.endpoints()
+                if (a_inst, a_if) == (instance, interface):
+                    peer, peer_if = b_inst, b_if
+                elif (b_inst, b_if) == (instance, interface):
+                    peer, peer_if = a_inst, a_if
+                else:
+                    continue
+                remote = self._instances.get(peer)
+                if remote is None:
+                    continue
+                decl = remote.spec.interface(peer_if)
+                if decl.direction.can_receive:
+                    self._link(remote.machine).send_event(
+                        ["deliver", peer, peer_if, wire]
+                    )
+
+    def _on_remote_write_to(
+        self, instance: str, interface: str, destination: str, wire: bytes
+    ) -> None:
+        """Directed delivery across daemons (server replies)."""
+        with self._lock:
+            for binding in self._bindings:
+                (a_inst, a_if), (b_inst, b_if) = binding.endpoints()
+                if (a_inst, a_if) == (instance, interface) and b_inst == destination:
+                    peer, peer_if = b_inst, b_if
+                elif (b_inst, b_if) == (instance, interface) and a_inst == destination:
+                    peer, peer_if = a_inst, a_if
+                else:
+                    continue
+                remote = self._instances.get(peer)
+                if remote is None:
+                    continue
+                if remote.spec.interface(peer_if).direction.can_receive:
+                    self._link(remote.machine).send_event(
+                        ["deliver", peer, peer_if, wire]
+                    )
+                    return
+        self.trace.append(
+            f"dropped directed send {instance}.{interface} -> {destination}"
+        )
+
+    # -- introspection ----------------------------------------------------------------
+
+    def statics_of(self, instance: str) -> Dict[str, object]:
+        remote = self._instance(instance)
+        return dict(self._link(remote.machine).request(["statics", instance]))  # type: ignore[arg-type]
+
+    def state_of(self, instance: str) -> str:
+        remote = self._instance(instance)
+        return str(self._link(remote.machine).request(["state", instance]))
+
+    def machine_of(self, instance: str) -> str:
+        return self._instance(instance).machine
+
+    def snapshot_configuration(self) -> Dict[str, object]:
+        """Current distributed topology: placements plus bindings."""
+        with self._lock:
+            return {
+                "instances": {
+                    name: remote.machine
+                    for name, remote in sorted(self._instances.items())
+                },
+                "bindings": [b.describe() for b in self._bindings],
+                "machines": sorted(self._links),
+            }
+
+    # -- reconfiguration ---------------------------------------------------------------
+
+    def move_module(
+        self, instance: str, machine: str, timeout: float = 15.0
+    ) -> Dict[str, object]:
+        """Move a module between daemon processes, state over the wire."""
+        return self.replace_module(instance, machine=machine, timeout=timeout)
+
+    def upgrade_module(
+        self,
+        instance: str,
+        new_source: str,
+        machine: Optional[str] = None,
+        timeout: float = 15.0,
+    ) -> Dict[str, object]:
+        """Replace a module with a new version across daemon processes."""
+        return self.replace_module(
+            instance, machine=machine, new_source=new_source, timeout=timeout
+        )
+
+    def replace_module(
+        self,
+        instance: str,
+        machine: Optional[str] = None,
+        new_source: Optional[str] = None,
+        timeout: float = 15.0,
+    ) -> Dict[str, object]:
+        """The general distributed replacement (move and/or upgrade)."""
+        remote = self._instance(instance)
+        old_machine = remote.machine
+        machine = machine or old_machine
+        old_link = self._link(old_machine)
+        new_link = self._link(machine)
+        if new_source is not None:
+            remote.prepared_source = prepare_module(
+                new_source,
+                module_name=remote.spec.name,
+                declared_points=list(remote.spec.reconfig_points),
+            ).source
+        started = time.monotonic()
+
+        old_link.request(["signal", instance])
+        packet = bytes(
+            old_link.request(["wait_divulged", instance, timeout], timeout=timeout + 5)  # type: ignore[arg-type]
+        )
+        divulged = time.monotonic()
+
+        spec = remote.spec.with_attributes(machine=machine, status="clone")
+
+        if machine == old_machine:
+            # Same-daemon replacement: add the clone under a temporary
+            # key, then atomically swap it in (queues move with it).
+            temp = f"{instance}.tmp"
+            new_link.request(
+                [
+                    "add",
+                    temp,
+                    spec_to_abstract(spec, remote.prepared_source),
+                    "clone",
+                    packet,
+                ]
+            )
+            new_link.request(["swap", instance, temp])
+            new_link.request(["start", instance])
+            done = time.monotonic()
+            result = {
+                "instance": instance,
+                "from": old_machine,
+                "to": machine,
+                "packet_bytes": len(packet),
+                "delay_to_point_s": divulged - started,
+                "total_s": done - started,
+            }
+            self.trace.append(str(result))
+            return result
+
+        # The instance keeps its name throughout: instances are keyed
+        # per-daemon, so "compute" can exist on both machines while the
+        # handover is in flight — bindings never change, only placement.
+        new_link.request(
+            [
+                "add",
+                instance,
+                spec_to_abstract(spec, remote.prepared_source),
+                "clone",
+                packet,
+            ]
+        )
+
+        # Atomic placement switch: from here on, routing targets the new
+        # daemon.  (Routing sends hold the same lock, so nothing lands
+        # "between" machines.)
+        with self._lock:
+            remote.machine = machine
+
+        # Older messages still queued at the old daemon move to the front
+        # of the clone's queues; per-link FIFO ensures this drain sees
+        # everything routed before the switch.
+        queued = old_link.request(["drain_queues", instance])
+        for interface, wires in dict(queued).items():  # type: ignore[union-attr]
+            if wires:
+                new_link.request(
+                    ["deliver_front", instance, interface, [bytes(w) for w in wires]]
+                )
+
+        new_link.request(["start", instance])
+        old_link.request(["remove", instance])
+        done = time.monotonic()
+        report = {
+            "instance": instance,
+            "from": old_machine,
+            "to": machine,
+            "packet_bytes": len(packet),
+            "delay_to_point_s": divulged - started,
+            "total_s": done - started,
+        }
+        self.trace.append(str(report))
+        return report
+
+    # -- shutdown ----------------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        for link in self._links.values():
+            try:
+                link.request(["shutdown"], timeout=5)
+            except (BusError, TransportError):
+                pass
+            link.close()
+        for process in self._processes:
+            try:
+                process.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                process.terminate()
+                process.wait(timeout=5)
+        self._listener.close()
+
+
+if __name__ == "__main__":
+    # Daemon process entry: python -m repro.bus.tcp NAME ENDIAN I L F HOST PORT SCALE
+    _name, _endian, _i, _l, _f, _host, _port, _scale = sys.argv[1:9]
+    daemon_entry(
+        _name,
+        {
+            "name": _name,
+            "endianness": _endian,
+            "int_bits": int(_i),
+            "long_bits": int(_l),
+            "float_bits": int(_f),
+        },
+        _host,
+        int(_port),
+        float(_scale),
+    )

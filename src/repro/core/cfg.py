@@ -1,0 +1,303 @@
+"""Structured control-flow graphs for instrumented procedures.
+
+The paper resumes execution with ``goto Li`` into the middle of loops —
+legal in C, impossible in Python.  We therefore lower each instrumented
+procedure into basic blocks (this module) and re-emit it as a dispatch
+loop over an explicit program counter (:mod:`repro.core.flatten`), which
+gives us arbitrary resume targets without touching the interpreter —
+the same "no compiler or operating system changes" property the paper
+claims, achieved one level up.
+
+Block kinds:
+
+``plain``             straight-line statements
+``call``              exactly one instrumented call statement (edge i, Si);
+                      restoration re-enters here with ``_mh_redo`` set
+``capture``           the capture block installed after a call edge
+                      (Figure 7, bottom)
+``reconfig_capture``  the capture block installed at a reconfiguration
+                      point (Figure 7, top); the block *after* it is the
+                      paper's label ``R``, recorded as the resume target
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.recongraph import ReconEdge, ReconfigurationGraph, is_reconfig_marker
+from repro.errors import FlattenError
+
+
+@dataclass
+class Goto:
+    target: int
+
+
+@dataclass
+class CondGoto:
+    test: ast.expr
+    then_target: int
+    else_target: int
+
+
+@dataclass
+class ReturnTerm:
+    value: Optional[ast.expr] = None
+
+
+Terminator = object  # Goto | CondGoto | ReturnTerm
+
+
+@dataclass
+class Block:
+    id: int
+    kind: str = "plain"
+    stmts: List[ast.stmt] = field(default_factory=list)
+    terminator: Optional[Terminator] = None
+    edge: Optional[ReconEdge] = None
+
+
+@dataclass
+class FunctionCFG:
+    """All blocks of one lowered procedure."""
+
+    procedure: str
+    blocks: Dict[int, Block] = field(default_factory=dict)
+    entry: int = 0
+    #: edge number -> block id of the call block (restore re-enters here)
+    call_block_for_edge: Dict[int, int] = field(default_factory=dict)
+    #: edge number -> block id just after the reconfiguration point (label R)
+    resume_block_for_edge: Dict[int, int] = field(default_factory=dict)
+
+    def block_ids(self) -> List[int]:
+        return sorted(self.blocks)
+
+    def successors(self, block_id: int) -> List[int]:
+        term = self.blocks[block_id].terminator
+        if isinstance(term, Goto):
+            return [term.target]
+        if isinstance(term, CondGoto):
+            return [term.then_target, term.else_target]
+        return []
+
+    def reachable(self) -> List[int]:
+        seen = {self.entry}
+        work = [self.entry]
+        while work:
+            current = work.pop()
+            for succ in self.successors(current):
+                if succ not in seen:
+                    seen.add(succ)
+                    work.append(succ)
+        # Restoration can enter at call blocks and resume labels too.
+        extra = list(self.call_block_for_edge.values()) + list(
+            self.resume_block_for_edge.values()
+        )
+        for block_id in extra:
+            if block_id not in seen:
+                seen.add(block_id)
+                work.append(block_id)
+                while work:
+                    current = work.pop()
+                    for succ in self.successors(current):
+                        if succ not in seen:
+                            seen.add(succ)
+                            work.append(succ)
+        return sorted(seen)
+
+    def check(self) -> None:
+        """Internal consistency: every block terminated, targets exist."""
+        for block_id, block in self.blocks.items():
+            term = block.terminator
+            if term is None:
+                raise FlattenError(
+                    f"{self.procedure}: block {block_id} has no terminator"
+                )
+            for target in self.successors(block_id):
+                if target not in self.blocks:
+                    raise FlattenError(
+                        f"{self.procedure}: block {block_id} jumps to "
+                        f"missing block {target}"
+                    )
+
+
+class CFGBuilder:
+    """Lower one (validated, desugared) procedure body to basic blocks."""
+
+    def __init__(self, fn: ast.FunctionDef, recon: ReconfigurationGraph):
+        self.fn = fn
+        self.recon = recon
+        self.cfg = FunctionCFG(procedure=fn.name)
+        self._next_id = 0
+
+    # -- block plumbing --------------------------------------------------------
+
+    def _new_block(self, kind: str = "plain", edge: Optional[ReconEdge] = None) -> Block:
+        block = Block(id=self._next_id, kind=kind, edge=edge)
+        self._next_id += 1
+        self.cfg.blocks[block.id] = block
+        return block
+
+    def build(self) -> FunctionCFG:
+        body = list(self.fn.body)
+        # Drop a leading docstring; it is re-attached by the flattener.
+        if (
+            body
+            and isinstance(body[0], ast.Expr)
+            and isinstance(body[0].value, ast.Constant)
+            and isinstance(body[0].value.value, str)
+        ):
+            body = body[1:]
+        entry = self._new_block()
+        self.cfg.entry = entry.id
+        last = self._lower_stmts(body, entry, break_target=None, continue_target=None)
+        if last.terminator is None:
+            last.terminator = ReturnTerm(None)
+        self.cfg.check()
+        return self.cfg
+
+    # -- lowering ---------------------------------------------------------------
+
+    def _lower_stmts(
+        self,
+        stmts: List[ast.stmt],
+        current: Block,
+        break_target: Optional[int],
+        continue_target: Optional[int],
+    ) -> Block:
+        """Lower a statement list starting in ``current``; return the open
+        block at the end (possibly already terminated by return/break)."""
+        for stmt in stmts:
+            if current.terminator is not None:
+                # Unreachable code after return/break: keep lowering into a
+                # fresh dead block so line numbers in diagnostics survive.
+                current = self._new_block()
+            current = self._lower_stmt(stmt, current, break_target, continue_target)
+        return current
+
+    def _lower_stmt(
+        self,
+        stmt: ast.stmt,
+        current: Block,
+        break_target: Optional[int],
+        continue_target: Optional[int],
+    ) -> Block:
+        recon_edge = self.recon.edge_for_point_stmt(stmt)
+        if recon_edge is not None:
+            return self._lower_reconfig_point(recon_edge, current)
+        if is_reconfig_marker(stmt):  # marker without an edge cannot happen
+            raise FlattenError(
+                f"{self.fn.name}: unregistered reconfiguration marker at "
+                f"line {stmt.lineno}"
+            )
+        call_edge = self.recon.edge_for_call_stmt(stmt)
+        if call_edge is not None:
+            return self._lower_instrumented_call(stmt, call_edge, current)
+
+        if isinstance(stmt, ast.If):
+            return self._lower_if(stmt, current, break_target, continue_target)
+        if isinstance(stmt, ast.While):
+            return self._lower_while(stmt, current, break_target, continue_target)
+        if isinstance(stmt, ast.Return):
+            current.terminator = ReturnTerm(stmt.value)
+            return current
+        if isinstance(stmt, ast.Break):
+            if break_target is None:
+                raise FlattenError(
+                    f"{self.fn.name}: break outside loop at line {stmt.lineno}"
+                )
+            current.terminator = Goto(break_target)
+            return current
+        if isinstance(stmt, ast.Continue):
+            if continue_target is None:
+                raise FlattenError(
+                    f"{self.fn.name}: continue outside loop at line {stmt.lineno}"
+                )
+            current.terminator = Goto(continue_target)
+            return current
+        if isinstance(stmt, ast.For):  # pragma: no cover - desugared earlier
+            raise FlattenError(
+                f"{self.fn.name}: for-loop survived desugaring at line {stmt.lineno}"
+            )
+        if isinstance(stmt, ast.Pass):
+            return current
+        # Any other simple statement flows straight through.
+        current.stmts.append(stmt)
+        return current
+
+    def _lower_if(
+        self,
+        stmt: ast.If,
+        current: Block,
+        break_target: Optional[int],
+        continue_target: Optional[int],
+    ) -> Block:
+        then_entry = self._new_block()
+        else_entry = self._new_block() if stmt.orelse else None
+        join = self._new_block()
+        current.terminator = CondGoto(
+            stmt.test,
+            then_entry.id,
+            else_entry.id if else_entry is not None else join.id,
+        )
+        then_exit = self._lower_stmts(stmt.body, then_entry, break_target, continue_target)
+        if then_exit.terminator is None:
+            then_exit.terminator = Goto(join.id)
+        if else_entry is not None:
+            else_exit = self._lower_stmts(
+                stmt.orelse, else_entry, break_target, continue_target
+            )
+            if else_exit.terminator is None:
+                else_exit.terminator = Goto(join.id)
+        return join
+
+    def _lower_while(
+        self,
+        stmt: ast.While,
+        current: Block,
+        break_target: Optional[int],
+        continue_target: Optional[int],
+    ) -> Block:
+        header = self._new_block()
+        body_entry = self._new_block()
+        after = self._new_block()
+        current.terminator = Goto(header.id)
+        header.terminator = CondGoto(stmt.test, body_entry.id, after.id)
+        body_exit = self._lower_stmts(
+            stmt.body, body_entry, break_target=after.id, continue_target=header.id
+        )
+        if body_exit.terminator is None:
+            body_exit.terminator = Goto(header.id)
+        return after
+
+    def _lower_instrumented_call(
+        self, stmt: ast.stmt, edge: ReconEdge, current: Block
+    ) -> Block:
+        """Split out the call block and its trailing capture block.
+
+        ``current -> call(Si) -> capture(Li) -> after`` — the capture block
+        is the paper's block "installed at the line number associated with
+        that edge", and the call block is the re-entry target during
+        restoration.
+        """
+        call_block = self._new_block(kind="call", edge=edge)
+        capture_block = self._new_block(kind="capture", edge=edge)
+        after = self._new_block()
+        current.terminator = Goto(call_block.id)
+        call_block.stmts.append(stmt)
+        call_block.terminator = Goto(capture_block.id)
+        capture_block.terminator = Goto(after.id)
+        self.cfg.call_block_for_edge[edge.number] = call_block.id
+        return after
+
+    def _lower_reconfig_point(self, edge: ReconEdge, current: Block) -> Block:
+        """The marker becomes a reconfig-capture block; the following block
+        is the paper's label ``R`` — the restore jump target."""
+        capture_block = self._new_block(kind="reconfig_capture", edge=edge)
+        resume = self._new_block()
+        current.terminator = Goto(capture_block.id)
+        capture_block.terminator = Goto(resume.id)
+        self.cfg.resume_block_for_edge[edge.number] = resume.id
+        return resume

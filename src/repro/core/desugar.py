@@ -1,0 +1,107 @@
+"""Desugar ``for i in range(...)`` into capturable ``while`` loops.
+
+A ``for`` loop hides its iteration state inside an iterator object, which
+has no abstract (machine-independent) representation.  Inside instrumented
+procedures we therefore rewrite range-loops into explicit integer state —
+three generated locals carry the next value, the stop bound and the step,
+all of which land in the frame layout and survive capture/restoration::
+
+    for i in range(a, b, c):        _mh_fr0_next = a
+        BODY                        _mh_fr0_stop = b
+                            ==>     _mh_fr0_step = c
+                                    while (_mh_fr0_step > 0 and _mh_fr0_next < _mh_fr0_stop) \
+                                       or (_mh_fr0_step < 0 and _mh_fr0_next > _mh_fr0_stop):
+                                        i = _mh_fr0_next
+                                        _mh_fr0_next = _mh_fr0_next + _mh_fr0_step
+                                        BODY
+
+The loop variable is assigned *before* the body and the cursor advanced
+immediately, so ``continue`` inside BODY jumps to the header with the
+cursor already moved — identical semantics to the original ``for``.
+(Validation has already rejected non-range ``for`` loops in instrumented
+procedures.)
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+from typing import List
+
+from repro.errors import TransformError
+
+
+class _RangeDesugarer(ast.NodeTransformer):
+    def __init__(self) -> None:
+        self._counter = 0
+
+    def visit_For(self, node: ast.For) -> List[ast.stmt]:
+        self.generic_visit(node)
+        iter_call = node.iter
+        if not (
+            isinstance(iter_call, ast.Call)
+            and isinstance(iter_call.func, ast.Name)
+            and iter_call.func.id == "range"
+        ):
+            raise TransformError(
+                f"line {node.lineno}: non-range for-loop reached desugaring "
+                f"(validation should have rejected it)"
+            )
+        if not isinstance(node.target, ast.Name):
+            raise TransformError(
+                f"line {node.lineno}: for-loop target must be a single name"
+            )
+        index = self._counter
+        self._counter += 1
+        next_var = f"_mh_fr{index}_next"
+        stop_var = f"_mh_fr{index}_stop"
+        step_var = f"_mh_fr{index}_step"
+
+        args = iter_call.args
+        if len(args) == 1:
+            start_src, stop_node, step_src = "0", args[0], "1"
+        elif len(args) == 2:
+            start_src, stop_node, step_src = None, args[1], "1"
+        else:
+            start_src, stop_node, step_src = None, args[1], None
+
+        setup: List[ast.stmt] = []
+
+        def assign(name: str, value: ast.expr) -> None:
+            setup.append(
+                ast.Assign(targets=[ast.Name(id=name, ctx=ast.Store())], value=value)
+            )
+
+        if start_src is not None:
+            assign(next_var, ast.parse(start_src, mode="eval").body)
+        else:
+            assign(next_var, copy.deepcopy(args[0]))
+        assign(stop_var, copy.deepcopy(stop_node))
+        if step_src is not None:
+            assign(step_var, ast.parse(step_src, mode="eval").body)
+        else:
+            assign(step_var, copy.deepcopy(args[2]))
+
+        test = ast.parse(
+            f"({step_var} > 0 and {next_var} < {stop_var}) or "
+            f"({step_var} < 0 and {next_var} > {stop_var})",
+            mode="eval",
+        ).body
+        advance = ast.parse(
+            f"{node.target.id} = {next_var}\n"
+            f"{next_var} = {next_var} + {step_var}"
+        ).body
+        loop = ast.While(test=test, body=advance + node.body, orelse=[])
+        result = setup + [loop]
+        for stmt in result:
+            ast.copy_location(stmt, node)
+            ast.fix_missing_locations(stmt)
+        return result
+
+
+def desugar_for_range(fn: ast.FunctionDef) -> ast.FunctionDef:
+    """Return a deep copy of ``fn`` with all range-loops desugared."""
+    clone = copy.deepcopy(fn)
+    _RangeDesugarer().visit(clone)
+    ast.fix_missing_locations(clone)
+    return clone

@@ -1,0 +1,100 @@
+"""Dummy-argument substitution for restore-time re-invocation.
+
+Paper Section 3, last paragraphs: repeating the original procedure call
+during restoration is unsafe when the arguments are *expressions*, because
+"these expressions are evaluated with the restored state, and their
+evaluation can cause a run-time error that did not arise when they were
+evaluated with the original state.  The solution ... is to modify the
+call by substituting dummy arguments for expressions whose evaluation
+could result in a run-time error.  The data types of these dummy
+arguments are determined by the types declared in the parameter list of
+the procedure."
+
+Safety classification (conservative):
+
+- ``Name`` — safe: a bare local cannot fault, and names bound to ``Ref``
+  cells *must* be kept so the pointer chain into the caller's frame is
+  rebuilt by the re-executed call
+- ``Constant`` and unary +/- of a constant — safe
+- ``Ref(<safe>...)`` — safe: constructing a fresh out-parameter cell
+- everything else (subscripts, arithmetic, attribute access, nested
+  calls) — replaced by a typed dummy
+
+The dummy's value follows the callee's parameter annotation, defaulting
+to ``None`` — the callee's restore block overwrites every parameter
+before use, so only *evaluability* matters, exactly as the paper argues.
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+from typing import List, Optional
+
+from repro.core.varinfo import is_ref_constructor
+
+#: Annotation name -> dummy value expression source.
+_DUMMY_BY_ANNOTATION = {
+    "int": "0",
+    "float": "0.0",
+    "str": "''",
+    "bool": "False",
+    "bytes": "b''",
+    "Ref": "Ref(None)",
+}
+
+
+def is_safe_argument(node: ast.expr) -> bool:
+    """True when re-evaluating ``node`` with restored state cannot fault."""
+    if isinstance(node, ast.Name):
+        return True
+    if isinstance(node, ast.Constant):
+        return True
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.USub, ast.UAdd)
+    ):
+        return isinstance(node.operand, ast.Constant)
+    if is_ref_constructor(node):
+        return all(is_safe_argument(arg) for arg in node.args) and not node.keywords
+    return False
+
+
+def _dummy_for(annotation: Optional[ast.expr]) -> ast.expr:
+    source = "None"
+    if isinstance(annotation, ast.Name):
+        source = _DUMMY_BY_ANNOTATION.get(annotation.id, "None")
+    elif (
+        isinstance(annotation, ast.Subscript)
+        and isinstance(annotation.value, ast.Name)
+        and annotation.value.id == "Ref"
+    ):
+        source = "Ref(None)"
+    return ast.parse(source, mode="eval").body
+
+
+def substitute_dummy_args(
+    call: ast.Call, callee: Optional[ast.FunctionDef]
+) -> ast.Call:
+    """Return a copy of ``call`` with unsafe arguments replaced by dummies.
+
+    ``callee`` supplies parameter annotations for typed dummies; with no
+    callee signature available every dummy is ``None``.
+    """
+    new_call = copy.deepcopy(call)
+    annotations: List[Optional[ast.expr]] = []
+    if callee is not None:
+        for arg in callee.args.posonlyargs + callee.args.args:
+            annotations.append(arg.annotation)
+    for index, arg in enumerate(new_call.args):
+        if is_safe_argument(arg):
+            continue
+        annotation = annotations[index] if index < len(annotations) else None
+        dummy = _dummy_for(annotation)
+        ast.copy_location(dummy, arg)
+        new_call.args[index] = dummy
+    return ast.fix_missing_locations(new_call)
+
+
+def count_substitutions(call: ast.Call) -> int:
+    """How many arguments of ``call`` would be dummied (for reports)."""
+    return sum(0 if is_safe_argument(arg) else 1 for arg in call.args)

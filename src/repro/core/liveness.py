@@ -1,0 +1,165 @@
+"""Live-variable analysis at reconfiguration points.
+
+Paper Section 3: "At a reconfiguration point, data-flow analysis could be
+used to determine the set of live variables."  The paper leaves this as
+future work (the programmer lists the variables); we implement the
+analysis as an advisory pass: a classic backward may-liveness fixpoint
+over the per-procedure CFG, reporting which captured frame variables are
+actually dead at each capture edge.  The transformer still captures the
+full frame (conservative and version-stable), but the report lets a
+module author — or the CAPTURE-PRUNING extension in ``transformer`` —
+shrink the abstract state.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.core.cfg import Block, CondGoto, FunctionCFG, Goto, ReturnTerm
+from repro.core.recongraph import ReconfigurationGraph
+from repro.core.varinfo import FrameLayout
+
+
+def _uses_defs_of_stmt(stmt: ast.stmt) -> Tuple[Set[str], Set[str]]:
+    """Names read and names written by one simple statement.
+
+    A method call on a name (``rp.set(...)``) counts as a *use* of the
+    name: the cell object must exist even though its content changes.
+    """
+    uses: Set[str] = set()
+    defs: Set[str] = set()
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.Name):
+            if isinstance(node.ctx, ast.Store):
+                defs.add(node.id)
+            else:
+                uses.add(node.id)
+    # AugAssign both reads and writes its target.
+    if isinstance(stmt, ast.AugAssign) and isinstance(stmt.target, ast.Name):
+        uses.add(stmt.target.id)
+    return uses, defs
+
+
+def _block_gen_kill(block: Block) -> Tuple[Set[str], Set[str]]:
+    """use/def sets of a block, respecting statement order."""
+    gen: Set[str] = set()
+    kill: Set[str] = set()
+    for stmt in block.stmts:
+        uses, defs = _uses_defs_of_stmt(stmt)
+        gen |= uses - kill
+        kill |= defs
+    term = block.terminator
+    if isinstance(term, CondGoto):
+        for node in ast.walk(term.test):
+            if isinstance(node, ast.Name) and not isinstance(node.ctx, ast.Store):
+                if node.id not in kill:
+                    gen.add(node.id)
+    elif isinstance(term, ReturnTerm) and term.value is not None:
+        for node in ast.walk(term.value):
+            if isinstance(node, ast.Name) and not isinstance(node.ctx, ast.Store):
+                if node.id not in kill:
+                    gen.add(node.id)
+    return gen, kill
+
+
+@dataclass
+class EdgeLiveness:
+    """Liveness verdict for one reconfiguration-graph edge.
+
+    ``live`` is what the continuation *after* the edge reads;
+    ``capture_set`` is the safe pruned capture list — for call edges it
+    additionally includes the names the re-executed call itself needs
+    (its argument names), which is exactly ``live_in`` of the call block.
+    """
+
+    edge_number: int
+    kind: str
+    live: Set[str] = field(default_factory=set)
+    captured: Set[str] = field(default_factory=set)
+    capture_set: Set[str] = field(default_factory=set)
+
+    @property
+    def dead_captured(self) -> Set[str]:
+        """Frame variables captured at this edge but never read again."""
+        return self.captured - self.live
+
+
+@dataclass
+class LivenessReport:
+    """Per-procedure liveness at every capture edge."""
+
+    procedure: str
+    live_in: Dict[int, Set[str]] = field(default_factory=dict)
+    live_out: Dict[int, Set[str]] = field(default_factory=dict)
+    edges: List[EdgeLiveness] = field(default_factory=list)
+
+    def edge(self, number: int) -> EdgeLiveness:
+        for entry in self.edges:
+            if entry.edge_number == number:
+                return entry
+        raise KeyError(f"no liveness entry for edge {number}")
+
+    def total_dead_slots(self) -> int:
+        return sum(len(e.dead_captured) for e in self.edges)
+
+
+def analyze_liveness(
+    cfg: FunctionCFG, layout: FrameLayout, recon: ReconfigurationGraph
+) -> LivenessReport:
+    """Backward may-liveness fixpoint over one procedure's CFG."""
+    frame_names = set(layout.names())
+    gen: Dict[int, Set[str]] = {}
+    kill: Dict[int, Set[str]] = {}
+    for block_id, block in cfg.blocks.items():
+        g, k = _block_gen_kill(block)
+        gen[block_id] = g & frame_names
+        kill[block_id] = k & frame_names
+
+    live_in: Dict[int, Set[str]] = {b: set() for b in cfg.blocks}
+    live_out: Dict[int, Set[str]] = {b: set() for b in cfg.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for block_id in cfg.blocks:
+            out: Set[str] = set()
+            for succ in cfg.successors(block_id):
+                out |= live_in[succ]
+            new_in = gen[block_id] | (out - kill[block_id])
+            if out != live_out[block_id] or new_in != live_in[block_id]:
+                live_out[block_id] = out
+                live_in[block_id] = new_in
+                changed = True
+
+    report = LivenessReport(
+        procedure=cfg.procedure, live_in=live_in, live_out=live_out
+    )
+    for edge in recon.edges_from(cfg.procedure):
+        if edge.kind == "reconfig":
+            # Live at the resume label (what the continuation reads).
+            resume = cfg.resume_block_for_edge[edge.number]
+            live = set(live_in[resume])
+            capture_set = set(live)
+        else:
+            # Live after the call returns: the capture block's successor.
+            # (The call's own arguments were already consumed.)
+            call_block = cfg.call_block_for_edge[edge.number]
+            capture_block = cfg.successors(call_block)[0]
+            after = cfg.successors(capture_block)[0]
+            live = set(live_in[after])
+            # The pruned capture is live_in at the call block itself: it
+            # carries what the re-executed call reads plus what the
+            # continuation reads, and correctly excludes the call's own
+            # assignment target (the redo call recomputes it).
+            capture_set = set(live_in[call_block])
+        report.edges.append(
+            EdgeLiveness(
+                edge_number=edge.number,
+                kind=edge.kind,
+                live=live,
+                captured=frame_names,
+                capture_set=capture_set & frame_names,
+            )
+        )
+    return report

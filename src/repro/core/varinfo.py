@@ -1,0 +1,277 @@
+"""Frame layouts: which variables each capture block saves, and how.
+
+"For capturing the state of the activation record stack, the relevant
+variables are the parameters and local variables of a procedure" (paper
+Section 3).  :func:`analyze_frame` computes, for one instrumented
+procedure, the ordered list of variables, each classified by kind:
+
+``PARAM``      plain parameter — captured by name, restored by assignment
+``REF_PARAM``  a :class:`~repro.runtime.refs.Ref` parameter (the paper's
+               ``double *rp``) — the *pointee* is captured (``rp.get()``)
+               and restored through the pointer (``rp.set(v)``); the
+               pointer itself is rebuilt by re-executing the call chain
+``LOCAL``      plain local — pre-initialised to ``None`` at procedure
+               entry so capture is defined at every block
+``REF_LOCAL``  a local bound to ``Ref(...)`` — captured/restored via the
+               ``mh.pack_ref``/``mh.unpack_ref`` helpers so a
+               still-``None`` cell survives the round trip unambiguously
+
+Format characters come from parameter annotations when present (``n: int``
+-> ``l``), matching how the paper reads C declarations; unannotated
+variables use the self-describing ``a``.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import TransformError
+
+#: Annotation name -> format char (paper: C type -> format char).
+_ANNOTATION_CHARS = {
+    "int": "l",
+    "float": "F",
+    "str": "s",
+    "bool": "b",
+    "bytes": "B",
+}
+
+
+class VarKind(enum.Enum):
+    PARAM = "param"
+    REF_PARAM = "ref_param"
+    LOCAL = "local"
+    REF_LOCAL = "ref_local"
+
+
+@dataclass
+class Variable:
+    """One slot of a procedure's abstract activation record."""
+
+    name: str
+    kind: VarKind
+    fmt_char: str = "a"
+
+    @property
+    def is_ref(self) -> bool:
+        return self.kind in (VarKind.REF_PARAM, VarKind.REF_LOCAL)
+
+    def capture_expr(self) -> str:
+        """Source expression whose value the capture block records."""
+        if self.kind == VarKind.REF_PARAM:
+            return f"{self.name}.get()"
+        if self.kind == VarKind.REF_LOCAL:
+            return f"mh.pack_ref({self.name})"
+        return self.name
+
+    def restore_stmt(self, source_expr: str) -> str:
+        """Source statement the restore block runs for this slot."""
+        if self.kind == VarKind.REF_PARAM:
+            return f"{self.name}.set({source_expr})"
+        if self.kind == VarKind.REF_LOCAL:
+            return f"{self.name} = mh.unpack_ref({source_expr})"
+        return f"{self.name} = {source_expr}"
+
+
+@dataclass
+class FrameLayout:
+    """The complete abstract layout of one procedure's frame."""
+
+    procedure: str
+    variables: List[Variable] = field(default_factory=list)
+
+    @property
+    def fmt(self) -> str:
+        """Capture format string: leading ``l`` is the resume location."""
+        chars = []
+        for var in self.variables:
+            if var.kind == VarKind.REF_LOCAL:
+                # pack_ref yields None or a 1-tuple; both are 'a'-shaped.
+                chars.append("a")
+            else:
+                chars.append(var.fmt_char)
+        return "l" + "".join(chars)
+
+    def names(self) -> List[str]:
+        return [v.name for v in self.variables]
+
+    def param_names(self) -> List[str]:
+        return [
+            v.name
+            for v in self.variables
+            if v.kind in (VarKind.PARAM, VarKind.REF_PARAM)
+        ]
+
+    def local_names(self) -> List[str]:
+        return [
+            v.name
+            for v in self.variables
+            if v.kind in (VarKind.LOCAL, VarKind.REF_LOCAL)
+        ]
+
+    def variable(self, name: str) -> Variable:
+        for var in self.variables:
+            if var.name == name:
+                return var
+        raise TransformError(f"{self.procedure}: no frame slot for {name!r}")
+
+
+def _annotation_info(annotation: Optional[ast.expr]) -> tuple:
+    """Classify a parameter annotation: (is_ref, fmt_char)."""
+    if annotation is None:
+        return (False, "a")
+    if isinstance(annotation, ast.Name):
+        if annotation.id == "Ref":
+            return (True, "a")
+        return (False, _ANNOTATION_CHARS.get(annotation.id, "a"))
+    # Ref[float] -> pointee char F
+    if (
+        isinstance(annotation, ast.Subscript)
+        and isinstance(annotation.value, ast.Name)
+        and annotation.value.id == "Ref"
+    ):
+        inner = annotation.slice
+        if isinstance(inner, ast.Name):
+            return (True, _ANNOTATION_CHARS.get(inner.id, "a"))
+        return (True, "a")
+    return (False, "a")
+
+
+def is_ref_constructor(node: ast.expr) -> bool:
+    """True for ``Ref(...)`` expressions."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "Ref"
+    )
+
+
+class _LocalCollector(ast.NodeVisitor):
+    """Collect local bindings, in order of first occurrence.
+
+    Only ``Name`` targets create frame slots (subscript/attribute stores
+    mutate heap or static objects, which the heap/statics machinery
+    carries).  A local ever bound to ``Ref(...)`` is a REF_LOCAL; binding
+    the same name to both Ref and non-Ref values is rejected because the
+    capture block could not choose a representation.
+    """
+
+    def __init__(self, param_names: List[str], procedure: str):
+        self.param_names = set(param_names)
+        self.procedure = procedure
+        self.order: List[str] = []
+        # None = only kind-neutral bindings seen so far (e.g. `x = None`,
+        # the C-style pre-declaration idiom); True/False once decided.
+        self.ref_evidence: Dict[str, Optional[bool]] = {}
+
+    def _bind(self, name: str, is_ref: Optional[bool], lineno: int) -> None:
+        if name in self.param_names:
+            if is_ref:
+                raise TransformError(
+                    f"line {lineno}: parameter {name!r} of {self.procedure!r} "
+                    f"rebound to Ref(...); annotate it ': Ref' instead"
+                )
+            return
+        if name not in self.ref_evidence:
+            self.order.append(name)
+            self.ref_evidence[name] = is_ref
+            return
+        existing = self.ref_evidence[name]
+        if is_ref is None or existing == is_ref:
+            return
+        if existing is None:
+            self.ref_evidence[name] = is_ref
+            return
+        raise TransformError(
+            f"line {lineno}: local {name!r} in {self.procedure!r} is bound "
+            f"to both Ref and non-Ref values; use separate names"
+        )
+
+    @staticmethod
+    def _kind_of_value(value: ast.expr) -> Optional[bool]:
+        """True=Ref, False=non-Ref, None=kind-neutral (a NULL binding)."""
+        if is_ref_constructor(value):
+            return True
+        if isinstance(value, ast.Constant) and value.value is None:
+            return None
+        return False
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        is_ref = self._kind_of_value(node.value)
+        for target in node.targets:
+            self._bind_target(target, is_ref, node.lineno)
+        self.generic_visit(node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name):
+            is_ref, _ = _annotation_info(node.annotation)
+            is_ref = is_ref or (node.value is not None and is_ref_constructor(node.value))
+            self._bind(node.target.id, is_ref, node.lineno)
+        if node.value is not None:
+            self.generic_visit(node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if isinstance(node.target, ast.Name):
+            self._bind(node.target.id, False, node.lineno)
+        self.generic_visit(node.value)
+
+    def visit_For(self, node: ast.For) -> None:
+        if isinstance(node.target, ast.Name):
+            self._bind(node.target.id, False, node.lineno)
+        self.generic_visit(node.iter)
+        for stmt in node.body + node.orelse:
+            self.visit(stmt)
+
+    def _bind_target(self, target: ast.expr, is_ref: bool, lineno: int) -> None:
+        if isinstance(target, ast.Name):
+            self._bind(target.id, is_ref, lineno)
+        elif isinstance(target, ast.Tuple):
+            for element in target.elts:
+                self._bind_target(element, False, lineno)
+        # Subscript/Attribute targets: heap/static mutation, no frame slot.
+
+    def visit_FunctionDef(self, node):  # pragma: no cover - validated away
+        pass
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+    visit_Lambda = visit_FunctionDef
+
+
+def _annotation_fmt_for_local(node: ast.FunctionDef, name: str) -> str:
+    """Find an AnnAssign annotation for a local, if the author gave one."""
+    for stmt in ast.walk(node):
+        if (
+            isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+            and stmt.target.id == name
+        ):
+            _is_ref, char = _annotation_info(stmt.annotation)
+            return char
+    return "a"
+
+
+def analyze_frame(fn: ast.FunctionDef) -> FrameLayout:
+    """Compute the frame layout of one (already validated) procedure."""
+    layout = FrameLayout(procedure=fn.name)
+    param_names: List[str] = []
+    for arg in fn.args.posonlyargs + fn.args.args:
+        is_ref, char = _annotation_info(arg.annotation)
+        kind = VarKind.REF_PARAM if is_ref else VarKind.PARAM
+        layout.variables.append(Variable(arg.arg, kind, char))
+        param_names.append(arg.arg)
+
+    collector = _LocalCollector(param_names, fn.name)
+    for stmt in fn.body:
+        collector.visit(stmt)
+    for name in collector.order:
+        # Evidence None = only NULL bindings seen: an ordinary local.
+        if collector.ref_evidence[name] is True:
+            layout.variables.append(Variable(name, VarKind.REF_LOCAL, "a"))
+        else:
+            layout.variables.append(
+                Variable(name, VarKind.LOCAL, _annotation_fmt_for_local(fn, name))
+            )
+    return layout

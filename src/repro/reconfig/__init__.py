@@ -1,0 +1,58 @@
+"""Application-level reconfiguration: primitives and scripts (Figure 5).
+
+- :mod:`repro.reconfig.primitives` — the ``mh_*`` reconfiguration API the
+  paper's script calls (``obj_cap``, ``struct_ifdest``, ``objstate_move``,
+  ``chg_obj``, ...)
+- :mod:`repro.reconfig.bindcmds` — batched bind edits (``add``/``del``/
+  ``cq``/``rmq``) applied all at once by ``rebind``
+- :mod:`repro.reconfig.scripts` — parameterized reconfiguration scripts:
+  replacement, move-to-machine, replication, live upgrade
+- :mod:`repro.reconfig.coordinator` — orchestration with timing
+  measurements and failure handling
+"""
+
+from repro.reconfig.bindcmds import BindBatch, BindCommand
+from repro.reconfig.primitives import (
+    ObjectCapability,
+    bind_cap,
+    chg_obj,
+    edit_bind,
+    obj_cap,
+    objstate_move,
+    rebind,
+    struct_ifdest,
+    struct_ifsources,
+    struct_objnames,
+)
+from repro.reconfig.coordinator import ReconfigurationCoordinator, ReconfigurationReport
+from repro.reconfig.scripts import (
+    attach_module,
+    detach_module,
+    move_module,
+    replace_module,
+    replicate_module,
+    upgrade_module,
+)
+
+__all__ = [
+    "BindBatch",
+    "BindCommand",
+    "ObjectCapability",
+    "obj_cap",
+    "bind_cap",
+    "edit_bind",
+    "rebind",
+    "struct_objnames",
+    "struct_ifdest",
+    "struct_ifsources",
+    "objstate_move",
+    "chg_obj",
+    "ReconfigurationCoordinator",
+    "ReconfigurationReport",
+    "replace_module",
+    "move_module",
+    "replicate_module",
+    "upgrade_module",
+    "attach_module",
+    "detach_module",
+]

@@ -1,0 +1,228 @@
+"""Orchestration of a module replacement, with timing and failure handling.
+
+The coordinator runs the event sequence of Figure 5 — access old module,
+prepare bind commands, move state, rebind, start new, remove old — and
+records when each step completed, which is what benchmark D3
+(reconfiguration delay vs. point placement) measures.
+
+Failure semantics: if the old module never reaches a reconfiguration
+point within the deadline, the prepared clone is discarded, the
+reconfiguration signal is withdrawn, and the application continues
+undisturbed in its original configuration — reconfiguration is
+all-or-nothing at the application level.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.bus.bus import SoftwareBus
+from repro.bus.spec import BindingSpec, ModuleSpec
+from repro.errors import ReconfigError, ReconfigTimeoutError
+from repro.reconfig.bindcmds import BindBatch
+from repro.reconfig.primitives import ObjectCapability, obj_cap
+
+
+@dataclass
+class ReconfigurationReport:
+    """What happened during one reconfiguration, and when."""
+
+    instance: str
+    kind: str
+    old_machine: str = ""
+    new_machine: str = ""
+    packet_bytes: int = 0
+    stack_depth: int = 0
+    queued_copied: Dict[str, int] = field(default_factory=dict)
+    t_signal: float = 0.0
+    t_divulged: float = 0.0
+    t_rebound: float = 0.0
+    t_started: float = 0.0
+    t_done: float = 0.0
+
+    @property
+    def delay_to_point(self) -> float:
+        """Time from signal to state divulged — dominated by how long the
+        module takes to reach its next reconfiguration point."""
+        return self.t_divulged - self.t_signal
+
+    @property
+    def total_time(self) -> float:
+        return self.t_done - self.t_signal
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind} of {self.instance!r}: "
+            f"{self.old_machine} -> {self.new_machine}, "
+            f"packet {self.packet_bytes}B, stack depth {self.stack_depth}, "
+            f"delay-to-point {self.delay_to_point * 1000:.1f}ms, "
+            f"total {self.total_time * 1000:.1f}ms"
+        )
+
+
+def prepare_rebind_batch(
+    bus: SoftwareBus,
+    old: ObjectCapability,
+    new_instance: str,
+    preserve_queues: bool = True,
+) -> BindBatch:
+    """Prepare the bind edits that move every binding from old to new.
+
+    Equivalent to Figure 5's per-interface loops over ``struct_ifdest``
+    and ``struct_ifsources`` (bidirectional interfaces appear in both, so
+    the paper's two loops touch some bindings twice; we deduplicate).
+    Queue copies (``cq``) and removals (``rmq``) are appended for every
+    interface that can receive, so no queued message is lost.
+    """
+    batch = BindBatch()
+    seen: Set[BindingSpec] = set()
+    for binding in bus.bindings_of(old.instance):
+        if binding in seen:
+            continue
+        seen.add(binding)
+        (a_inst, a_if), (b_inst, b_if) = binding.endpoints()
+        batch.delete((a_inst, a_if), (b_inst, b_if))
+        new_a = new_instance if a_inst == old.instance else a_inst
+        new_b = new_instance if b_inst == old.instance else b_inst
+        batch.add((new_a, a_if), (new_b, b_if))
+    module = bus.get_module(old.instance)
+    for decl in old.spec.interfaces:
+        if module.has_queue(decl.name):
+            if preserve_queues:
+                batch.copy_queue(
+                    (old.instance, decl.name), (new_instance, decl.name)
+                )
+            batch.remove_queue((old.instance, decl.name))
+    return batch
+
+
+class ReconfigurationCoordinator:
+    """Executes replacement-shaped reconfigurations against one bus."""
+
+    def __init__(self, bus: SoftwareBus):
+        self.bus = bus
+        self.history: List[ReconfigurationReport] = []
+
+    def replace(
+        self,
+        instance: str,
+        new_spec: Optional[ModuleSpec] = None,
+        machine: Optional[str] = None,
+        timeout: float = 10.0,
+        kind: str = "replace",
+        preserve_queues: bool = True,
+    ) -> ReconfigurationReport:
+        """Replace ``instance`` with a (possibly relocated, possibly new
+        version) clone that resumes from the captured state.
+
+        The clone temporarily exists as ``<instance>.new`` and takes over
+        the original instance name once the original is removed.
+        ``preserve_queues=False`` omits the ``cq`` commands — an ablation
+        showing why Figure 5 copies queues (messages queued at the old
+        module would otherwise be lost).
+        """
+        old = obj_cap(self.bus, instance)
+        if not old.spec.is_reconfigurable:
+            raise ReconfigError(
+                f"module {old.spec.name!r} declares no reconfiguration "
+                f"points; it cannot participate (use module-level "
+                f"reconfiguration instead)"
+            )
+        target_machine = machine or old.machine
+        spec = (new_spec or old.spec).with_attributes(
+            machine=target_machine, status="clone"
+        )
+        report = ReconfigurationReport(
+            instance=instance,
+            kind=kind,
+            old_machine=old.machine,
+            new_machine=target_machine,
+        )
+        temp_name = f"{instance}.new"
+        clone = self.bus.add_module(
+            spec, instance=temp_name, machine=target_machine, status="clone"
+        )
+
+        batch = prepare_rebind_batch(
+            self.bus, old, temp_name, preserve_queues=preserve_queues
+        )
+
+        report.t_signal = time.monotonic()
+        try:
+            packet = self.bus.objstate_move(instance, temp_name, timeout=timeout)
+        except (ReconfigTimeoutError, Exception):
+            # All-or-nothing: discard the clone, withdraw the signal.
+            self.bus.get_module(instance).mh.reconfig = False
+            self.bus.remove_module(temp_name)
+            raise
+        report.t_divulged = time.monotonic()
+        report.packet_bytes = len(packet)
+        from repro.state.frames import ProcessState
+
+        report.stack_depth = ProcessState.from_bytes(packet).stack.depth
+
+        old_module = self.bus.get_module(instance)
+        report.queued_copied = {
+            name: count
+            for name, count in old_module.queued_counts().items()
+            if count
+        }
+        batch.apply(self.bus)
+        report.t_rebound = time.monotonic()
+
+        self.bus.start_module(temp_name)
+        report.t_started = time.monotonic()
+
+        self.bus.remove_module(instance)
+        self.bus.rename_instance(temp_name, instance)
+        report.t_done = time.monotonic()
+        self.history.append(report)
+        self.bus.trace.append(report.describe())
+        return report
+
+    def replicate(
+        self,
+        instance: str,
+        replica_instance: str,
+        machine: Optional[str] = None,
+        timeout: float = 10.0,
+    ) -> Tuple[ReconfigurationReport, str]:
+        """Replicate a module: the captured state seeds *two* clones.
+
+        One clone takes over the original's name and bindings (the
+        original died divulging its state); the second starts alongside
+        it with duplicated bindings, on ``machine`` if given.
+        """
+        old = obj_cap(self.bus, instance)
+        original_bindings = self.bus.bindings_of(instance)
+
+        report = self.replace(instance, timeout=timeout, kind="replicate")
+
+        replica_machine = machine or old.machine
+        spec = old.spec.with_attributes(machine=replica_machine, status="clone")
+        replica = self.bus.add_module(
+            spec,
+            instance=replica_instance,
+            machine=replica_machine,
+            status="clone",
+        )
+        packet = self.bus.get_module(instance).mh.incoming_packet
+        if packet is None:  # pragma: no cover - replace() always sets it
+            raise ReconfigError("replacement clone lost its state packet")
+        replica.mh.incoming_packet = packet
+        for binding in original_bindings:
+            (a_inst, a_if), (b_inst, b_if) = binding.endpoints()
+            new_a = replica_instance if a_inst == instance else a_inst
+            new_b = replica_instance if b_inst == instance else b_inst
+            self.bus.add_binding(
+                BindingSpec(
+                    from_instance=new_a,
+                    from_interface=a_if,
+                    to_instance=new_b,
+                    to_interface=b_if,
+                )
+            )
+        self.bus.start_module(replica_instance)
+        return report, replica_instance

@@ -1,0 +1,15 @@
+"""Module-participation runtime (the paper's ``mh_*`` support library).
+
+Transformed module sources call into a single :class:`~repro.runtime.mh.MH`
+object named ``mh`` in their namespace.  It carries the three
+reconfiguration flags (``reconfig``, ``capturestack``, ``restoring``), the
+capture/restore/encode/decode operations generated code uses, and the
+POLYLITH-style messaging operations (``read``, ``write``,
+``query_ifmsgs``) that user code calls directly.
+"""
+
+from repro.runtime.refs import Ref
+from repro.runtime.mh import MH, ModuleStop, SleepPolicy
+from repro.runtime.files import FileReattachRegistry
+
+__all__ = ["Ref", "MH", "ModuleStop", "SleepPolicy", "FileReattachRegistry"]

@@ -1,0 +1,133 @@
+"""File re-attachment hooks.
+
+Paper Section 1.2: "File descriptors are an essential part of the process
+state, but this information is usually accessible only to the kernel ...
+so we do not automatically capture them at this time.  At the present
+time, the programmer must write code to ... regain access to files."
+
+We reproduce that contract: the platform captures a *description* of each
+registered file (path, mode, position) — which is all that is portable —
+and the programmer-supplied reattach function reopens it in the clone.
+A default reattach that reopens by path and seeks is provided, since that
+is what most long-running modules need.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, IO, List, Optional
+
+from repro.errors import RestoreError
+
+
+@dataclass
+class FileDescription:
+    """The abstract, machine-independent description of an open file."""
+
+    name: str
+    path: str
+    mode: str
+    position: int
+
+    def to_abstract(self) -> dict:
+        return {
+            "name": self.name,
+            "path": self.path,
+            "mode": self.mode,
+            "position": self.position,
+        }
+
+    @classmethod
+    def from_abstract(cls, value: object) -> "FileDescription":
+        if not isinstance(value, dict):
+            raise RestoreError(f"malformed file description {value!r}")
+        try:
+            return cls(
+                name=str(value["name"]),
+                path=str(value["path"]),
+                mode=str(value["mode"]),
+                position=int(value["position"]),
+            )
+        except KeyError as missing:
+            raise RestoreError(f"file description missing {missing}") from None
+
+
+def default_reattach(description: FileDescription) -> IO:
+    """Reopen by path and seek to the captured position."""
+    mode = description.mode
+    if "w" in mode and "+" not in mode and os.path.exists(description.path):
+        # Reopening with 'w' would truncate the file the old module wrote;
+        # switch to read/write-without-truncate, preserving the data.
+        mode = mode.replace("w", "r+")
+    handle = open(description.path, mode)
+    handle.seek(description.position)
+    return handle
+
+
+class FileReattachRegistry:
+    """Per-module registry of open files participating in reconfiguration."""
+
+    def __init__(self):
+        self._files: Dict[str, IO] = {}
+        self._reattach: Dict[str, Callable[[FileDescription], IO]] = {}
+
+    def register(
+        self,
+        name: str,
+        handle: IO,
+        reattach: Optional[Callable[[FileDescription], IO]] = None,
+    ) -> IO:
+        """Track an open file under ``name``; returns the handle unchanged."""
+        self._files[name] = handle
+        self._reattach[name] = reattach or default_reattach
+        return handle
+
+    def get(self, name: str) -> IO:
+        try:
+            return self._files[name]
+        except KeyError:
+            raise RestoreError(f"no registered file {name!r}") from None
+
+    def names(self) -> List[str]:
+        return sorted(self._files)
+
+    # -- capture/restore -------------------------------------------------------
+
+    def capture(self) -> List[dict]:
+        """Describe every registered file abstractly (flushes first)."""
+        descriptions = []
+        for name, handle in self._files.items():
+            try:
+                handle.flush()
+                position = handle.tell()
+                path = getattr(handle, "name", "")
+                mode = getattr(handle, "mode", "r")
+            except (OSError, io.UnsupportedOperation, ValueError) as exc:
+                raise RestoreError(f"cannot describe file {name!r}: {exc}") from exc
+            descriptions.append(
+                FileDescription(
+                    name=name, path=str(path), mode=mode, position=position
+                ).to_abstract()
+            )
+        return descriptions
+
+    def restore(self, descriptions: List[dict]) -> None:
+        """Reattach every described file via its registered hook.
+
+        Hooks survive in the clone because the clone runs the same module
+        source, whose prologue re-registers the same reattach functions.
+        """
+        for raw in descriptions:
+            description = FileDescription.from_abstract(raw)
+            hook = self._reattach.get(description.name, default_reattach)
+            self._files[description.name] = hook(description)
+
+    def close_all(self) -> None:
+        for handle in self._files.values():
+            try:
+                handle.close()
+            except OSError:  # pragma: no cover - close failures are benign
+                pass
+        self._files.clear()

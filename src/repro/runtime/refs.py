@@ -1,0 +1,52 @@
+"""Out-parameter cells standing in for C pointer parameters.
+
+The paper's compute module takes ``double *rp`` and writes the result
+through the pointer.  Python has no address-of, so reconfigurable modules
+use :class:`Ref` cells for out-parameters.  The crucial property carries
+over from the paper: a ``Ref`` passed down a call chain is a pointer into
+the caller's frame, and during restoration the pointer chain is rebuilt
+*by re-executing the calls* — the symbolic-pointer machinery is only
+needed for static/heap targets, never for stack targets.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, TypeVar
+
+T = TypeVar("T")
+
+
+class Ref(Generic[T]):
+    """A mutable cell used as an out-parameter (C's ``type *``).
+
+    >>> response = Ref(0.0)
+    >>> response.set(3.5)
+    >>> response.get()
+    3.5
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: T = None):  # type: ignore[assignment]
+        self._value = value
+
+    def get(self) -> T:
+        """Dereference: the paper's ``*rp``."""
+        return self._value
+
+    def set(self, value: T) -> None:
+        """Assign through the pointer: the paper's ``*rp = ...``."""
+        self._value = value
+
+    def update(self, delta: T) -> None:
+        """In-place accumulate: the paper's ``*rp = *rp + ...``."""
+        self._value = self._value + delta  # type: ignore[operator]
+
+    def __repr__(self) -> str:
+        return f"Ref({self._value!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Ref) and self._value == other._value
+
+    def __hash__(self):  # Ref is mutable; identity hashing only.
+        return id(self)

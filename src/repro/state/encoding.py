@@ -1,0 +1,322 @@
+"""Canonical byte-level encoding of abstract process state.
+
+The paper requires that process state cross machines "in an abstract, not
+machine-specific, format" (Section 1.2).  This module defines that format:
+a tagged, big-endian (network order), self-describing encoding.  Integers
+are arbitrary-precision varints in canonical form — width limits are a
+property of *machines* (see :mod:`repro.state.machine`), not of the wire.
+
+Wire grammar (one value)::
+
+    value   := tag payload
+    tag     := 1 byte, the ASCII format character ('i', 'F', '[', ...)
+    payload := fixed per tag; containers carry a varint count then values
+
+Self-description means the decoder never needs the format string; format
+strings are used at capture time for validation (a typo'd capture block
+fails loudly at the module, not mysteriously at the clone).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import DecodingError, EncodingError
+from repro.state.format import (
+    DictType,
+    ListType,
+    ScalarType,
+    TupleType,
+    TypeSpec,
+    check_arity,
+    format_of_value,
+)
+from repro.state.machine import MachineProfile
+
+
+def _zigzag(n: int) -> int:
+    return (n << 1) ^ (n >> 63) if -(1 << 63) <= n < (1 << 63) else _zigzag_big(n)
+
+
+def _zigzag_big(n: int) -> int:
+    # Arbitrary-precision zigzag: non-negative -> 2n, negative -> -2n - 1.
+    return n * 2 if n >= 0 else -n * 2 - 1
+
+
+def _unzigzag(z: int) -> int:
+    return (z >> 1) if z % 2 == 0 else -((z + 1) >> 1)
+
+
+class Encoder:
+    """Append-only canonical encoder.
+
+    When a :class:`MachineProfile` is supplied, every integer and double is
+    checked for representability on that (source) machine before encoding,
+    so heterogeneity errors surface at capture time with the live value in
+    the message.
+    """
+
+    def __init__(self, machine: Optional[MachineProfile] = None):
+        self.machine = machine
+        self._buffer = bytearray()
+
+    def getvalue(self) -> bytes:
+        return bytes(self._buffer)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    # -- primitives ----------------------------------------------------------
+
+    def _write_varint(self, n: int) -> None:
+        if n < 0:
+            raise EncodingError("varint must be non-negative")
+        while True:
+            byte = n & 0x7F
+            n >>= 7
+            if n:
+                self._buffer.append(byte | 0x80)
+            else:
+                self._buffer.append(byte)
+                return
+
+    def _write_signed(self, n: int) -> None:
+        self._write_varint(_zigzag_big(n))
+
+    # -- values ---------------------------------------------------------------
+
+    def write(self, spec: TypeSpec, value: object) -> None:
+        """Encode one value under declaration ``spec``.
+
+        ``None`` is encodable under every declaration (a NULL slot — see
+        :func:`repro.state.format.value_matches`); it travels as the ``n``
+        tag and decodes as ``None``.
+        """
+        if value is None and not (isinstance(spec, ScalarType) and spec.char == "a"):
+            self._buffer.append(ord("n"))
+            return
+        if isinstance(spec, ScalarType):
+            self._write_scalar(spec, value)
+        elif isinstance(spec, ListType):
+            if not isinstance(value, list):
+                raise EncodingError(f"expected list, got {type(value).__name__}")
+            self._buffer.append(ord("["))
+            self._write_varint(len(value))
+            for item in value:
+                self.write(spec.element, item)
+        elif isinstance(spec, TupleType):
+            if not isinstance(value, tuple) or len(value) != len(spec.elements):
+                raise EncodingError(f"expected {len(spec.elements)}-tuple, got {value!r}")
+            self._buffer.append(ord("("))
+            self._write_varint(len(value))
+            for element, item in zip(spec.elements, value):
+                self.write(element, item)
+        elif isinstance(spec, DictType):
+            if not isinstance(value, dict):
+                raise EncodingError(f"expected dict, got {type(value).__name__}")
+            self._buffer.append(ord("{"))
+            self._write_varint(len(value))
+            for key, item in value.items():
+                self.write(spec.key, key)
+                self.write(spec.value, item)
+        else:  # pragma: no cover - parser produces only the above
+            raise EncodingError(f"unknown type spec {spec!r}")
+
+    def _write_scalar(self, spec: ScalarType, value: object) -> None:
+        char = spec.char
+        if char == "a":
+            # Self-describing: infer the concrete spec and encode under it.
+            self.write(format_of_value(value), value)
+            return
+        if self.machine is not None:
+            self.machine.check_representable(spec, value)
+        if char == "n":
+            if value is not None:
+                raise EncodingError(f"format 'n' requires None, got {value!r}")
+            self._buffer.append(ord("n"))
+        elif char == "b":
+            if not isinstance(value, bool):
+                raise EncodingError(f"format 'b' requires bool, got {value!r}")
+            self._buffer.append(ord("b"))
+            self._buffer.append(1 if value else 0)
+        elif char in ("i", "l"):
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise EncodingError(f"format {char!r} requires int, got {value!r}")
+            self._buffer.append(ord(char))
+            self._write_signed(value)
+        elif char == "f":
+            self._buffer.append(ord("f"))
+            self._buffer.extend(struct.pack(">f", float(value)))  # type: ignore[arg-type]
+        elif char == "F":
+            self._buffer.append(ord("F"))
+            self._buffer.extend(struct.pack(">d", float(value)))  # type: ignore[arg-type]
+        elif char == "s":
+            if not isinstance(value, str):
+                raise EncodingError(f"format 's' requires str, got {value!r}")
+            data = value.encode("utf-8")
+            self._buffer.append(ord("s"))
+            self._write_varint(len(data))
+            self._buffer.extend(data)
+        elif char == "B":
+            if not isinstance(value, (bytes, bytearray)):
+                raise EncodingError(f"format 'B' requires bytes, got {value!r}")
+            self._buffer.append(ord("B"))
+            self._write_varint(len(value))
+            self._buffer.extend(value)
+        elif char == "p":
+            segment, index = _pointer_parts(value)
+            data = segment.encode("utf-8")
+            self._buffer.append(ord("p"))
+            self._write_varint(len(data))
+            self._buffer.extend(data)
+            self._write_signed(index)
+        else:  # pragma: no cover - SCALAR_CHARS is closed
+            raise EncodingError(f"unknown scalar format {char!r}")
+
+
+def _pointer_parts(value: object) -> Tuple[str, int]:
+    segment = getattr(value, "segment", None)
+    index = getattr(value, "index", None)
+    if not isinstance(segment, str) or not isinstance(index, int):
+        raise EncodingError(f"format 'p' requires SymbolicPointer, got {value!r}")
+    return segment, index
+
+
+class Decoder:
+    """Streaming canonical decoder.
+
+    When a :class:`MachineProfile` is supplied, decoded integers and
+    doubles are checked against that (target) machine's native ranges —
+    this is where a 2**40 captured on a 64-bit host fails to land on a
+    simulated 32-bit host.
+    """
+
+    def __init__(self, data: bytes, machine: Optional[MachineProfile] = None):
+        self._data = data
+        self._pos = 0
+        self.machine = machine
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    def at_end(self) -> bool:
+        return self._pos >= len(self._data)
+
+    def _take(self, count: int) -> bytes:
+        if self._pos + count > len(self._data):
+            raise DecodingError(
+                f"truncated abstract state: need {count} bytes at offset "
+                f"{self._pos}, have {len(self._data) - self._pos}"
+            )
+        chunk = self._data[self._pos : self._pos + count]
+        self._pos += count
+        return chunk
+
+    def _read_varint(self) -> int:
+        shift = 0
+        result = 0
+        while True:
+            byte = self._take(1)[0]
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return result
+            shift += 7
+            if shift > 10_000:  # defensive: corrupt stream
+                raise DecodingError("runaway varint in abstract state")
+
+    def _read_signed(self) -> int:
+        return _unzigzag(self._read_varint())
+
+    def read(self) -> object:
+        """Decode one self-described value."""
+        tag = chr(self._take(1)[0])
+        if tag == "n":
+            return None
+        if tag == "b":
+            return self._take(1)[0] != 0
+        if tag in ("i", "l"):
+            value = self._read_signed()
+            if self.machine is not None:
+                self.machine.check_representable(ScalarType(tag), value)
+            return value
+        if tag == "f":
+            return struct.unpack(">f", self._take(4))[0]
+        if tag == "F":
+            value = struct.unpack(">d", self._take(8))[0]
+            if self.machine is not None:
+                self.machine.check_representable(ScalarType("F"), value)
+            return value
+        if tag == "s":
+            length = self._read_varint()
+            return self._take(length).decode("utf-8")
+        if tag == "B":
+            length = self._read_varint()
+            return self._take(length)
+        if tag == "p":
+            length = self._read_varint()
+            segment = self._take(length).decode("utf-8")
+            index = self._read_signed()
+            from repro.state.pointers import SymbolicPointer
+
+            return SymbolicPointer(segment, index)
+        if tag == "[":
+            count = self._read_varint()
+            return [self.read() for _ in range(count)]
+        if tag == "(":
+            count = self._read_varint()
+            return tuple(self.read() for _ in range(count))
+        if tag == "{":
+            count = self._read_varint()
+            result = {}
+            for _ in range(count):
+                key = self.read()
+                result[key] = self.read()
+            return result
+        raise DecodingError(f"unknown tag {tag!r} at offset {self._pos - 1}")
+
+    def read_all(self) -> List[object]:
+        values: List[object] = []
+        while not self.at_end():
+            values.append(self.read())
+        return values
+
+
+def encode_values(
+    fmt: str, values: Sequence[object], machine: Optional[MachineProfile] = None
+) -> bytes:
+    """Validate ``values`` against ``fmt`` and encode them canonically.
+
+    This is the function behind ``mh.capture`` — the paper's
+    ``mh_capture("llF", 1, n, response)`` becomes
+    ``encode_values("llF", [1, n, response], machine)``.
+    """
+    specs = check_arity(fmt, values)
+    encoder = Encoder(machine)
+    for spec, value in zip(specs, values):
+        encoder.write(spec, value)
+    return encoder.getvalue()
+
+
+def decode_values(
+    data: bytes, machine: Optional[MachineProfile] = None
+) -> List[object]:
+    """Decode a canonical stream back into Python values."""
+    return Decoder(data, machine).read_all()
+
+
+def encode_any(value: object, machine: Optional[MachineProfile] = None) -> bytes:
+    """Encode a single self-described value (format char ``a``)."""
+    encoder = Encoder(machine)
+    encoder.write(ScalarType("a"), value)
+    return encoder.getvalue()
+
+
+def decode_any(data: bytes, machine: Optional[MachineProfile] = None) -> object:
+    """Decode a single self-described value, requiring full consumption."""
+    decoder = Decoder(data, machine)
+    value = decoder.read()
+    if not decoder.at_end():
+        raise DecodingError(f"{decoder.remaining} trailing bytes after value")
+    return value

@@ -1,0 +1,250 @@
+"""Activation records, stack state, and the whole abstract process state.
+
+Paper Section 1.2 enumerates what a process state contains.  This module
+gives each item a concrete, machine-independent representation:
+
+- static data            -> :attr:`ProcessState.statics`
+- dynamic data (AR stack)-> :class:`StackState` of :class:`ActivationRecord`
+- user-allocated heap    -> :attr:`ProcessState.heap` (see ``state.heap``)
+- program counter / call
+  and return information -> *not stored*: encoded implicitly as resume
+  *locations* inside each record, exactly as in the paper ("the module
+  thread is captured and restored without explicit reference to the
+  program counter or to any of the call/return information")
+
+The serialized form (:meth:`ProcessState.to_bytes`) is the packet that
+``mh_objstate_move`` ships between the old and new module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import DecodingError, EncodingError
+from repro.state.encoding import Decoder, Encoder
+from repro.state.format import ScalarType, check_arity
+from repro.state.machine import MachineProfile
+
+#: Magic prefix of a serialized process state packet.
+STATE_MAGIC = b"MHST"
+#: Version of the packet layout; bumped on incompatible change.
+STATE_VERSION = 1
+
+
+@dataclass
+class ActivationRecord:
+    """The abstract image of one stack frame.
+
+    ``location`` is the integer resume label (the paper's first captured
+    value, "an integer 1, 2, 3, or 4 ... marking the statement where
+    execution should resume"); ``fmt``/``values`` are the frame's captured
+    locals in declaration order; ``procedure`` names the function for
+    diagnostics and for the restore-time sanity check that the rebuilt
+    call chain matches the captured one.
+    """
+
+    procedure: str
+    location: int
+    fmt: str
+    values: List[object] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        check_arity(self.fmt, self.values)
+
+    def encode_into(self, encoder: Encoder) -> None:
+        encoder.write(ScalarType("s"), self.procedure)
+        encoder.write(ScalarType("l"), self.location)
+        encoder.write(ScalarType("s"), self.fmt)
+        for spec, value in zip(check_arity(self.fmt, self.values), self.values):
+            encoder.write(spec, value)
+
+    @classmethod
+    def decode_from(cls, decoder: Decoder) -> "ActivationRecord":
+        procedure = decoder.read()
+        location = decoder.read()
+        fmt = decoder.read()
+        if not isinstance(procedure, str) or not isinstance(fmt, str):
+            raise DecodingError("corrupt activation record header")
+        if not isinstance(location, int):
+            raise DecodingError("corrupt activation record location")
+        from repro.state.format import parse_format
+
+        values = [decoder.read() for _ in parse_format(fmt)]
+        return cls(procedure=procedure, location=location, fmt=fmt, values=values)
+
+
+class StackState:
+    """The captured activation-record stack.
+
+    Records are stored in *capture order*: the topmost frame (the one
+    containing the reconfiguration point) first, ``main`` last — that is
+    the order the paper's capture blocks emit them as each ``return`` pops
+    a frame.  Restoration consumes them in the opposite order
+    (:meth:`pop_for_restore` yields ``main`` first), mirroring how the
+    restore blocks rebuild the stack by re-executing calls downward.
+    """
+
+    def __init__(self, records: Optional[Sequence[ActivationRecord]] = None):
+        self._records: List[ActivationRecord] = list(records or [])
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, StackState) and self._records == other._records
+
+    def records(self) -> List[ActivationRecord]:
+        return list(self._records)
+
+    @property
+    def depth(self) -> int:
+        return len(self._records)
+
+    def push_captured(self, record: ActivationRecord) -> None:
+        """Append a frame during capture (top of stack arrives first)."""
+        self._records.append(record)
+
+    def pop_for_restore(self) -> ActivationRecord:
+        """Remove and return the next frame to restore (outermost first)."""
+        if not self._records:
+            raise DecodingError("restore consumed more frames than captured")
+        return self._records.pop()
+
+    def peek_for_restore(self) -> Optional[ActivationRecord]:
+        return self._records[-1] if self._records else None
+
+    def call_chain(self) -> List[str]:
+        """Procedure names from ``main`` down to the reconfiguration point."""
+        return [record.procedure for record in reversed(self._records)]
+
+
+@dataclass
+class ProcessState:
+    """Everything a clone needs to resume the original module's thread.
+
+    ``status`` mirrors the paper's module STATUS attribute: a freshly
+    created replacement carries ``"clone"`` so its restore prologue fires
+    (Figure 4: ``if (strcmp(mh_getstatus(),"clone")==0)``).
+    """
+
+    module: str
+    stack: StackState = field(default_factory=StackState)
+    statics: Dict[str, object] = field(default_factory=dict)
+    heap: Dict[str, object] = field(default_factory=dict)
+    reconfig_point: str = ""
+    source_machine: str = ""
+    status: str = "clone"
+
+    # -- serialization ----------------------------------------------------------
+
+    def to_bytes(self, machine: Optional[MachineProfile] = None) -> bytes:
+        """Serialize to the canonical packet moved by ``objstate_move``."""
+        encoder = Encoder(machine)
+        encoder.write(ScalarType("s"), self.module)
+        encoder.write(ScalarType("s"), self.status)
+        encoder.write(ScalarType("s"), self.reconfig_point)
+        encoder.write(ScalarType("s"), self.source_machine)
+        encoder.write(ScalarType("a"), dict(self.statics))
+        encoder.write(ScalarType("a"), dict(self.heap))
+        encoder.write(ScalarType("l"), len(self.stack))
+        for record in self.stack:
+            record.encode_into(encoder)
+        body = encoder.getvalue()
+        header = STATE_MAGIC + bytes([STATE_VERSION])
+        return header + len(body).to_bytes(4, "big") + body
+
+    @classmethod
+    def from_bytes(
+        cls, data: bytes, machine: Optional[MachineProfile] = None
+    ) -> "ProcessState":
+        """Parse a packet produced by :meth:`to_bytes`.
+
+        ``machine`` is the *target* machine profile; representability of
+        every value is checked as it decodes.
+        """
+        if len(data) < len(STATE_MAGIC) + 5:
+            raise DecodingError("process state packet too short")
+        if data[: len(STATE_MAGIC)] != STATE_MAGIC:
+            raise DecodingError("bad process state magic")
+        version = data[len(STATE_MAGIC)]
+        if version != STATE_VERSION:
+            raise DecodingError(f"unsupported process state version {version}")
+        offset = len(STATE_MAGIC) + 1
+        length = int.from_bytes(data[offset : offset + 4], "big")
+        body = data[offset + 4 :]
+        if len(body) != length:
+            raise DecodingError(
+                f"process state length mismatch: header says {length}, "
+                f"packet has {len(body)}"
+            )
+        decoder = Decoder(body, machine)
+        module = decoder.read()
+        status = decoder.read()
+        reconfig_point = decoder.read()
+        source_machine = decoder.read()
+        statics = decoder.read()
+        heap = decoder.read()
+        frame_count = decoder.read()
+        for name, value in (("module", module), ("status", status)):
+            if not isinstance(value, str):
+                raise DecodingError(f"corrupt process state field {name!r}")
+        if not isinstance(frame_count, int) or frame_count < 0:
+            raise DecodingError("corrupt frame count in process state")
+        records = [ActivationRecord.decode_from(decoder) for _ in range(frame_count)]
+        if not decoder.at_end():
+            raise DecodingError(
+                f"{decoder.remaining} trailing bytes in process state packet"
+            )
+        return cls(
+            module=module,  # type: ignore[arg-type]
+            stack=StackState(records),
+            statics=dict(statics),  # type: ignore[arg-type]
+            heap=dict(heap),  # type: ignore[arg-type]
+            reconfig_point=str(reconfig_point),
+            source_machine=str(source_machine),
+            status=status,  # type: ignore[arg-type]
+        )
+
+    # -- convenience ---------------------------------------------------------------
+
+    def summary(self) -> str:
+        """One-line description used in logs and reconfiguration traces."""
+        chain = " -> ".join(self.stack.call_chain()) or "(empty)"
+        return (
+            f"ProcessState(module={self.module!r}, point={self.reconfig_point!r}, "
+            f"depth={self.stack.depth}, chain={chain})"
+        )
+
+    def translate(
+        self,
+        source: Optional[MachineProfile],
+        target: Optional[MachineProfile],
+    ) -> "ProcessState":
+        """Round-trip through the canonical encoding between two machines.
+
+        This is exactly what a cross-machine move does; exposing it as a
+        method lets tests and the heterogeneity benchmark (D5) exercise
+        the translation without a running bus.
+        """
+        return ProcessState.from_bytes(self.to_bytes(source), target)
+
+
+def frames_equal_ignoring_order_metadata(
+    left: StackState, right: StackState
+) -> bool:
+    """Structural equality helper used by property tests."""
+    if len(left) != len(right):
+        return False
+    for a, b in zip(left, right):
+        if (a.procedure, a.location, a.fmt, a.values) != (
+            b.procedure,
+            b.location,
+            b.fmt,
+            b.values,
+        ):
+            return False
+    return True

@@ -1,0 +1,211 @@
+"""Heap capture and restoration.
+
+The paper (Section 1.2): "The data stored in the heap is dynamically
+allocated by the programmer.  At the present time, the programmer must
+write code to capture and restore heap data structures."  We provide that
+exact mechanism — :func:`heap_hook` registers programmer-written
+capture/restore routines — and additionally an *automatic* codec
+(:class:`HeapCodec`) for plain object graphs, built on the symbolic
+pointer translation the paper sketches for pointer variables.  The
+automatic codec handles aliasing and cycles: every container becomes a
+named heap segment and references between containers become
+:class:`~repro.state.pointers.SymbolicPointer` values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import HeapError
+from repro.state.pointers import SymbolicPointer
+
+#: Programmer hook: name -> (capture() -> abstract value, restore(value) -> obj)
+_HOOKS: Dict[str, Tuple[Callable[[object], object], Callable[[object], object]]] = {}
+
+
+def heap_hook(
+    name: str,
+    capture: Callable[[object], object],
+    restore: Callable[[object], object],
+) -> None:
+    """Register programmer-written heap capture/restore routines.
+
+    ``capture`` maps the live structure to an abstractly-encodable value;
+    ``restore`` rebuilds the structure from that value.  This is the
+    paper's stated mechanism for heap data the platform cannot handle
+    automatically.
+    """
+    _HOOKS[name] = (capture, restore)
+
+
+def run_capture_hook(name: str, structure: object) -> object:
+    try:
+        capture, _ = _HOOKS[name]
+    except KeyError:
+        raise HeapError(f"no heap hook registered under {name!r}") from None
+    return capture(structure)
+
+
+def run_restore_hook(name: str, value: object) -> object:
+    try:
+        _, restore = _HOOKS[name]
+    except KeyError:
+        raise HeapError(f"no heap hook registered under {name!r}") from None
+    return restore(value)
+
+
+def registered_hooks() -> List[str]:
+    return sorted(_HOOKS)
+
+
+def clear_hooks() -> None:
+    """Reset the hook registry (tests only)."""
+    _HOOKS.clear()
+
+
+@dataclass
+class HeapImage:
+    """A flattened, machine-independent image of a heap object graph.
+
+    ``roots`` maps root names to values; ``segments`` maps segment ids to
+    flattened container contents.  Inside both, references to shared or
+    cyclic containers appear as :class:`SymbolicPointer` values whose
+    segment names key into ``segments``.  The whole image is encodable
+    with format char ``a``.
+    """
+
+    roots: Dict[str, object] = field(default_factory=dict)
+    segments: Dict[str, object] = field(default_factory=dict)
+
+    def to_abstract(self) -> Dict[str, object]:
+        return {"roots": dict(self.roots), "segments": dict(self.segments)}
+
+    @classmethod
+    def from_abstract(cls, value: object) -> "HeapImage":
+        if not isinstance(value, dict) or set(value) != {"roots", "segments"}:
+            raise HeapError(f"malformed heap image: {value!r}")
+        roots = value["roots"]
+        segments = value["segments"]
+        if not isinstance(roots, dict) or not isinstance(segments, dict):
+            raise HeapError("malformed heap image: roots/segments not dicts")
+        return cls(roots=dict(roots), segments=dict(segments))
+
+
+_SCALARS = (type(None), bool, int, float, str, bytes)
+
+
+class HeapCodec:
+    """Automatic capture/restore of plain heap object graphs.
+
+    Supported node types: scalars, ``list``, ``dict``, ``tuple`` and
+    :class:`SymbolicPointer` (passed through).  Lists and dicts are
+    mutable and therefore interned as segments, so aliasing and cycles
+    are preserved exactly; tuples are immutable and flattened in place
+    unless they participate in a cycle through a mutable container.
+    """
+
+    def __init__(self, prefix: str = "heap"):
+        self._prefix = prefix
+
+    # -- capture -----------------------------------------------------------------
+
+    def capture(self, roots: Dict[str, object]) -> HeapImage:
+        image = HeapImage()
+        seen: Dict[int, str] = {}
+        counter = [0]
+
+        def intern(obj: object) -> SymbolicPointer:
+            key = id(obj)
+            if key in seen:
+                return SymbolicPointer(seen[key], 0)
+            segment = f"{self._prefix}:{counter[0]}"
+            counter[0] += 1
+            seen[key] = segment
+            # Reserve the slot before recursing so cycles terminate.
+            image.segments[segment] = None
+            image.segments[segment] = flatten_children(obj)
+            return SymbolicPointer(segment, 0)
+
+        def flatten_children(obj: object) -> object:
+            if isinstance(obj, list):
+                return ["list", [flatten(v) for v in obj]]
+            if isinstance(obj, dict):
+                items = [[flatten(k), flatten(v)] for k, v in obj.items()]
+                return ["dict", items]
+            raise HeapError(f"cannot intern heap node of type {type(obj).__name__}")
+
+        def flatten(obj: object) -> object:
+            if isinstance(obj, SymbolicPointer):
+                return obj
+            if isinstance(obj, _SCALARS):
+                return obj
+            if isinstance(obj, (list, dict)):
+                return intern(obj)
+            if isinstance(obj, tuple):
+                return ("tuple", tuple(flatten(v) for v in obj))
+            raise HeapError(
+                f"heap value of type {type(obj).__name__} needs a heap_hook "
+                f"(the paper requires programmer code for such structures)"
+            )
+
+        for name, obj in roots.items():
+            image.roots[name] = flatten(obj)
+        return image
+
+    # -- restore ------------------------------------------------------------------
+
+    def restore(self, image: HeapImage) -> Dict[str, object]:
+        rebuilt: Dict[str, object] = {}
+
+        def build_segment(segment: str) -> object:
+            if segment in rebuilt:
+                return rebuilt[segment]
+            try:
+                node = image.segments[segment]
+            except KeyError:
+                raise HeapError(f"dangling heap segment {segment!r}") from None
+            if not isinstance(node, list) or len(node) != 2:
+                raise HeapError(f"malformed heap segment {segment!r}: {node!r}")
+            kind, payload = node
+            if kind == "list":
+                shell: object = []
+                rebuilt[segment] = shell
+                shell.extend(unflatten(v) for v in payload)  # type: ignore[union-attr]
+                return shell
+            if kind == "dict":
+                shell = {}
+                rebuilt[segment] = shell
+                for pair in payload:
+                    if not isinstance(pair, (list, tuple)) or len(pair) != 2:
+                        raise HeapError(f"malformed dict entry in {segment!r}")
+                    key, value = pair
+                    shell[unflatten(key)] = unflatten(value)  # type: ignore[index]
+                return shell
+            raise HeapError(f"unknown heap node kind {kind!r}")
+
+        def unflatten(value: object) -> object:
+            if isinstance(value, SymbolicPointer):
+                if value.segment in image.segments:
+                    target = build_segment(value.segment)
+                    if value.index:
+                        raise HeapError(
+                            f"non-zero index {value.index} into container segment"
+                        )
+                    return target
+                # Pointer to something outside the heap image: keep symbolic.
+                return value
+            if isinstance(value, tuple) and len(value) == 2 and value[0] == "tuple":
+                return tuple(unflatten(v) for v in value[1])
+            if isinstance(value, _SCALARS):
+                return value
+            raise HeapError(f"malformed heap image value {value!r}")
+
+        return {name: unflatten(value) for name, value in image.roots.items()}
+
+    # -- convenience ---------------------------------------------------------------
+
+    def roundtrip(self, roots: Dict[str, object]) -> Dict[str, object]:
+        """Capture then restore — used by tests and the heap benchmarks."""
+        image = HeapImage.from_abstract(self.capture(roots).to_abstract())
+        return self.restore(image)

@@ -1,0 +1,9 @@
+"""Command-line tools.
+
+- ``python -m repro.tools.prepare``  — transform a module source file
+  (Figure 3 in, Figure 4 out)
+- ``python -m repro.tools.graph``    — print a module's reconfiguration
+  graph, Figure-6 style, or as Graphviz dot
+- ``python -m repro.tools.runapp``   — launch a MIL application from
+  files and optionally perform a scripted move
+"""

@@ -1,0 +1,115 @@
+"""CLI: print a module's call graph and reconfiguration graph.
+
+Usage::
+
+    python -m repro.tools.graph INPUT.py [--dot] [--entry MAIN]
+
+Default output is the Figure-6-style text listing; ``--dot`` emits
+Graphviz source with the reconfiguration-graph subset highlighted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from typing import List
+
+from repro.core.callgraph import StaticCallGraph, build_call_graph
+from repro.core.recongraph import (
+    RECONFIG_NODE,
+    ReconfigurationGraph,
+    build_reconfiguration_graph,
+    find_reconfig_points,
+)
+from repro.errors import ReproError
+
+
+def to_dot(call_graph: StaticCallGraph, recon: ReconfigurationGraph) -> str:
+    """Render both graphs as one Graphviz digraph.
+
+    Instrumented procedures are drawn bold; the synthetic ``reconfig``
+    node is a doublecircle; reconfiguration-graph edges carry their
+    ``(i, Si)`` labels while plain call-graph edges stay grey.
+    """
+    lines: List[str] = ["digraph reconfiguration {", "  rankdir=TB;"]
+    instrumented = set(recon.procedures()) if recon else set()
+    for name in call_graph.functions:
+        if name in instrumented:
+            lines.append(f'  "{name}" [style=bold];')
+        else:
+            lines.append(f'  "{name}" [color=grey];')
+    if recon:
+        lines.append(f'  "{RECONFIG_NODE}" [shape=doublecircle];')
+    recon_sites = set()
+    if recon:
+        for edge in recon.edges:
+            if edge.kind == "call":
+                assert edge.call_site is not None
+                recon_sites.add(id(edge.call_site.call))
+                lines.append(
+                    f'  "{edge.source}" -> "{edge.target}" '
+                    f'[label="({edge.number}, S{edge.lineno})"];'
+                )
+            else:
+                lines.append(
+                    f'  "{edge.source}" -> "{RECONFIG_NODE}" '
+                    f'[label="({edge.number}, {edge.point.label})"];'
+                )
+    for site in call_graph.sites:
+        if id(site.call) not in recon_sites:
+            lines.append(
+                f'  "{site.caller}" -> "{site.callee}" [color=grey];'
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-graph",
+        description="Show a module's static call graph and reconfiguration "
+        "graph (Figure 6).",
+    )
+    parser.add_argument("input", help="module source file")
+    parser.add_argument("--entry", default="main")
+    parser.add_argument("--dot", action="store_true", help="emit Graphviz dot")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    with open(args.input, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    try:
+        tree = ast.parse(source)
+        call_graph = build_call_graph(tree)
+        points = find_reconfig_points(call_graph)
+        recon = None
+        if points:
+            recon = build_reconfiguration_graph(
+                call_graph, points, entry=args.entry
+            )
+    except (ReproError, SyntaxError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    if args.dot:
+        print(to_dot(call_graph, recon))
+        return 0
+
+    print("static call graph:")
+    for name in call_graph.functions:
+        callees = call_graph.callees(name)
+        arrow = f" -> {', '.join(callees)}" if callees else ""
+        print(f"  {name}{arrow}")
+    if recon is None:
+        print("no reconfiguration points.")
+    else:
+        print()
+        print(recon.describe())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,101 @@
+"""CLI: launch a MIL application and optionally script a move.
+
+Usage::
+
+    python -m repro.tools.runapp CONFIG.mil [--sources DIR]
+        [--hosts alpha:sparc-like beta:vax-like]
+        [--move INSTANCE:MACHINE:AFTER_SECONDS] [--run-for SECONDS]
+
+Module specs whose ``source`` is a relative path are loaded from
+``--sources`` (default: the configuration file's directory).  The bus
+trace is printed on exit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.bus.bus import SoftwareBus
+from repro.bus.mil import parse_mil
+from repro.errors import ReproError
+from repro.reconfig.scripts import move_module
+from repro.state.machine import MACHINES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-runapp",
+        description="Launch a POLYLITH-style application from a MIL file.",
+    )
+    parser.add_argument("config", help="MIL configuration file")
+    parser.add_argument("--sources", default=None, help="module source dir")
+    parser.add_argument(
+        "--hosts",
+        nargs="*",
+        default=["local:modern-64"],
+        help="host:architecture pairs (architectures: %s)"
+        % ", ".join(sorted(MACHINES)),
+    )
+    parser.add_argument(
+        "--move",
+        default=None,
+        help="INSTANCE:MACHINE:AFTER_SECONDS — perform a live move",
+    )
+    parser.add_argument("--run-for", type=float, default=5.0)
+    parser.add_argument("--sleep-scale", type=float, default=1.0)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    with open(args.config, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    sources_dir = args.sources or os.path.dirname(os.path.abspath(args.config))
+    try:
+        config = parse_mil(text)
+        for spec in config.modules.values():
+            if spec.source and not spec.inline_source:
+                path = spec.source
+                if not os.path.isabs(path):
+                    path = os.path.join(sources_dir, path)
+                with open(path, "r", encoding="utf-8") as handle:
+                    spec.inline_source = handle.read()
+        bus = SoftwareBus(sleep_scale=args.sleep_scale)
+        default_host = None
+        for pair in args.hosts:
+            host, _, architecture = pair.partition(":")
+            bus.add_host(host, MACHINES.get(architecture or "modern-64"))
+            default_host = default_host or host
+        bus.launch(config, default_host=default_host or "local")
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    deadline = time.monotonic() + args.run_for
+    move_at = None
+    move_instance = move_machine = ""
+    if args.move:
+        move_instance, move_machine, after = args.move.split(":")
+        move_at = time.monotonic() + float(after)
+
+    try:
+        while time.monotonic() < deadline:
+            bus.check_health()
+            if move_at is not None and time.monotonic() >= move_at:
+                report = move_module(bus, move_instance, machine=move_machine)
+                print(report.describe())
+                move_at = None
+            time.sleep(0.05)
+    finally:
+        bus.shutdown()
+        print("trace:")
+        for line in bus.trace:
+            print(f"  {line}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

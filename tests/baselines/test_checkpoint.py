@@ -1,0 +1,84 @@
+"""Tests for the checkpoint/rollback baseline (repro.baselines.checkpoint)."""
+
+import pytest
+
+from repro.baselines.checkpoint import CheckpointStore, CheckpointedLoop
+from repro.errors import RestoreError
+
+
+def step(state):
+    return {"x": state["x"] + 1, "sum": state["sum"] + state["x"]}
+
+
+class TestCheckpointStore:
+    def test_latest(self):
+        store = CheckpointStore()
+        store.save(0, {"x": 0})
+        store.save(5, {"x": 5})
+        step_number, state = store.latest()
+        assert step_number == 5
+        assert state == {"x": 5}
+
+    def test_bounded_retention(self):
+        store = CheckpointStore(keep=2)
+        for i in range(5):
+            store.save(i, {"x": i})
+        assert len(store.packets) == 2
+        assert store.total_written == 5
+
+    def test_empty_rollback(self):
+        with pytest.raises(RestoreError):
+            CheckpointStore().latest()
+
+
+class TestCheckpointedLoop:
+    def test_runs_and_checkpoints(self):
+        loop = CheckpointedLoop(step, {"x": 0, "sum": 0}, interval=10)
+        loop.run(25)
+        assert loop.state["x"] == 25
+        stats = loop.stats()
+        assert stats["steps"] == 25
+        # initial + steps 10 and 20
+        assert stats["checkpoints_written"] == 3
+
+    def test_lost_steps(self):
+        loop = CheckpointedLoop(step, {"x": 0, "sum": 0}, interval=10)
+        loop.run(25)
+        assert loop.lost_steps == 5
+        loop.run(5)
+        assert loop.lost_steps == 0
+
+    def test_migrate_replays_lost_work(self):
+        loop = CheckpointedLoop(step, {"x": 0, "sum": 0}, interval=10)
+        loop.run(27)
+        clone = loop.migrate()
+        # The clone caught up: identical state, but 7 steps were redone.
+        assert clone.state == loop.state
+        assert clone.step == loop.step
+
+    def test_migrate_across_machines(self, sparc, vax):
+        loop = CheckpointedLoop(step, {"x": 0, "sum": 0}, interval=5, machine=sparc)
+        loop.run(12)
+        clone = loop.migrate(target_machine=vax)
+        assert clone.state == loop.state
+
+    def test_interval_one_loses_nothing(self):
+        loop = CheckpointedLoop(step, {"x": 0, "sum": 0}, interval=1)
+        loop.run(13)
+        assert loop.lost_steps == 0
+
+    def test_bad_interval(self):
+        with pytest.raises(ValueError):
+            CheckpointedLoop(step, {}, interval=0)
+
+    def test_overhead_grows_with_frequency(self):
+        # The trade-off the paper's approach avoids: more checkpoints,
+        # more bytes written during normal execution.
+        frequent = CheckpointedLoop(step, {"x": 0, "sum": 0}, interval=1)
+        rare = CheckpointedLoop(step, {"x": 0, "sum": 0}, interval=100)
+        frequent.run(200)
+        rare.run(200)
+        assert (
+            frequent.stats()["checkpoint_bytes"] > rare.stats()["checkpoint_bytes"]
+        )
+        assert rare.lost_steps >= 0

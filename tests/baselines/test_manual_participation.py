@@ -1,0 +1,78 @@
+"""Tests for the manual-participation baseline ([3]/[6] comparison)."""
+
+import pytest
+
+from repro.baselines.manual_participation import (
+    AUTO_WORKER,
+    MANUAL_WORKER,
+    PLAIN_WORKER,
+    participation_line_counts,
+)
+from repro.core import prepare_module
+from repro.runtime.mh import MH, ModuleStop
+from repro.runtime.refs import Ref
+
+from tests.core.helpers import ScriptedPort, run_module
+
+
+def run_until_writes(source_text, mh, queues, writes):
+    port = ScriptedPort(mh, queues)
+    port.stop_after_writes = writes
+    mh.attach_port(port)
+    try:
+        run_module(source_text, mh)
+    except ModuleStop:
+        pass
+    return port
+
+
+class TestManualWorker:
+    def test_manual_capture_restore_works(self):
+        # The hand-adapted module does participate correctly...
+        mh = MH("main")
+        port = ScriptedPort(mh, {"inp": [1, 2, 3]})
+        mh.attach_port(port)
+        mh.request_reconfig()
+        run_module(MANUAL_WORKER, mh)
+        assert mh.divulged.is_set()
+
+        clone = MH("main", status="clone")
+        clone.incoming_packet = mh.outgoing_packet
+        clone_port = run_until_writes(MANUAL_WORKER, clone, {"inp": [1, 2, 3]}, 3)
+        assert [v[1][0] for v in clone_port.out] == [1.0, 3.0, 6.0]
+
+    def test_manual_and_automatic_equivalent(self):
+        # ...and behaves exactly like the automatically prepared module.
+        auto = prepare_module(AUTO_WORKER, "main").source
+
+        mh_manual = MH("main")
+        manual_port = run_until_writes(MANUAL_WORKER, mh_manual, {"inp": [5, 7]}, 2)
+        mh_auto = MH("main")
+        auto_port = run_until_writes(auto, mh_auto, {"inp": [5, 7]}, 2)
+        assert manual_port.out == auto_port.out
+
+    def test_automatic_handles_what_manual_cannot(self):
+        # The recursive compute module: automatic preparation handles the
+        # AR stack; the manual style has no answer short of hand-writing
+        # all of Figure 4.
+        from tests.core.helpers import COMPUTE_SRC, capture_compute_mid_recursion
+
+        packet, port = capture_compute_mid_recursion(n=4, reconfig_after_reads=3)
+        assert packet  # mid-recursion capture achieved automatically
+
+
+class TestProgrammerBurden:
+    def test_line_counts(self):
+        counts = participation_line_counts()
+        # Manual participation multiplies the module's participation code;
+        # automatic preparation needs exactly one marker line.
+        assert counts["automatic_participation_lines"] == 1
+        assert counts["manual_participation_lines"] >= 10
+        assert (
+            counts["manual_participation_lines"]
+            > 5 * counts["automatic_participation_lines"]
+        )
+
+    def test_sources_compile(self):
+        for source in (PLAIN_WORKER, MANUAL_WORKER, AUTO_WORKER):
+            compile(source, "<worker>", "exec")

@@ -1,0 +1,87 @@
+"""Tests for the Theimer-Hayes migrate-by-recompilation baseline."""
+
+from repro.baselines.migration_program import (
+    generate_migration_program,
+    run_migration_program,
+)
+from repro.runtime.mh import MH, ModuleStop, SleepPolicy
+from repro.runtime.refs import Ref
+
+from tests.core.helpers import COMPUTE_SRC, ScriptedPort, capture_compute_mid_recursion
+
+
+class StoppingPort(ScriptedPort):
+    """Stops the module after its first write so tests terminate."""
+
+    def write(self, interface, fmt, values):
+        super().write(interface, fmt, values)
+        self.mh.stop()
+
+
+class TestGeneration:
+    def test_generation_happens_at_migration_time(self):
+        packet, _port = capture_compute_mid_recursion(n=4, reconfig_after_reads=3)
+        program = generate_migration_program(COMPUTE_SRC, packet, "compute")
+        assert program.generation_seconds > 0
+        assert "_run_migration" in program.source
+
+    def test_each_migration_regenerates(self):
+        packet, _port = capture_compute_mid_recursion(n=4, reconfig_after_reads=3)
+        first = generate_migration_program(COMPUTE_SRC, packet, "compute")
+        second = generate_migration_program(COMPUTE_SRC, packet, "compute")
+        # Two migrations, two full generation passes — the cost the
+        # paper's ahead-of-time preparation avoids.
+        assert first.generation_seconds > 0 and second.generation_seconds > 0
+        assert first.source == second.source
+
+    def test_program_embeds_state(self):
+        packet, _port = capture_compute_mid_recursion(n=4, reconfig_after_reads=3)
+        program = generate_migration_program(COMPUTE_SRC, packet, "compute")
+        assert repr(packet)[:20] in program.source
+
+
+class TestExecution:
+    def test_migration_program_resumes_correctly(self, vax):
+        # Capture after 3 reads (request + 2 sensor values); the target
+        # holds the remaining two temperatures.
+        packet, port = capture_compute_mid_recursion(n=4, reconfig_after_reads=3)
+        program = generate_migration_program(COMPUTE_SRC, packet, "compute")
+
+        mh = MH("compute", vax, status="clone", sleep_policy=SleepPolicy(0.0))
+        target = StoppingPort(mh, {"display": [], "sensor": port.queues["sensor"]})
+        mh.attach_port(target)
+        namespace = {"mh": mh, "Ref": Ref}
+        exec(program.code, namespace)
+        try:
+            namespace["_run_migration"](mh)
+        except ModuleStop:
+            pass
+        assert target.out == [("display", [25.0])]
+
+    def test_run_helper(self, vax):
+        packet, port = capture_compute_mid_recursion(n=4, reconfig_after_reads=3)
+        program = generate_migration_program(COMPUTE_SRC, packet, "compute")
+
+        class Port:
+            """Raises ModuleStop after delivering the resumed answer."""
+
+            def __init__(self):
+                self.out = []
+                self.queue = list(port.queues["sensor"])
+
+            def read(self, interface, timeout, stop_event):
+                return [self.queue.pop(0)]
+
+            def write(self, interface, fmt, values):
+                self.out.append((interface, list(values)))
+                raise ModuleStop("answer delivered")
+
+            def query_ifmsgs(self, interface):
+                return bool(self.queue)
+
+        target = Port()
+        try:
+            run_migration_program(program, target, vax)
+        except ModuleStop:
+            pass
+        assert target.out == [("display", [25.0])]

@@ -1,0 +1,181 @@
+"""Tests for the Frieder-Segal procedure-level update baseline."""
+
+import threading
+import time
+
+import pytest
+
+from repro.baselines.procedure_update import (
+    Procedure,
+    ProcedureTable,
+    ProcedureUpdater,
+    UpdateBlocked,
+)
+
+
+def make_program():
+    """main -> worker -> leaf, versioned bodies returning tags."""
+
+    def leaf_v1(table, x):
+        return ("leaf-v1", x)
+
+    def worker_v1(table, x):
+        return ("worker-v1", table.call("leaf", x))
+
+    def main_v1(table, x):
+        return ("main-v1", table.call("worker", x))
+
+    return ProcedureTable(
+        [
+            Procedure("leaf", leaf_v1, version=1),
+            Procedure("worker", worker_v1, version=1, calls={"leaf"}),
+            Procedure("main", main_v1, version=1, calls={"worker"}),
+        ]
+    )
+
+
+class TestProcedureTable:
+    def test_call_through_indirection(self):
+        table = make_program()
+        assert table.call("main", 7) == ("main-v1", ("worker-v1", ("leaf-v1", 7)))
+
+    def test_versions(self):
+        table = make_program()
+        assert table.versions() == {"leaf": 1, "worker": 1, "main": 1}
+
+    def test_unknown_callee_rejected(self):
+        with pytest.raises(Exception):
+            ProcedureTable([Procedure("f", lambda t: None, calls={"ghost"})])
+
+    def test_activity_tracking(self):
+        table = make_program()
+        started = threading.Event()
+        release = threading.Event()
+
+        def slow_leaf(inner_table, x):
+            started.set()
+            release.wait(5)
+            return ("leaf-v1-slow", x)
+
+        table.try_replace(Procedure("leaf", slow_leaf, version=1))
+        thread = threading.Thread(target=table.call, args=("main", 1))
+        thread.start()
+        started.wait(5)
+        assert table.is_active("leaf")
+        assert table.is_active("main")
+        release.set()
+        thread.join(5)
+        assert not table.is_active("leaf")
+
+    def test_try_replace_refuses_active(self):
+        table = make_program()
+        started = threading.Event()
+        release = threading.Event()
+
+        def slow_leaf(inner_table, x):
+            started.set()
+            release.wait(5)
+            return x
+
+        table.try_replace(Procedure("leaf", slow_leaf, version=1))
+        thread = threading.Thread(target=table.call, args=("leaf", 1))
+        thread.start()
+        started.wait(5)
+        assert not table.try_replace(Procedure("leaf", lambda t, x: x, version=2))
+        release.set()
+        thread.join(5)
+        assert table.try_replace(Procedure("leaf", lambda t, x: x, version=2))
+
+
+class TestBottomUpUpdate:
+    def test_update_order_is_bottom_up(self):
+        # "they perform the update from the bottom up, by allowing a
+        # procedure to be replaced only after all the procedures it
+        # invokes have been replaced."
+        table = make_program()
+        updater = ProcedureUpdater(table)
+        order = updater.update(
+            {
+                "main": Procedure("main", lambda t, x: ("main-v2",), version=2,
+                                  calls={"worker"}),
+                "worker": Procedure("worker", lambda t, x: ("worker-v2",), version=2,
+                                    calls={"leaf"}),
+                "leaf": Procedure("leaf", lambda t, x: ("leaf-v2",), version=2),
+            }
+        )
+        assert order == ["leaf", "worker", "main"]
+        assert table.versions() == {"leaf": 2, "worker": 2, "main": 2}
+
+    def test_leaf_only_update_quick(self):
+        table = make_program()
+        updater = ProcedureUpdater(table)
+        order = updater.update(
+            {"leaf": Procedure("leaf", lambda t, x: ("leaf-v2", x), version=2)}
+        )
+        assert order == ["leaf"]
+        assert table.call("main", 1) == ("main-v1", ("worker-v1", ("leaf-v2", 1)))
+
+    def test_busy_main_blocks_update(self):
+        # "when the main procedure has changed, the update cannot complete
+        # until the program terminates."
+        table = make_program()
+        release = threading.Event()
+        started = threading.Event()
+
+        def busy_main(inner_table, x):
+            started.set()
+            release.wait(10)
+            return "done"
+
+        table.try_replace(Procedure("main", busy_main, version=1, calls={"worker"}))
+        thread = threading.Thread(target=table.call, args=("main", 1))
+        thread.start()
+        started.wait(5)
+
+        updater = ProcedureUpdater(table)
+        begun = time.monotonic()
+        with pytest.raises(UpdateBlocked) as info:
+            updater.update(
+                {"main": Procedure("main", lambda t, x: "v2", version=2,
+                                   calls={"worker"})},
+                timeout=0.3,
+            )
+        assert time.monotonic() - begun >= 0.25
+        assert info.value.blocked == ["main"]
+        release.set()
+        thread.join(5)
+        # After the program "terminates" the update can finally complete.
+        updater.update(
+            {"main": Procedure("main", lambda t, x: "v2", version=2,
+                               calls={"worker"})},
+            timeout=2,
+        )
+        assert table.version("main") == 2
+
+    def test_recursive_procedures_update_as_group(self):
+        def even(table, n):
+            return True if n == 0 else table.call("odd", n - 1)
+
+        def odd(table, n):
+            return False if n == 0 else table.call("even", n - 1)
+
+        table = ProcedureTable(
+            [
+                Procedure("even", even, calls={"odd"}),
+                Procedure("odd", odd, calls={"even"}),
+            ]
+        )
+        updater = ProcedureUpdater(table)
+        order = updater.update(
+            {
+                "even": Procedure("even", even, version=2, calls={"odd"}),
+                "odd": Procedure("odd", odd, version=2, calls={"even"}),
+            }
+        )
+        assert sorted(order) == ["even", "odd"]
+
+    def test_update_log(self):
+        table = make_program()
+        updater = ProcedureUpdater(table)
+        updater.update({"leaf": Procedure("leaf", lambda t, x: x, version=3)})
+        assert updater.log == ["replaced leaf -> v3"]

@@ -1,0 +1,51 @@
+"""Shutdown and teardown semantics of the software bus."""
+
+import pytest
+
+from repro.bus.bus import SoftwareBus
+from repro.bus.spec import ModuleSpec
+from repro.errors import FormatError, UnknownModuleError
+from repro.state.format import format_to_pattern
+
+SPINNER = """\
+def main():
+    while mh.running:
+        mh.sleep(0.01)
+"""
+
+
+class TestShutdown:
+    def test_shutdown_stops_everything(self):
+        bus = SoftwareBus(sleep_scale=0.01)
+        bus.add_host("local")
+        bus.add_module(ModuleSpec(name="a", inline_source=SPINNER),
+                       machine="local", start=True)
+        bus.add_module(ModuleSpec(name="b", inline_source=SPINNER),
+                       machine="local", start=True)
+        bus.shutdown()
+        assert bus.instances() == []
+        with pytest.raises(UnknownModuleError):
+            bus.get_module("a")
+
+    def test_shutdown_idempotent(self):
+        bus = SoftwareBus()
+        bus.shutdown()
+        bus.shutdown()
+
+    def test_trace_survives_shutdown(self):
+        bus = SoftwareBus(sleep_scale=0.01)
+        bus.add_host("local")
+        bus.add_module(ModuleSpec(name="a", inline_source=SPINNER),
+                       machine="local", start=True)
+        bus.shutdown()
+        assert any("add module a" in line for line in bus.trace)
+
+
+class TestFormatToPattern:
+    def test_roundtrip(self):
+        assert format_to_pattern("is") == "integer string"
+        assert format_to_pattern("") == ""
+
+    def test_compound_rejected(self):
+        with pytest.raises(FormatError, match="not expressible"):
+            format_to_pattern("[i]")

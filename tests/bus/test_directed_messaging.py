@@ -1,0 +1,113 @@
+"""Tests for directed request/reply (read_msg / write_to / route_to)."""
+
+import pytest
+
+from repro.bus.bus import SoftwareBus
+from repro.bus.interfaces import InterfaceDecl, Role
+from repro.bus.spec import BindingSpec, ModuleSpec
+from repro.errors import BindingError
+
+from tests.conftest import wait_until
+
+SERVER = """\
+def main():
+    served = []
+    mh.statics['served'] = served
+    while mh.running:
+        request, sender = mh.read_msg('requests')
+        served.append((sender, request[0]))
+        mh.write_to('requests', sender, 'l', request[0] * 10)
+"""
+
+CLIENT = """\
+def main():
+    n = int(mh.config['n'])
+    got = []
+    mh.statics['got'] = got
+    while mh.running and len(got) < 3:
+        mh.write('srv', 'l', n)
+        got.append(mh.read1('srv'))
+    while mh.running:
+        mh.sleep(0.05)
+"""
+
+
+def server_spec():
+    return ModuleSpec(
+        name="server",
+        inline_source=SERVER,
+        interfaces=[
+            InterfaceDecl("requests", Role.SERVER, pattern="l", returns="l")
+        ],
+    )
+
+
+def client_spec():
+    return ModuleSpec(
+        name="client",
+        inline_source=CLIENT,
+        interfaces=[InterfaceDecl("srv", Role.CLIENT, pattern="l", returns="l")],
+    )
+
+
+@pytest.fixture
+def bus():
+    bus = SoftwareBus(sleep_scale=0.0)
+    bus.add_host("local")
+    yield bus
+    bus.shutdown()
+
+
+class TestMultiClientServer:
+    def test_replies_go_to_the_requester_only(self, bus):
+        bus.add_module(server_spec(), machine="local")
+        bus.add_module(client_spec(), instance="c1", machine="local",
+                       attributes={"n": "1"})
+        bus.add_module(client_spec(), instance="c2", machine="local",
+                       attributes={"n": "2"})
+        bus.add_binding(BindingSpec("c1", "srv", "server", "requests"))
+        bus.add_binding(BindingSpec("c2", "srv", "server", "requests"))
+        for name in ("server", "c1", "c2"):
+            bus.start_module(name)
+
+        def both_done():
+            bus.check_health()
+            return (
+                bus.get_module("c1").mh.statics.get("got") == [10, 10, 10]
+                and bus.get_module("c2").mh.statics.get("got") == [20, 20, 20]
+            )
+
+        wait_until(both_done)
+        served = bus.get_module("server").mh.statics["served"]
+        assert sorted({entry[0] for entry in served}) == ["c1", "c2"]
+
+    def test_directed_send_to_unbound_peer_raises(self, bus):
+        bus.add_module(server_spec(), machine="local")
+        bus.add_module(client_spec(), instance="c1", machine="local",
+                       attributes={"n": "1"})
+        bus.add_binding(BindingSpec("c1", "srv", "server", "requests"))
+        server = bus.get_module("server")
+        with pytest.raises(BindingError, match="no such binding"):
+            server.mh.write_to("requests", "ghost", "l", 1)
+
+    def test_read_msg_reports_sender(self, bus):
+        from repro.bus.message import Message
+
+        bus.add_module(server_spec(), machine="local")
+        module = bus.get_module("server")
+        module.deliver(
+            "requests",
+            Message(values=[7], fmt="l", source_instance="someone"),
+        )
+        values, sender = module.mh.read_msg("requests", timeout=1)
+        assert values == [7]
+        assert sender == "someone"
+
+
+class TestInstanceAttributes:
+    def test_attributes_merge_over_spec(self, bus):
+        module = bus.add_module(
+            client_spec(), instance="c1", machine="local", attributes={"n": "9"}
+        )
+        assert module.mh.config["n"] == "9"
+        assert module.spec.attributes["n"] == "9"

@@ -1,0 +1,60 @@
+"""Tests for the host registry (repro.bus.machine)."""
+
+import pytest
+
+from repro.bus.machine import Host, HostRegistry
+from repro.errors import BusError
+from repro.state.machine import MACHINES, Endianness
+
+
+class TestHostRegistry:
+    def test_add_with_profile_rebrands(self, sparc):
+        registry = HostRegistry()
+        host = registry.add("alpha", sparc)
+        assert host.profile.name == "alpha"
+        assert host.profile.endianness is sparc.endianness
+        assert host.profile.int_bits == sparc.int_bits
+
+    def test_add_default_profile(self):
+        registry = HostRegistry()
+        host = registry.add("plain")
+        assert host.profile.endianness is Endianness.LITTLE
+
+    def test_duplicate_rejected(self):
+        registry = HostRegistry()
+        registry.add("alpha")
+        with pytest.raises(BusError, match="already registered"):
+            registry.add("alpha")
+
+    def test_get_unknown(self):
+        with pytest.raises(BusError, match="unknown host"):
+            HostRegistry().get("ghost")
+
+    def test_ensure_autoregisters(self):
+        registry = HostRegistry()
+        host = registry.ensure("auto")
+        assert registry.get("auto") is host
+        assert registry.ensure("auto") is host
+
+    def test_add_catalogued(self):
+        registry = HostRegistry()
+        host = registry.add_catalogued("bigbox", "sparc-like")
+        assert host.profile.endianness is Endianness.BIG
+
+    def test_add_catalogued_unknown(self):
+        registry = HostRegistry()
+        with pytest.raises(BusError, match="catalogue"):
+            registry.add_catalogued("x", "cray-like")
+
+    def test_names_and_contains(self):
+        registry = HostRegistry()
+        registry.add("b")
+        registry.add("a")
+        assert registry.names() == ["a", "b"]
+        assert "a" in registry
+        assert "z" not in registry
+        assert len(registry) == 2
+
+    def test_describe(self):
+        host = Host("alpha", MACHINES["vax-like"])
+        assert "alpha" in host.describe()

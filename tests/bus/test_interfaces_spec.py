@@ -1,0 +1,148 @@
+"""Tests for interface declarations and specs (repro.bus.interfaces/spec)."""
+
+import pytest
+
+from repro.bus.interfaces import Direction, InterfaceDecl, Role
+from repro.bus.spec import ApplicationSpec, BindingSpec, InstanceSpec, ModuleSpec
+from repro.errors import SpecError
+
+
+def decl(role, name="x", pattern="i", returns=""):
+    return InterfaceDecl(name=name, role=role, pattern=pattern, returns=returns)
+
+
+class TestRolesAndDirections:
+    def test_define_is_outgoing(self):
+        assert Role.DEFINE.direction is Direction.OUTGOING
+        assert Direction.OUTGOING.can_send
+        assert not Direction.OUTGOING.can_receive
+
+    def test_use_is_incoming(self):
+        assert Role.USE.direction is Direction.INCOMING
+        assert Direction.INCOMING.can_receive
+        assert not Direction.INCOMING.can_send
+
+    def test_client_server_bidirectional(self):
+        for role in (Role.CLIENT, Role.SERVER):
+            assert role.direction is Direction.BIDIRECTIONAL
+        assert Direction.BIDIRECTIONAL.can_send
+        assert Direction.BIDIRECTIONAL.can_receive
+
+
+class TestSendReceiveFormats:
+    def test_define_sends_pattern(self):
+        assert decl(Role.DEFINE).send_fmt() == "i"
+
+    def test_use_receives_pattern(self):
+        assert decl(Role.USE).receive_fmt() == "i"
+
+    def test_define_cannot_receive(self):
+        with pytest.raises(SpecError):
+            decl(Role.DEFINE).receive_fmt()
+
+    def test_use_cannot_send(self):
+        with pytest.raises(SpecError):
+            decl(Role.USE).send_fmt()
+
+    def test_client_sends_pattern_receives_returns(self):
+        client = decl(Role.CLIENT, pattern="i", returns="f")
+        assert client.send_fmt() == "i"
+        assert client.receive_fmt() == "f"
+
+    def test_server_mirror(self):
+        server = decl(Role.SERVER, pattern="i", returns="f")
+        assert server.receive_fmt() == "i"
+        assert server.send_fmt() == "f"
+
+
+class TestCompatibility:
+    def test_define_use_compatible(self):
+        assert decl(Role.DEFINE).compatible_with(decl(Role.USE))
+
+    def test_define_define_incompatible(self):
+        assert not decl(Role.DEFINE).compatible_with(decl(Role.DEFINE))
+
+    def test_use_use_incompatible(self):
+        assert not decl(Role.USE).compatible_with(decl(Role.USE))
+
+    def test_pattern_mismatch(self):
+        assert not decl(Role.DEFINE, pattern="i").compatible_with(
+            decl(Role.USE, pattern="s")
+        )
+
+    def test_empty_pattern_is_wildcard(self):
+        assert decl(Role.DEFINE, pattern="").compatible_with(
+            decl(Role.USE, pattern="s")
+        )
+
+    def test_client_server_both_legs_checked(self):
+        client = decl(Role.CLIENT, pattern="i", returns="f")
+        assert client.compatible_with(decl(Role.SERVER, pattern="i", returns="f"))
+        assert not client.compatible_with(decl(Role.SERVER, pattern="s", returns="f"))
+        assert not client.compatible_with(decl(Role.SERVER, pattern="i", returns="s"))
+
+    def test_client_client_incompatible(self):
+        assert not decl(Role.CLIENT).compatible_with(decl(Role.CLIENT))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SpecError):
+            InterfaceDecl(name="", role=Role.USE)
+
+
+class TestModuleSpec:
+    def make(self):
+        return ModuleSpec(
+            name="m",
+            interfaces=[decl(Role.USE, "inp"), decl(Role.DEFINE, "out")],
+            reconfig_points=["R"],
+            attributes={"machine": "alpha"},
+        )
+
+    def test_interface_lookup(self):
+        spec = self.make()
+        assert spec.interface("inp").role is Role.USE
+        with pytest.raises(SpecError, match="no interface"):
+            spec.interface("ghost")
+
+    def test_interface_names(self):
+        assert self.make().interface_names() == ["inp", "out"]
+
+    def test_with_attributes_copies(self):
+        spec = self.make()
+        clone = spec.with_attributes(machine="beta", status="clone")
+        assert clone.attributes["machine"] == "beta"
+        assert clone.attributes["status"] == "clone"
+        assert spec.attributes["machine"] == "alpha"  # original untouched
+        assert clone.interfaces == spec.interfaces
+        assert clone.interfaces is not spec.interfaces
+
+    def test_describe_contains_everything(self):
+        text = self.make().describe()
+        assert "module m" in text
+        assert "use interface inp" in text
+        assert "reconfiguration point" in text
+
+
+class TestApplicationSpec:
+    def test_instance_lookup(self):
+        app = ApplicationSpec(name="a", instances=[InstanceSpec("x", "m")])
+        assert app.instance("x").module == "m"
+        with pytest.raises(SpecError):
+            app.instance("ghost")
+
+    def test_bindings_of(self):
+        binding = BindingSpec("a", "out", "b", "inp")
+        app = ApplicationSpec(name="app", bindings=[binding])
+        assert app.bindings_of("a") == [binding]
+        assert app.bindings_of("b") == [binding]
+        assert app.bindings_of("c") == []
+
+    def test_binding_endpoints(self):
+        binding = BindingSpec("a", "out", "b", "inp")
+        assert binding.endpoints() == (("a", "out"), ("b", "inp"))
+        assert binding.involves("a") and binding.involves("b")
+        assert not binding.involves("c")
+
+    def test_describe(self):
+        binding = BindingSpec("a", "out", "b", "inp")
+        assert binding.describe() == 'bind "a out" "b inp"'

@@ -1,0 +1,181 @@
+"""Tests for the MIL configuration language parser (repro.bus.mil)."""
+
+import pytest
+
+from repro.apps.monitor import MONITOR_MIL
+from repro.bus.interfaces import Role
+from repro.bus.mil import parse_mil, parse_module_spec, tokenize
+from repro.errors import MILSyntaxError, SpecError
+
+
+class TestTokenizer:
+    def test_strings_and_words(self):
+        tokens = tokenize('module x { source = "a b.py" }')
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["word", "word", "punct", "word", "punct", "string", "punct", "eof"]
+
+    def test_separators_skipped(self):
+        tokens = tokenize("a :: b")
+        assert [t.value for t in tokens if t.kind != "eof"] == ["a", "b"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("a # comment here\nb")
+        assert [t.value for t in tokens if t.kind != "eof"] == ["a", "b"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n  c")
+        assert [t.lineno for t in tokens if t.kind != "eof"] == [1, 2, 3]
+
+    def test_bad_character(self):
+        with pytest.raises(MILSyntaxError):
+            tokenize("module @ {}")
+
+
+class TestFigure2:
+    """The paper's own configuration parses to the expected structure."""
+
+    def test_monitor_parses(self):
+        config = parse_mil(MONITOR_MIL)
+        assert set(config.modules) == {"display", "compute", "sensor"}
+        assert config.application is not None
+        assert config.application.name == "monitor"
+
+    def test_compute_interfaces(self):
+        config = parse_mil(MONITOR_MIL)
+        compute = config.modules["compute"]
+        display_if = compute.interface("display")
+        assert display_if.role is Role.SERVER
+        assert display_if.pattern == "i"
+        assert display_if.returns == "f"
+        sensor_if = compute.interface("sensor")
+        assert sensor_if.role is Role.USE
+        assert sensor_if.pattern == "i"
+
+    def test_reconfig_point_declared(self):
+        config = parse_mil(MONITOR_MIL)
+        assert config.modules["compute"].reconfig_points == ["R"]
+        assert config.modules["compute"].is_reconfigurable
+        assert not config.modules["sensor"].is_reconfigurable
+
+    def test_application_block_may_be_module_keyword(self):
+        # Figure 2 writes the application as "module monitor { instance ... }"
+        config = parse_mil(MONITOR_MIL)
+        assert [i.instance for i in config.application.instances] == [
+            "display",
+            "compute",
+            "sensor",
+        ]
+
+    def test_bindings(self):
+        config = parse_mil(MONITOR_MIL)
+        bindings = config.application.bindings
+        assert len(bindings) == 2
+        assert bindings[0].from_instance == "display"
+        assert bindings[0].from_interface == "temper"
+        assert bindings[0].to_instance == "compute"
+        assert bindings[0].to_interface == "display"
+
+    def test_stray_quote_in_pattern_tolerated(self):
+        # Figure 2 contains pattern = {'integer}
+        config = parse_mil(MONITOR_MIL)
+        assert config.modules["compute"].interface("display").pattern == "i"
+
+
+class TestModuleSpecs:
+    def test_attributes(self):
+        spec = parse_module_spec(
+            'module m { source = "m.py" machine = "alpha" owner = "ops" }'
+        )
+        assert spec.source == "m.py"
+        assert spec.attributes == {"machine": "alpha", "owner": "ops"}
+
+    def test_accepts_without_equals(self):
+        spec = parse_module_spec(
+            "module m { client interface x pattern = {integer} accepts {-float} }"
+        )
+        assert spec.interface("x").returns == "f"
+
+    def test_multiple_points(self):
+        spec = parse_module_spec("module m { reconfiguration point = {R1 R2} }")
+        assert spec.reconfig_points == ["R1", "R2"]
+
+    def test_interface_needs_role(self):
+        with pytest.raises(MILSyntaxError, match="role"):
+            parse_module_spec("module m { interface x }")
+
+    def test_duplicate_module_rejected(self):
+        with pytest.raises(MILSyntaxError, match="twice"):
+            parse_mil("module m { }\nmodule m { }")
+
+    def test_unterminated_block(self):
+        with pytest.raises(MILSyntaxError, match="unterminated"):
+            parse_mil("module m { source = \"x\"")
+
+    def test_parse_module_spec_rejects_many(self):
+        with pytest.raises(MILSyntaxError, match="exactly one"):
+            parse_module_spec("module a { }\nmodule b { }")
+
+
+class TestApplicationSpecs:
+    def test_instance_with_module_and_machine(self):
+        config = parse_mil(
+            "module worker { }\n"
+            "application app {\n"
+            "  instance w1 : worker machine = \"alpha\"\n"
+            "  instance w2 : worker machine = \"beta\"\n"
+            "}\n"
+        )
+        instances = config.application.instances
+        assert [(i.instance, i.module, i.machine) for i in instances] == [
+            ("w1", "worker", "alpha"),
+            ("w2", "worker", "beta"),
+        ]
+
+    def test_unknown_module_rejected(self):
+        with pytest.raises(SpecError, match="unknown module"):
+            parse_mil("application app { instance ghost }")
+
+    def test_bad_endpoint_rejected(self):
+        with pytest.raises((MILSyntaxError, SpecError)):
+            parse_mil(
+                "module a { define interface out }\n"
+                'application app { instance a bind "a" "a out" }'
+            )
+
+    def test_binding_to_unknown_interface_rejected(self):
+        with pytest.raises(SpecError, match="no interface"):
+            parse_mil(
+                "module a { define interface out pattern = {integer} }\n"
+                "module b { use interface inp pattern = {integer} }\n"
+                "application app {\n"
+                "  instance a\n  instance b\n"
+                '  bind "a ghost" "b inp"\n'
+                "}\n"
+            )
+
+    def test_incompatible_binding_rejected(self):
+        with pytest.raises(SpecError, match="incompatible"):
+            parse_mil(
+                "module a { define interface out pattern = {integer} }\n"
+                "module b { define interface out2 pattern = {integer} }\n"
+                "application app {\n"
+                "  instance a\n  instance b\n"
+                '  bind "a out" "b out2"\n'
+                "}\n"
+            )
+
+    def test_two_application_blocks_rejected(self):
+        with pytest.raises(MILSyntaxError, match="only one"):
+            parse_mil(
+                "application a { }\napplication b { }"
+            )
+
+
+class TestDescribeRoundtrip:
+    def test_module_describe_reparses(self):
+        config = parse_mil(MONITOR_MIL)
+        for spec in config.modules.values():
+            reparsed = parse_module_spec(spec.describe())
+            assert reparsed.name == spec.name
+            assert reparsed.interface_names() == spec.interface_names()
+            assert reparsed.reconfig_points == spec.reconfig_points

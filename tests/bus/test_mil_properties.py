@@ -1,0 +1,70 @@
+"""Property-based tests for the MIL parser (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bus.interfaces import InterfaceDecl, Role
+from repro.bus.mil import parse_mil, parse_module_spec
+from repro.bus.spec import ModuleSpec
+from repro.state.format import MIL_PATTERN_NAMES
+
+names = st.from_regex(r"[a-z][a-z0-9_]{0,10}", fullmatch=True)
+pattern_names = st.lists(
+    st.sampled_from(sorted(MIL_PATTERN_NAMES)), min_size=0, max_size=3
+)
+roles = st.sampled_from(list(Role))
+
+
+@st.composite
+def interface_decls(draw):
+    role = draw(roles)
+    pattern = "".join(MIL_PATTERN_NAMES[n] for n in draw(pattern_names))
+    returns = ""
+    if role in (Role.CLIENT, Role.SERVER):
+        returns = "".join(MIL_PATTERN_NAMES[n] for n in draw(pattern_names))
+    return InterfaceDecl(
+        name=draw(names), role=role, pattern=pattern, returns=returns
+    )
+
+
+@st.composite
+def module_specs(draw):
+    interfaces = draw(st.lists(interface_decls(), max_size=4))
+    seen = set()
+    unique = []
+    for decl in interfaces:
+        if decl.name not in seen:
+            seen.add(decl.name)
+            unique.append(decl)
+    points = draw(st.lists(names, max_size=2, unique=True))
+    return ModuleSpec(
+        name=draw(names),
+        source=draw(st.sampled_from(["", "mod.py", "dir/mod.py"])),
+        interfaces=unique,
+        reconfig_points=[p.upper() for p in points],
+    )
+
+
+@given(module_specs())
+@settings(max_examples=150, deadline=None)
+def test_describe_parse_roundtrip(spec):
+    reparsed = parse_module_spec(spec.describe())
+    assert reparsed.name == spec.name
+    assert reparsed.source == spec.source
+    assert reparsed.reconfig_points == spec.reconfig_points
+    assert reparsed.interface_names() == spec.interface_names()
+    for decl in spec.interfaces:
+        again = reparsed.interface(decl.name)
+        assert again.role == decl.role
+        assert again.pattern == decl.pattern
+        assert again.returns == decl.returns
+
+
+@given(st.lists(module_specs(), min_size=1, max_size=3))
+@settings(max_examples=50, deadline=None)
+def test_multi_module_file_roundtrip(specs):
+    by_name = {}
+    for spec in specs:
+        by_name[spec.name] = spec  # last wins, as in a dict
+    text = "\n".join(spec.describe() for spec in by_name.values())
+    config = parse_mil(text)
+    assert set(config.modules) == set(by_name)

@@ -1,0 +1,38 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.state.machine import MACHINES
+
+
+def wait_until(predicate, timeout: float = 10.0, interval: float = 0.005):
+    """Poll ``predicate`` until truthy; fail the test on timeout."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(interval)
+    raise AssertionError(f"condition not reached within {timeout}s")
+
+
+@pytest.fixture
+def sparc():
+    """A big-endian 32/64 machine profile."""
+    return MACHINES["sparc-like"]
+
+
+@pytest.fixture
+def vax():
+    """A little-endian 32/32 machine profile."""
+    return MACHINES["vax-like"]
+
+
+@pytest.fixture
+def m68k():
+    """A big-endian 16/32 machine with 32-bit floats (the narrow one)."""
+    return MACHINES["m68k-like"]

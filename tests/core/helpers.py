@@ -1,0 +1,156 @@
+"""Shared helpers for core-transformation tests."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from repro.core import prepare_module
+from repro.runtime.mh import MH
+from repro.runtime.refs import Ref
+from repro.state.machine import MachineProfile
+
+#: The paper's Figure 3 compute module, Python rendition (see apps.monitor).
+COMPUTE_SRC = """\
+def main():
+    n = None
+    response: Ref = None
+    mh.init()
+    while mh.running:
+        while mh.query_ifmsgs('display'):
+            n = mh.read1('display')
+            response = Ref(0.0)
+            compute(n, n, response)
+            mh.write('display', 'F', response.get())
+        if mh.query_ifmsgs('sensor'):
+            compute(1, 1, Ref(0.0))
+        mh.sleep(2)
+
+
+def compute(num: int, n: int, rp: Ref):
+    temper = None
+    if n <= 0:
+        rp.set(0.0)
+        return
+    compute(num, n - 1, rp)
+    mh.reconfig_point('R')
+    temper = mh.read1('sensor')
+    rp.set(rp.get() + float(temper) / float(num))
+"""
+
+#: The paper's Figure 6 sample program shape: main calls a twice and b once;
+#: a calls b; points R1 in a, R2 in b.
+FIGURE6_SRC = """\
+def main():
+    x = 0
+    a(x)
+    b(x)
+    a(x + 1)
+
+
+def a(x: int):
+    mh.reconfig_point('R1')
+    b(x)
+
+
+def b(x: int):
+    y = x * 2
+    mh.reconfig_point('R2')
+    helper(y)
+
+
+def helper(y: int):
+    return y + 1
+"""
+
+
+class ScriptedPort:
+    """A message port driven by pre-loaded queues (no bus needed)."""
+
+    def __init__(self, mh: MH, queues: Dict[str, List[object]],
+                 reconfig_after_reads: Optional[int] = None):
+        self.mh = mh
+        self.queues = {k: list(v) for k, v in queues.items()}
+        self.out: List[Tuple[str, List[object]]] = []
+        self.reads = 0
+        self.reconfig_after_reads = reconfig_after_reads
+        self.stop_after_writes: Optional[int] = None
+
+    def read(self, interface, timeout, stop_event):
+        queue = self.queues.get(interface, [])
+        if not queue:
+            raise AssertionError(f"scripted read on empty {interface!r}")
+        value = queue.pop(0)
+        self.reads += 1
+        if self.reconfig_after_reads is not None and self.reads == self.reconfig_after_reads:
+            self.mh.request_reconfig()
+        return [value]
+
+    def write(self, interface, fmt, values):
+        self.out.append((interface, list(values)))
+        if self.stop_after_writes is not None and len(self.out) >= self.stop_after_writes:
+            self.mh.stop()
+
+    def query_ifmsgs(self, interface):
+        return bool(self.queues.get(interface))
+
+
+def run_module(source: str, mh: MH, extra: Optional[dict] = None):
+    """Exec a (possibly transformed) module source and call its main()."""
+    namespace = {"mh": mh, "Ref": Ref}
+    if extra:
+        namespace.update(extra)
+    exec(compile(source, "<test module>", "exec"), namespace)
+    return namespace["main"]()
+
+
+def capture_compute_mid_recursion(
+    n: int = 4,
+    reconfig_after_reads: int = 3,
+    machine: Optional[MachineProfile] = None,
+    source: str = COMPUTE_SRC,
+) -> Tuple[bytes, "ScriptedPort"]:
+    """Run the compute module until it divulges mid-recursion."""
+    result = prepare_module(source, "compute")
+    mh = MH("compute", machine)
+    sensor_values = list(range(10, 10 * (n + 1), 10))
+    port = ScriptedPort(
+        mh,
+        {"display": [n], "sensor": sensor_values},
+        reconfig_after_reads=reconfig_after_reads,
+    )
+    mh.attach_port(port)
+    run_module(result.source, mh)
+    assert mh.divulged.is_set(), "module did not divulge"
+    return mh.outgoing_packet, port
+
+
+def resume_compute(
+    packet: bytes,
+    remaining_sensor: List[object],
+    machine: Optional[MachineProfile] = None,
+    source: str = COMPUTE_SRC,
+) -> "ScriptedPort":
+    """Restore a captured compute clone and run it to its next response."""
+    from repro.runtime.mh import ModuleStop
+
+    result = prepare_module(source, "compute")
+    mh = MH("compute", machine, status="clone")
+    mh.incoming_packet = packet
+    port = ScriptedPort(mh, {"display": [], "sensor": list(remaining_sensor)})
+    port.stop_after_writes = 1
+    mh.attach_port(port)
+    try:
+        run_module(result.source, mh)
+    except ModuleStop:
+        pass
+    return port
+
+
+def functions_of(source: str) -> Dict[str, ast.FunctionDef]:
+    tree = ast.parse(source)
+    return {
+        node.name: node
+        for node in tree.body
+        if isinstance(node, ast.FunctionDef)
+    }

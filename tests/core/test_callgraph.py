@@ -1,0 +1,105 @@
+"""Tests for static call graph construction (repro.core.callgraph)."""
+
+import ast
+
+import pytest
+
+from repro.core.callgraph import build_call_graph, module_functions
+from repro.errors import CallGraphError
+
+from tests.core.helpers import COMPUTE_SRC, FIGURE6_SRC
+
+
+def graph_of(source):
+    return build_call_graph(ast.parse(source))
+
+
+class TestBasicStructure:
+    def test_nodes_are_functions(self):
+        graph = graph_of(FIGURE6_SRC)
+        assert set(graph.functions) == {"main", "a", "b", "helper"}
+
+    def test_edge_per_call_site(self):
+        # "if procedure main calls a in two different statements, there
+        # are two edges from main to a"
+        graph = graph_of(FIGURE6_SRC)
+        assert len(graph.sites_between("main", "a")) == 2
+        assert len(graph.sites_between("main", "b")) == 1
+        assert len(graph.sites_between("a", "b")) == 1
+
+    def test_runtime_calls_are_not_edges(self):
+        graph = graph_of(COMPUTE_SRC)
+        assert graph.callees("main") == ["compute"]
+        # mh.read1 / mh.write never appear as procedures.
+        assert "read1" not in graph.functions
+
+    def test_recursion_self_edge(self):
+        graph = graph_of(COMPUTE_SRC)
+        assert "compute" in graph.callees("compute")
+
+    def test_sites_sorted_by_position(self):
+        graph = graph_of(FIGURE6_SRC)
+        linenos = [s.lineno for s in graph.sites_from("main")]
+        assert linenos == sorted(linenos)
+
+    def test_duplicate_function_rejected(self):
+        with pytest.raises(CallGraphError, match="defined twice"):
+            graph_of("def f():\n    pass\n\ndef f():\n    pass\n")
+
+
+class TestTopLevelDetection:
+    def test_statement_call_is_top_level(self):
+        graph = graph_of("def main():\n    f()\n\ndef f():\n    pass\n")
+        (site,) = graph.sites_between("main", "f")
+        assert site.top_level
+
+    def test_assignment_call_is_top_level(self):
+        graph = graph_of("def main():\n    x = f()\n\ndef f():\n    return 1\n")
+        (site,) = graph.sites_between("main", "f")
+        assert site.top_level
+
+    def test_nested_call_is_not_top_level(self):
+        graph = graph_of("def main():\n    x = f() + 1\n\ndef f():\n    return 1\n")
+        (site,) = graph.sites_between("main", "f")
+        assert not site.top_level
+
+    def test_call_in_condition_not_top_level(self):
+        graph = graph_of(
+            "def main():\n    if f():\n        pass\n\ndef f():\n    return 1\n"
+        )
+        (site,) = graph.sites_between("main", "f")
+        assert not site.top_level
+
+
+class TestReachability:
+    def test_reachable_from_main(self):
+        graph = graph_of(FIGURE6_SRC)
+        assert graph.reachable_from("main") == {"main", "a", "b", "helper"}
+
+    def test_reaching_targets(self):
+        graph = graph_of(FIGURE6_SRC)
+        assert graph.reaching({"b"}) == {"main", "a", "b"}
+
+    def test_dead_function_not_reachable(self):
+        source = FIGURE6_SRC + "\n\ndef dead():\n    a(1)\n"
+        graph = graph_of(source)
+        assert "dead" not in graph.reachable_from("main")
+        assert "dead" in graph.reaching({"a"})
+
+    def test_callers(self):
+        graph = graph_of(FIGURE6_SRC)
+        assert graph.callers("b") == ["a", "main"]
+
+    def test_paths_invariant(self):
+        assert graph_of(FIGURE6_SRC).possible_stacks_are_paths()
+        assert graph_of(COMPUTE_SRC).possible_stacks_are_paths()
+
+
+class TestModuleFunctions:
+    def test_order_preserved(self):
+        functions = module_functions(ast.parse(FIGURE6_SRC))
+        assert list(functions) == ["main", "a", "b", "helper"]
+
+    def test_non_functions_ignored(self):
+        functions = module_functions(ast.parse("X = 1\n\ndef f():\n    pass\n"))
+        assert list(functions) == ["f"]

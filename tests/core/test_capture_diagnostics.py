@@ -1,0 +1,66 @@
+"""Diagnostics when capture cannot represent a value.
+
+The abstract state can only carry representable values; a module that
+parks an arbitrary Python object in a captured local gets a *located*
+error naming the procedure, not a corrupt packet.
+"""
+
+import pytest
+
+from repro.core import prepare_module
+from repro.errors import CaptureError
+from repro.runtime.mh import MH
+
+from tests.core.helpers import ScriptedPort, run_module
+
+UNENCODABLE_SRC = """\
+def main():
+    gadget = None
+    gadget = object()
+    leaf(1)
+    mh.write('out', 'l', 1)
+
+
+def leaf(x: int):
+    mh.reconfig_point('R')
+"""
+
+
+class TestUnencodableLocals:
+    def test_capture_error_names_procedure(self):
+        result = prepare_module(UNENCODABLE_SRC, "m")
+        mh = MH("m")
+        port = ScriptedPort(mh, {})
+        mh.attach_port(port)
+        mh.request_reconfig()
+        with pytest.raises(CaptureError, match="m.main"):
+            run_module(result.source, mh)
+
+    def test_no_partial_packet_divulged(self):
+        result = prepare_module(UNENCODABLE_SRC, "m")
+        mh = MH("m")
+        mh.attach_port(ScriptedPort(mh, {}))
+        mh.request_reconfig()
+        with pytest.raises(CaptureError):
+            run_module(result.source, mh)
+        assert not mh.divulged.is_set()
+        assert mh.outgoing_packet is None
+
+    def test_runs_fine_without_reconfiguration(self):
+        # The unencodable local is only a problem when captured.
+        result = prepare_module(UNENCODABLE_SRC, "m")
+        mh = MH("m")
+        port = ScriptedPort(mh, {})
+        mh.attach_port(port)
+        run_module(result.source, mh)
+        assert port.out == [("out", [1])]
+
+    def test_pruning_rescues_dead_unencodables(self):
+        # With liveness pruning, the dead gadget never enters the state.
+        result = prepare_module(UNENCODABLE_SRC, "m", prune_dead_captures=True)
+        mh = MH("m")
+        port = ScriptedPort(mh, {})
+        mh.attach_port(port)
+        mh.request_reconfig()
+        run_module(result.source, mh)
+        assert mh.divulged.is_set()

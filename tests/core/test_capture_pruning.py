@@ -1,0 +1,135 @@
+"""Tests for liveness-based capture pruning (the paper's suggested
+data-flow extension, implemented behind ``prune_dead_captures=True``)."""
+
+import pytest
+
+from repro.core import prepare_module
+from repro.runtime.mh import MH
+from repro.state.frames import ProcessState
+
+from tests.core.helpers import (
+    COMPUTE_SRC,
+    ScriptedPort,
+    run_module,
+)
+
+DEAD_HEAVY_SRC = """\
+def main():
+    big = None
+    useful = None
+    big = 'x' * 10000
+    useful = len(big)
+    work(useful)
+    mh.write('out', 'l', useful)
+
+
+def work(x: int):
+    mh.reconfig_point('R')
+"""
+
+
+def capture_packet(result, queues=None, reconfig_immediately=True):
+    mh = MH("m")
+    port = ScriptedPort(mh, queues or {})
+    mh.attach_port(port)
+    if reconfig_immediately:
+        mh.request_reconfig()
+    run_module(result.source, mh)
+    assert mh.divulged.is_set()
+    return mh.outgoing_packet, port
+
+
+def restore_packet(result, packet, queues=None):
+    clone = MH("m", status="clone")
+    clone.incoming_packet = packet
+    port = ScriptedPort(clone, queues or {})
+    clone.attach_port(port)
+    run_module(result.source, clone)
+    return port
+
+
+class TestPruningShrinksState:
+    def test_dead_heavy_variable_not_captured(self):
+        unpruned = prepare_module(DEAD_HEAVY_SRC, "m")
+        pruned = prepare_module(DEAD_HEAVY_SRC, "m", prune_dead_captures=True)
+
+        packet_full, _ = capture_packet(unpruned)
+        packet_small, _ = capture_packet(pruned)
+
+        # 'big' is dead after the call to work(): pruning drops ~10kB.
+        assert len(packet_full) > 10_000
+        assert len(packet_small) < 1_000
+
+    def test_pruned_restore_still_correct(self):
+        pruned = prepare_module(DEAD_HEAVY_SRC, "m", prune_dead_captures=True)
+        packet, _ = capture_packet(pruned)
+        port = restore_packet(pruned, packet)
+        assert port.out == [("out", [10000])]
+
+    def test_pruned_frames_have_shorter_fmt(self):
+        pruned = prepare_module(DEAD_HEAVY_SRC, "m", prune_dead_captures=True)
+        packet, _ = capture_packet(pruned)
+        state = ProcessState.from_bytes(packet)
+        main_frame = next(r for r in state.stack if r.procedure == "main")
+        # Location + 'useful' only ('big' pruned).
+        assert len(main_frame.values) == 2
+
+
+class TestPruningPreservesSemantics:
+    @pytest.mark.parametrize("reads", [1, 2, 3, 4])
+    def test_compute_module_pruned_roundtrip(self, reads):
+        pruned = prepare_module(COMPUTE_SRC, "compute", prune_dead_captures=True)
+
+        mh = MH("compute")
+        port = ScriptedPort(
+            mh,
+            {"display": [4], "sensor": [10, 20, 30, 40]},
+            reconfig_after_reads=reads,
+        )
+        mh.attach_port(port)
+        run_module(pruned.source, mh)
+        assert mh.divulged.is_set()
+
+        from repro.runtime.mh import ModuleStop
+
+        clone = MH("compute", status="clone")
+        clone.incoming_packet = mh.outgoing_packet
+        clone_port = ScriptedPort(clone, dict(port.queues))
+        clone_port.stop_after_writes = 1
+        clone.attach_port(clone_port)
+        try:
+            run_module(pruned.source, clone)
+        except ModuleStop:
+            pass
+        assert clone_port.out == [("display", [25.0])]
+
+    def test_pruned_and_unpruned_are_wire_incompatible_by_design(self):
+        # Documented contract: choose pruning once per module lineage.
+        unpruned = prepare_module(DEAD_HEAVY_SRC, "m")
+        pruned = prepare_module(DEAD_HEAVY_SRC, "m", prune_dead_captures=True)
+        packet, _ = capture_packet(unpruned)
+        from repro.errors import RestoreError
+
+        with pytest.raises((RestoreError, IndexError, Exception)):
+            port = restore_packet(pruned, packet)
+            # If it somehow restored, the result must still be right for
+            # the incompatibility to be considered benign — it is not.
+            assert port.out != [("out", [10000])]
+
+    def test_ref_chain_survives_pruning(self):
+        source = """\
+def main():
+    cell = None
+    cell = Ref(0)
+    fill(5, cell)
+    mh.write('out', 'l', cell.get())
+
+
+def fill(x: int, out: Ref):
+    mh.reconfig_point('R')
+    out.set(x * 7)
+"""
+        pruned = prepare_module(source, "m", prune_dead_captures=True)
+        packet, _ = capture_packet(pruned)
+        port = restore_packet(pruned, packet)
+        assert port.out == [("out", [35])]

@@ -1,0 +1,181 @@
+"""Tests for CFG construction (repro.core.cfg)."""
+
+import ast
+
+import pytest
+
+from repro.core.callgraph import build_call_graph
+from repro.core.cfg import CFGBuilder, CondGoto, Goto, ReturnTerm
+from repro.core.recongraph import build_reconfiguration_graph
+from repro.errors import FlattenError
+
+from tests.core.helpers import COMPUTE_SRC
+
+
+def cfg_for(source: str, name: str):
+    tree = ast.parse(source)
+    call_graph = build_call_graph(tree)
+    recon = build_reconfiguration_graph(call_graph)
+    return CFGBuilder(call_graph.functions[name], recon).build(), recon
+
+
+SIMPLE = (
+    "def main():\n"
+    "    x = 1\n"
+    "    mh.reconfig_point('R')\n"
+    "    return x\n"
+)
+
+
+class TestBasicShapes:
+    def test_straight_line(self):
+        cfg, _ = cfg_for(SIMPLE, "main")
+        kinds = [cfg.blocks[b].kind for b in cfg.block_ids()]
+        assert "reconfig_capture" in kinds
+        cfg.check()
+
+    def test_if_makes_condgoto(self):
+        source = (
+            "def main():\n"
+            "    x = 1\n"
+            "    if x > 0:\n"
+            "        x = 2\n"
+            "    else:\n"
+            "        x = 3\n"
+            "    mh.reconfig_point('R')\n"
+        )
+        cfg, _ = cfg_for(source, "main")
+        conds = [
+            b for b in cfg.blocks.values() if isinstance(b.terminator, CondGoto)
+        ]
+        assert len(conds) == 1
+
+    def test_while_loops_back(self):
+        source = (
+            "def main():\n"
+            "    x = 0\n"
+            "    while x < 3:\n"
+            "        x = x + 1\n"
+            "    mh.reconfig_point('R')\n"
+        )
+        cfg, _ = cfg_for(source, "main")
+        # Some block's goto target must be a smaller (earlier) block id.
+        assert any(
+            isinstance(b.terminator, Goto) and b.terminator.target < b.id
+            for b in cfg.blocks.values()
+        )
+
+    def test_return_terminator(self):
+        cfg, _ = cfg_for(SIMPLE, "main")
+        returns = [
+            b for b in cfg.blocks.values() if isinstance(b.terminator, ReturnTerm)
+        ]
+        assert returns
+        assert any(t.terminator.value is not None for t in returns)
+
+    def test_implicit_return_added(self):
+        source = "def main():\n    mh.reconfig_point('R')\n"
+        cfg, _ = cfg_for(source, "main")
+        assert any(
+            isinstance(b.terminator, ReturnTerm) for b in cfg.blocks.values()
+        )
+
+
+class TestInstrumentedBlocks:
+    def test_call_then_capture_block(self):
+        cfg, recon = cfg_for(COMPUTE_SRC, "main")
+        call_blocks = [b for b in cfg.blocks.values() if b.kind == "call"]
+        capture_blocks = [b for b in cfg.blocks.values() if b.kind == "capture"]
+        assert len(call_blocks) == 2  # edges 1 and 2
+        assert len(capture_blocks) == 2
+        for block in call_blocks:
+            successor = cfg.blocks[block.terminator.target]
+            assert successor.kind == "capture"
+            assert successor.edge.number == block.edge.number
+
+    def test_call_block_registered_for_edge(self):
+        cfg, recon = cfg_for(COMPUTE_SRC, "main")
+        for edge in recon.edges_from("main"):
+            assert edge.number in cfg.call_block_for_edge
+
+    def test_reconfig_block_and_resume_label(self):
+        cfg, recon = cfg_for(COMPUTE_SRC, "compute")
+        (reconfig_edge,) = [
+            e for e in recon.edges_from("compute") if e.kind == "reconfig"
+        ]
+        assert reconfig_edge.number in cfg.resume_block_for_edge
+        resume = cfg.resume_block_for_edge[reconfig_edge.number]
+        # The block before the resume label is the reconfig capture block.
+        predecessors = [
+            b
+            for b in cfg.blocks.values()
+            if isinstance(b.terminator, Goto) and b.terminator.target == resume
+        ]
+        assert any(b.kind == "reconfig_capture" for b in predecessors)
+
+    def test_compute_block_kinds(self):
+        cfg, _ = cfg_for(COMPUTE_SRC, "compute")
+        kinds = sorted(
+            b.kind for b in cfg.blocks.values() if b.kind != "plain"
+        )
+        assert kinds == ["call", "capture", "reconfig_capture"]
+
+
+class TestControlEdges:
+    def test_break_outside_loop(self):
+        # ast.parse accepts a stray break (the *compiler* rejects it);
+        # the CFG builder must reject it with a located diagnostic.
+        source = "def main():\n    break\n    mh.reconfig_point('R')\n"
+        with pytest.raises(FlattenError, match="break outside loop"):
+            cfg_for(source, "main")
+
+    def test_continue_outside_loop(self):
+        source = "def main():\n    continue\n    mh.reconfig_point('R')\n"
+        with pytest.raises(FlattenError, match="continue outside loop"):
+            cfg_for(source, "main")
+
+    def test_break_and_continue_targets(self):
+        source = (
+            "def main():\n"
+            "    x = 0\n"
+            "    while x < 10:\n"
+            "        x = x + 1\n"
+            "        if x == 2:\n"
+            "            continue\n"
+            "        if x == 5:\n"
+            "            break\n"
+            "    mh.reconfig_point('R')\n"
+        )
+        cfg, _ = cfg_for(source, "main")
+        cfg.check()
+
+    def test_code_after_return_is_kept_unreachable(self):
+        source = (
+            "def main():\n"
+            "    mh.reconfig_point('R')\n"
+            "    return 1\n"
+            "    x = 2\n"
+        )
+        cfg, _ = cfg_for(source, "main")
+        cfg.check()
+
+    def test_reachability_includes_resume_targets(self):
+        cfg, _ = cfg_for(COMPUTE_SRC, "compute")
+        reachable = cfg.reachable()
+        for block_id in cfg.call_block_for_edge.values():
+            assert block_id in reachable
+        for block_id in cfg.resume_block_for_edge.values():
+            assert block_id in reachable
+
+    def test_check_catches_missing_target(self):
+        cfg, _ = cfg_for(SIMPLE, "main")
+        some_block = next(iter(cfg.blocks.values()))
+        some_block.terminator = Goto(9999)
+        with pytest.raises(FlattenError):
+            cfg.check()
+
+    def test_check_catches_unterminated(self):
+        cfg, _ = cfg_for(SIMPLE, "main")
+        next(iter(cfg.blocks.values())).terminator = None
+        with pytest.raises(FlattenError):
+            cfg.check()

@@ -1,0 +1,154 @@
+"""Tests for for-range desugaring (repro.core.desugar)."""
+
+import ast
+
+import pytest
+
+from repro.core.desugar import desugar_for_range
+
+
+def run_fn(source: str, name: str = "f", *args):
+    namespace: dict = {}
+    exec(compile(source, "<test>", "exec"), namespace)
+    return namespace[name](*args)
+
+
+def desugared_source(source: str) -> str:
+    tree = ast.parse(source)
+    fn = tree.body[0]
+    assert isinstance(fn, ast.FunctionDef)
+    new_fn = desugar_for_range(fn)
+    module = ast.Module(body=[new_fn], type_ignores=[])
+    return ast.unparse(ast.fix_missing_locations(module))
+
+
+def assert_equivalent(source: str, *argsets):
+    """The desugared function must behave exactly like the original."""
+    new_source = desugared_source(source)
+    assert "for " not in new_source
+    for args in argsets:
+        assert run_fn(new_source, "f", *args) == run_fn(source, "f", *args)
+
+
+class TestEquivalence:
+    def test_one_arg_range(self):
+        assert_equivalent(
+            "def f(n):\n"
+            "    total = 0\n"
+            "    for i in range(n):\n"
+            "        total += i\n"
+            "    return total\n",
+            (0,), (1,), (5,), (100,),
+        )
+
+    def test_two_arg_range(self):
+        assert_equivalent(
+            "def f(a, b):\n"
+            "    out = []\n"
+            "    for i in range(a, b):\n"
+            "        out.append(i)\n"
+            "    return out\n",
+            (0, 5), (3, 3), (5, 2), (-3, 2),
+        )
+
+    def test_step_range(self):
+        assert_equivalent(
+            "def f(a, b, c):\n"
+            "    out = []\n"
+            "    for i in range(a, b, c):\n"
+            "        out.append(i)\n"
+            "    return out\n",
+            (0, 10, 2), (10, 0, -3), (0, 10, 3), (5, 5, 1), (0, 1, 10),
+        )
+
+    def test_continue_semantics(self):
+        assert_equivalent(
+            "def f(n):\n"
+            "    out = []\n"
+            "    for i in range(n):\n"
+            "        if i % 2 == 0:\n"
+            "            continue\n"
+            "        out.append(i)\n"
+            "    return out\n",
+            (0,), (7,), (10,),
+        )
+
+    def test_break_semantics(self):
+        assert_equivalent(
+            "def f(n):\n"
+            "    out = []\n"
+            "    for i in range(n):\n"
+            "        if i == 3:\n"
+            "            break\n"
+            "        out.append(i)\n"
+            "    return out\n",
+            (0,), (2,), (10,),
+        )
+
+    def test_nested_ranges(self):
+        assert_equivalent(
+            "def f(n):\n"
+            "    out = []\n"
+            "    for i in range(n):\n"
+            "        for j in range(i):\n"
+            "            out.append((i, j))\n"
+            "    return out\n",
+            (0,), (4,),
+        )
+
+    def test_loop_var_visible_after_loop(self):
+        assert_equivalent(
+            "def f(n):\n"
+            "    i = -1\n"
+            "    for i in range(n):\n"
+            "        pass\n"
+            "    return i\n",
+            (0,), (3,),
+        )
+
+    def test_bounds_evaluated_once(self):
+        # The stop expression must be evaluated exactly once, like range().
+        source = (
+            "def f(xs):\n"
+            "    count = 0\n"
+            "    for i in range(len(xs)):\n"
+            "        xs.append(i)\n"
+            "        count += 1\n"
+            "    return count\n"
+        )
+        assert run_fn(desugared_source(source), "f", [1, 2, 3]) == 3
+
+
+class TestGeneratedState:
+    def test_loop_state_is_plain_ints(self):
+        # The generated cursor variables must be ordinary locals so they
+        # land in the frame layout and survive capture.
+        text = desugared_source(
+            "def f(n):\n    for i in range(n):\n        pass\n"
+        )
+        assert "_mh_fr0_next" in text
+        assert "_mh_fr0_stop" in text
+        assert "_mh_fr0_step" in text
+
+    def test_distinct_loops_distinct_temps(self):
+        text = desugared_source(
+            "def f(n):\n"
+            "    for i in range(n):\n"
+            "        pass\n"
+            "    for j in range(n):\n"
+            "        pass\n"
+        )
+        assert "_mh_fr0_next" in text and "_mh_fr1_next" in text
+
+    def test_non_range_for_raises(self):
+        from repro.errors import TransformError
+
+        tree = ast.parse("def f(xs):\n    for x in xs:\n        pass\n")
+        with pytest.raises(TransformError):
+            desugar_for_range(tree.body[0])
+
+    def test_original_untouched(self):
+        tree = ast.parse("def f(n):\n    for i in range(n):\n        pass\n")
+        fn = tree.body[0]
+        desugar_for_range(fn)
+        assert isinstance(fn.body[0], ast.For)  # deep copy, not mutation

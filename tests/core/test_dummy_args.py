@@ -1,0 +1,102 @@
+"""Tests for dummy-argument substitution (repro.core.dummy_args)."""
+
+import ast
+
+from repro.core.dummy_args import (
+    count_substitutions,
+    is_safe_argument,
+    substitute_dummy_args,
+)
+
+
+def call_of(source: str) -> ast.Call:
+    node = ast.parse(source, mode="eval").body
+    assert isinstance(node, ast.Call)
+    return node
+
+
+def fn_of(source: str) -> ast.FunctionDef:
+    return ast.parse(source).body[0]
+
+
+class TestSafety:
+    def test_name_safe(self):
+        assert is_safe_argument(ast.parse("x", mode="eval").body)
+
+    def test_constant_safe(self):
+        assert is_safe_argument(ast.parse("42", mode="eval").body)
+
+    def test_negative_constant_safe(self):
+        assert is_safe_argument(ast.parse("-1", mode="eval").body)
+
+    def test_ref_constructor_safe(self):
+        assert is_safe_argument(ast.parse("Ref(0.0)", mode="eval").body)
+
+    def test_ref_of_expression_unsafe(self):
+        assert not is_safe_argument(ast.parse("Ref(a[i])", mode="eval").body)
+
+    def test_arithmetic_unsafe(self):
+        # n - 1 cannot fault, but the conservative rule dummies everything
+        # that is not a name/constant/Ref — correctness over cleverness.
+        assert not is_safe_argument(ast.parse("n - 1", mode="eval").body)
+
+    def test_subscript_unsafe(self):
+        # The paper's motivating case: a[i] with restored i can fault.
+        assert not is_safe_argument(ast.parse("a[i]", mode="eval").body)
+
+    def test_division_unsafe(self):
+        assert not is_safe_argument(ast.parse("x / y", mode="eval").body)
+
+    def test_nested_call_unsafe(self):
+        assert not is_safe_argument(ast.parse("g(x)", mode="eval").body)
+
+
+class TestSubstitution:
+    def test_names_kept(self):
+        call = call_of("f(num, n, rp)")
+        new = substitute_dummy_args(call, None)
+        assert ast.unparse(new) == "f(num, n, rp)"
+
+    def test_expression_dummied_untyped(self):
+        call = call_of("f(a[i])")
+        new = substitute_dummy_args(call, None)
+        assert ast.unparse(new) == "f(None)"
+
+    def test_typed_dummies_from_annotations(self):
+        # "The data types of these dummy arguments are determined by the
+        # types declared in the parameter list of the procedure."
+        callee = fn_of("def f(a: int, b: float, c: str, d: bool):\n    pass\n")
+        call = call_of("f(x + 1, y * 2, s[0], not z)")
+        new = substitute_dummy_args(call, callee)
+        assert ast.unparse(new) == "f(0, 0.0, '', False)"
+
+    def test_ref_annotation_dummy(self):
+        callee = fn_of("def f(rp: Ref):\n    pass\n")
+        call = call_of("f(cells[0])")
+        new = substitute_dummy_args(call, callee)
+        assert ast.unparse(new) == "f(Ref(None))"
+
+    def test_paper_recursive_call(self):
+        # compute(num, n - 1, rp): n-1 dummied to 0, rp (the pointer
+        # chain) kept — exactly the paper's requirement.
+        callee = fn_of("def compute(num: int, n: int, rp: Ref):\n    pass\n")
+        call = call_of("compute(num, n - 1, rp)")
+        new = substitute_dummy_args(call, callee)
+        assert ast.unparse(new) == "compute(num, 0, rp)"
+
+    def test_original_not_mutated(self):
+        call = call_of("f(x + 1)")
+        substitute_dummy_args(call, None)
+        assert ast.unparse(call) == "f(x + 1)"
+
+    def test_more_args_than_params(self):
+        callee = fn_of("def f(a: int):\n    pass\n")
+        call = call_of("f(x + 1, y + 2)")
+        new = substitute_dummy_args(call, callee)
+        assert ast.unparse(new) == "f(0, None)"
+
+
+class TestCount:
+    def test_counts(self):
+        assert count_substitutions(call_of("f(a, 1, b + 1, c[0])")) == 2
+        assert count_substitutions(call_of("f()")) == 0

@@ -1,0 +1,148 @@
+"""Property-based tests of the reconfiguration-graph construction.
+
+The paper's defining law (Section 3): the reconfiguration graph spans
+exactly the procedures on paths from ``main`` to a procedure containing
+a reconfiguration point.  We generate random call structures and check
+the law, plus the numbering invariants, against the independent
+ground truth computed from the generated call matrix with networkx.
+"""
+
+import ast
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.callgraph import build_call_graph
+from repro.core.recongraph import RECONFIG_NODE, build_reconfiguration_graph
+from repro.errors import ReconfigGraphError
+
+
+def _truth_graph(edges, main_calls, count):
+    truth = nx.DiGraph()
+    truth.add_node("main")
+    for index in range(count):
+        truth.add_node(f"f{index}")
+    for target in main_calls:
+        truth.add_edge("main", f"f{target}")
+    for caller, callee in edges:
+        truth.add_edge(f"f{caller}", f"f{callee}")
+    return truth
+
+
+@st.composite
+def random_programs(draw):
+    """A random program: main + f0..f{n-1} with forward calls.
+
+    Calls go only from lower to higher indices (plus optional direct
+    self-recursion), so generated programs terminate trivially and the
+    call matrix doubles as ground truth.
+    """
+    count = draw(st.integers(min_value=2, max_value=8))
+    edges = set()
+    for caller in range(count):
+        callees = draw(
+            st.lists(
+                st.integers(min_value=caller + 1, max_value=count - 1),
+                max_size=3,
+            )
+            if caller + 1 <= count - 1
+            else st.just([])
+        )
+        for callee in callees:
+            edges.add((caller, callee))
+    main_calls = draw(
+        st.lists(st.integers(min_value=0, max_value=count - 1), min_size=1,
+                 max_size=3)
+    )
+    point_holders = draw(
+        st.lists(st.integers(min_value=0, max_value=count - 1), min_size=1,
+                 max_size=2, unique=True)
+    )
+
+    lines = ["def main():"]
+    for target in main_calls:
+        lines.append(f"    f{target}(0)")
+    lines.append("")
+    for index in range(count):
+        lines.append(f"def f{index}(x: int):")
+        body = []
+        if index in point_holders:
+            body.append(f"    mh.reconfig_point('P{index}')")
+        for caller, callee in sorted(edges):
+            if caller == index:
+                body.append(f"    f{callee}(x + 1)")
+        if not body:
+            body.append("    return x")
+        lines.extend(body)
+        lines.append("")
+    source = "\n".join(lines)
+    return source, edges, main_calls, point_holders, count
+
+
+@given(random_programs())
+@settings(max_examples=120, deadline=None)
+def test_node_set_law(program):
+    source, edges, main_calls, point_holders, count = program
+    tree = ast.parse(source)
+    call_graph = build_call_graph(tree)
+
+    truth = _truth_graph(edges, main_calls, count)
+    reachable = {"main"} | nx.descendants(truth, "main")
+    points = {f"f{i}" for i in point_holders}
+
+    if points - reachable:
+        # A point in dead code is a configuration error, by design.
+        with pytest.raises(ReconfigGraphError, match="unreachable"):
+            build_reconfiguration_graph(call_graph)
+        return
+    recon = build_reconfiguration_graph(call_graph)
+    reaches_point = set()
+    for node in truth.nodes:
+        if node in points or any(
+            nx.has_path(truth, node, point) for point in points
+        ):
+            reaches_point.add(node)
+
+    expected_nodes = (reachable & reaches_point) | {"main"}
+    assert set(recon.nodes) == expected_nodes
+
+    # Numbering: consecutive from 1, one reconfig edge per reachable point.
+    assert [e.number for e in recon.edges] == list(range(1, len(recon.edges) + 1))
+    reachable_points = points & reachable
+    assert len(recon.reconfig_edges()) == len(reachable_points)
+    for edge in recon.reconfig_edges():
+        assert edge.target == RECONFIG_NODE
+        assert edge.source in expected_nodes
+
+    # Every call edge of the reconfiguration graph joins two graph nodes
+    # and corresponds to a real call site.
+    for edge in recon.call_edges():
+        assert edge.source in expected_nodes
+        assert edge.target in expected_nodes
+        assert edge.call_site is not None
+        assert edge.call_site.callee == edge.target
+
+
+@given(random_programs())
+@settings(max_examples=60, deadline=None)
+def test_every_possible_stack_is_instrumented(program):
+    """Any stack alive at a capture is a path main -> ... -> point-holder;
+    every node on every such path must be in the reconfiguration graph."""
+    source, edges, main_calls, point_holders, count = program
+    tree = ast.parse(source)
+    call_graph = build_call_graph(tree)
+
+    truth = _truth_graph(edges, main_calls, count)
+    reachable = {"main"} | nx.descendants(truth, "main")
+    if {f"f{i}" for i in point_holders} - reachable:
+        return  # rejected configuration, covered by test_node_set_law
+    recon = build_reconfiguration_graph(call_graph)
+
+    for point in point_holders:
+        holder = f"f{point}"
+        if holder not in truth or not nx.has_path(truth, "main", holder):
+            continue
+        for path in nx.all_simple_paths(truth, "main", holder):
+            for node in path:
+                assert recon.is_instrumented(node), (path, node)

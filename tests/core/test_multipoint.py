@@ -1,0 +1,105 @@
+"""Behavioural tests for modules with multiple reconfiguration points.
+
+Section 3: "A program may have more than one reconfiguration point; in
+such a case ... all reconfiguration points can share the same capture
+and restore blocks" (for the call edges).  These tests interrupt the
+same program at each of its points and check exact continuation.
+"""
+
+import pytest
+
+from repro.core import prepare_module
+from repro.runtime.mh import MH
+from repro.state.frames import ProcessState
+
+from tests.core.helpers import ScriptedPort, run_module
+
+TWO_POINTS_SRC = """\
+def main():
+    total = None
+    item = None
+    total = 0
+    item = mh.read1('inp')
+    while item >= 0:
+        total = stage_a(total, item)
+        total = stage_b(total, item)
+        item = mh.read1('inp')
+    mh.write('out', 'l', total)
+
+
+def stage_a(total: int, item: int):
+    mh.reconfig_point('A')
+    return total + item
+
+
+def stage_b(total: int, item: int):
+    mh.reconfig_point('B')
+    return total + item * 10
+"""
+
+#: inputs terminated by -1; expected: sum(item) + 10*sum(item)
+INPUTS = [3, 5, 2, -1]
+EXPECTED = sum(i for i in INPUTS if i >= 0) * 11
+
+
+def interrupt_after(reads: int):
+    result = prepare_module(TWO_POINTS_SRC, "m")
+    mh = MH("m")
+    port = ScriptedPort(mh, {"inp": list(INPUTS)}, reconfig_after_reads=reads)
+    mh.attach_port(port)
+    run_module(result.source, mh)
+    assert mh.divulged.is_set()
+    return result, mh, port
+
+
+class TestTwoPoints:
+    def test_structure(self):
+        result = prepare_module(TWO_POINTS_SRC, "m")
+        assert set(result.reports) == {"main", "stage_a", "stage_b"}
+        assert result.reports["stage_a"].reconfig_capture_blocks == 1
+        assert result.reports["stage_b"].reconfig_capture_blocks == 1
+        assert result.reports["main"].call_capture_blocks == 2
+        assert result.recon_graph.point_labels() == ["A", "B"]
+
+    @pytest.mark.parametrize("reads", [1, 2, 3])
+    def test_interrupt_anywhere_resumes_exactly(self, reads):
+        result, mh, port = interrupt_after(reads)
+        clone = MH("m", status="clone")
+        clone.incoming_packet = mh.outgoing_packet
+        clone_port = ScriptedPort(clone, dict(port.queues))
+        clone.attach_port(clone_port)
+        run_module(result.source, clone)
+        assert clone_port.out == [("out", [EXPECTED])]
+
+    def test_captured_point_label_identifies_which_point(self):
+        # After read k the next capture happens at A (the first point
+        # reached in the loop body).
+        _result, mh, _port = interrupt_after(1)
+        state = ProcessState.from_bytes(mh.outgoing_packet)
+        assert state.reconfig_point == "A"
+        assert state.stack.call_chain() == ["main", "stage_a"]
+
+    def test_point_b_reachable_too(self):
+        # Signal raised while stage_a executes is honoured at the *next*
+        # point; starting the signal between A and B lands on B.  We
+        # emulate by signalling inside stage_a's read... simpler: signal
+        # immediately — the first point reached from a cold start is A;
+        # from a restored state before B it is B.  Interrupt at A, then
+        # interrupt the clone again: its next point is B.
+        result, mh, port = interrupt_after(1)
+        clone = MH("m", status="clone")
+        clone.incoming_packet = mh.outgoing_packet
+        clone.request_reconfig()  # second reconfiguration, immediately
+        clone_port = ScriptedPort(clone, dict(port.queues))
+        clone.attach_port(clone_port)
+        run_module(result.source, clone)
+        assert clone.divulged.is_set()
+        state = ProcessState.from_bytes(clone.outgoing_packet)
+        assert state.reconfig_point == "B"
+
+        final = MH("m", status="clone")
+        final.incoming_packet = clone.outgoing_packet
+        final_port = ScriptedPort(final, dict(clone_port.queues))
+        final.attach_port(final_port)
+        run_module(result.source, final)
+        assert final_port.out == [("out", [EXPECTED])]

@@ -1,0 +1,135 @@
+"""Tests for frame layout analysis (repro.core.varinfo)."""
+
+import ast
+
+import pytest
+
+from repro.core.varinfo import VarKind, analyze_frame
+from repro.errors import TransformError
+
+
+def layout_of(source: str):
+    tree = ast.parse(source)
+    return analyze_frame(tree.body[0])
+
+
+class TestParams:
+    def test_plain_params(self):
+        layout = layout_of("def f(a, b):\n    pass\n")
+        assert [(v.name, v.kind) for v in layout.variables] == [
+            ("a", VarKind.PARAM),
+            ("b", VarKind.PARAM),
+        ]
+
+    def test_annotated_chars(self):
+        layout = layout_of("def f(a: int, b: float, c: str, d: bool):\n    pass\n")
+        assert [v.fmt_char for v in layout.variables] == ["l", "F", "s", "b"]
+
+    def test_ref_param(self):
+        layout = layout_of("def f(rp: Ref):\n    pass\n")
+        assert layout.variables[0].kind == VarKind.REF_PARAM
+
+    def test_ref_param_typed_pointee(self):
+        layout = layout_of("def f(rp: Ref[float]):\n    pass\n")
+        var = layout.variables[0]
+        assert var.kind == VarKind.REF_PARAM
+        assert var.fmt_char == "F"
+
+    def test_unknown_annotation_is_any(self):
+        layout = layout_of("def f(x: list):\n    pass\n")
+        assert layout.variables[0].fmt_char == "a"
+
+    def test_paper_compute_fmt(self):
+        # compute(num: int, n: int, rp: Ref) + local temper -> 'l' + lll?a
+        layout = layout_of(
+            "def compute(num: int, n: int, rp: Ref):\n"
+            "    temper = None\n"
+        )
+        assert layout.fmt == "lllaa"
+        assert layout.names() == ["num", "n", "rp", "temper"]
+
+
+class TestLocals:
+    def test_locals_in_first_binding_order(self):
+        layout = layout_of(
+            "def f():\n"
+            "    b = 1\n"
+            "    a = 2\n"
+            "    b = a\n"
+        )
+        assert layout.local_names() == ["b", "a"]
+
+    def test_augassign_binds(self):
+        layout = layout_of("def f():\n    x = 0\n    x += 1\n")
+        assert layout.local_names() == ["x"]
+
+    def test_for_target_binds(self):
+        layout = layout_of("def f():\n    for i in range(3):\n        pass\n")
+        assert "i" in layout.local_names()
+
+    def test_tuple_unpack_binds_all(self):
+        layout = layout_of("def f():\n    a, b = 1, 2\n")
+        assert layout.local_names() == ["a", "b"]
+
+    def test_subscript_store_is_not_local(self):
+        layout = layout_of("def f(d):\n    d['k'] = 1\n")
+        assert layout.local_names() == []
+
+    def test_attribute_store_is_not_local(self):
+        layout = layout_of("def f(o):\n    o.attr = 1\n")
+        assert layout.local_names() == []
+
+
+class TestRefLocals:
+    def test_ref_constructor_marks_ref_local(self):
+        layout = layout_of("def f():\n    cell = Ref(0.0)\n")
+        assert layout.variables[0].kind == VarKind.REF_LOCAL
+
+    def test_mixed_binding_rejected(self):
+        with pytest.raises(TransformError, match="separate names"):
+            layout_of("def f():\n    x = Ref(0.0)\n    x = 1\n")
+
+    def test_param_rebound_to_ref_rejected(self):
+        with pytest.raises(TransformError, match="annotate"):
+            layout_of("def f(x):\n    x = Ref(0.0)\n")
+
+
+class TestCaptureRestoreExprs:
+    def test_plain(self):
+        layout = layout_of("def f(x):\n    pass\n")
+        var = layout.variable("x")
+        assert var.capture_expr() == "x"
+        assert var.restore_stmt("_v[1]") == "x = _v[1]"
+
+    def test_ref_param(self):
+        layout = layout_of("def f(rp: Ref):\n    pass\n")
+        var = layout.variable("rp")
+        assert var.capture_expr() == "rp.get()"
+        assert var.restore_stmt("_v[1]") == "rp.set(_v[1])"
+
+    def test_ref_local(self):
+        layout = layout_of("def f():\n    cell = Ref(0)\n")
+        var = layout.variable("cell")
+        assert var.capture_expr() == "mh.pack_ref(cell)"
+        assert var.restore_stmt("_v[1]") == "cell = mh.unpack_ref(_v[1])"
+
+    def test_unknown_name(self):
+        layout = layout_of("def f():\n    pass\n")
+        with pytest.raises(TransformError):
+            layout.variable("ghost")
+
+
+class TestFmtString:
+    def test_leading_location_char(self):
+        layout = layout_of("def f(a: int):\n    pass\n")
+        assert layout.fmt.startswith("l")
+        assert layout.fmt == "ll"
+
+    def test_ref_local_is_any(self):
+        layout = layout_of("def f():\n    cell = Ref(0)\n")
+        assert layout.fmt == "la"
+
+    def test_param_and_local_split(self):
+        layout = layout_of("def f(a, b: Ref):\n    c = 1\n")
+        assert layout.param_names() == ["a", "b"]
+        assert layout.local_names() == ["c"]

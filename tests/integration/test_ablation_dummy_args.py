@@ -1,0 +1,91 @@
+"""Ablation: dummy-argument substitution (paper Section 3, last paragraphs).
+
+"When the original procedure call is repeated during restoration, these
+expressions are evaluated with the restored state, and their evaluation
+can cause a run-time error that did not arise when they were evaluated
+with the original state.  The solution ... is to modify the call by
+substituting dummy arguments."
+
+This module constructs exactly that hazard: the callee moves a shared
+index out of range before the reconfiguration point, so re-evaluating
+the original argument expression ``xs[idx.get()]`` with restored state
+faults.  With substitution (the default) restoration succeeds; with the
+ablation flag the predicted IndexError occurs.
+"""
+
+import pytest
+
+from repro.core import prepare_module
+from repro.runtime.mh import MH
+from repro.runtime.refs import Ref
+
+from tests.core.helpers import ScriptedPort, run_module
+
+HAZARD_SRC = """\
+def main():
+    xs = None
+    idx = None
+    out = None
+    xs = [10, 20, 30]
+    idx = Ref(2)
+    out = Ref(0)
+    consume(xs[idx.get()], idx, out)
+    mh.write('out', 'l', out.get())
+
+
+def consume(value: int, idx: Ref, out: Ref):
+    idx.set(99)
+    mh.reconfig_point('R')
+    out.set(value + 1)
+"""
+
+
+def capture(source_result):
+    mh = MH("m")
+    port = ScriptedPort(mh, {})
+    mh.attach_port(port)
+    mh.request_reconfig()
+    run_module(source_result.source, mh)
+    assert mh.divulged.is_set()
+    return mh.outgoing_packet
+
+
+def restore(source_result, packet):
+    clone = MH("m", status="clone")
+    clone.incoming_packet = packet
+    port = ScriptedPort(clone, {})
+    clone.attach_port(port)
+    run_module(source_result.source, clone)
+    return port.out
+
+
+class TestDummySubstitution:
+    def test_hazard_is_real_without_substitution(self):
+        ablated = prepare_module(HAZARD_SRC, "m", substitute_dummies=False)
+        packet = capture(ablated)
+        with pytest.raises(IndexError):
+            restore(ablated, packet)
+
+    def test_substitution_prevents_the_fault(self):
+        prepared = prepare_module(HAZARD_SRC, "m")
+        packet = capture(prepared)
+        out = restore(prepared, packet)
+        # xs[2] == 30 was captured in consume's frame; +1 on resume.
+        assert out == [("out", [31])]
+
+    def test_generated_redo_call_differs(self):
+        prepared = prepare_module(HAZARD_SRC, "m").source
+        ablated = prepare_module(HAZARD_SRC, "m", substitute_dummies=False).source
+        # The safe version passes a dummy for the subscript expression but
+        # keeps the Ref names (pointer chain rebuild).
+        assert "consume(0, idx, out)" in prepared
+        assert "consume(0, idx, out)" not in ablated
+
+    def test_cross_compatible_packets(self):
+        # Substitution changes only the redo call, not the wire format:
+        # a packet captured by the ablated module restores fine under the
+        # safe module.
+        ablated = prepare_module(HAZARD_SRC, "m", substitute_dummies=False)
+        safe = prepare_module(HAZARD_SRC, "m")
+        packet = capture(ablated)
+        assert restore(safe, packet) == [("out", [31])]

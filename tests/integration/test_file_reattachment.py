@@ -1,0 +1,76 @@
+"""Integration: open files survive replacement via re-attachment hooks.
+
+Paper Section 1.2: file descriptors are kernel state the platform cannot
+capture; "the programmer must write code to ... regain access to files."
+The ``mh.files`` registry implements that contract: the abstract state
+carries each file's path/mode/position, and the clone reopens and seeks.
+"""
+
+import pytest
+
+from repro.core import prepare_module
+from repro.runtime.mh import MH, ModuleStop
+
+from tests.core.helpers import ScriptedPort, run_module
+
+LOGGER_SRC = """\
+def main():
+    value = None
+    mh.files.register('log', open(mh.config['log_path'], 'w'))
+    while mh.running:
+        mh.reconfig_point('P')
+        value = mh.read1('inp')
+        mh.files.get('log').write(str(value) + '\\n')
+"""
+
+
+class TestFileSurvivesReplacement:
+    def test_log_continuous_across_clone(self, tmp_path):
+        log_path = tmp_path / "module.log"
+        result = prepare_module(LOGGER_SRC, "logger")
+
+        # Original writes three lines, then divulges at P.
+        mh = MH("logger")
+        mh.config["log_path"] = str(log_path)
+        port = ScriptedPort(mh, {"inp": [1, 2, 3]}, reconfig_after_reads=3)
+        mh.attach_port(port)
+        run_module(result.source, mh)
+        assert mh.divulged.is_set()
+        mh.files.close_all()
+
+        # Clone reopens the same log (no truncation!) and appends.
+        clone = MH("logger", status="clone")
+        clone.incoming_packet = mh.outgoing_packet
+        clone.config["log_path"] = str(log_path)
+        clone_port = ScriptedPort(clone, {"inp": [4, 5]})
+        clone.attach_port(clone_port)
+
+        def stop_when_drained(*args, **kwargs):
+            raise ModuleStop("drained")
+
+        try:
+            run_module(result.source, clone)
+        except (ModuleStop, AssertionError):
+            pass  # ScriptedPort raises when the queue drains
+        clone.files.close_all()
+
+        lines = log_path.read_text().strip().split("\n")
+        assert lines == ["1", "2", "3", "4", "5"]
+
+    def test_position_carried_in_abstract_state(self, tmp_path):
+        log_path = tmp_path / "module.log"
+        result = prepare_module(LOGGER_SRC, "logger")
+        mh = MH("logger")
+        mh.config["log_path"] = str(log_path)
+        port = ScriptedPort(mh, {"inp": [7]}, reconfig_after_reads=1)
+        mh.attach_port(port)
+        run_module(result.source, mh)
+
+        from repro.state.frames import ProcessState
+
+        state = ProcessState.from_bytes(mh.outgoing_packet)
+        files = state.heap["files"]
+        assert len(files) == 1
+        assert files[0]["name"] == "log"
+        assert files[0]["path"] == str(log_path)
+        mh.files.close_all()

@@ -1,0 +1,103 @@
+"""Integration: heap state crosses a replacement (paper Section 1.2).
+
+A module keeping a shared, aliased buffer in ``mh.heap`` is captured and
+restored: the structure (including aliasing) survives, and a custom
+structure travels through programmer-registered hooks.
+"""
+
+from repro.core import prepare_module
+from repro.runtime.mh import MH
+
+from tests.core.helpers import ScriptedPort, run_module
+
+BUFFERING_SRC = """\
+def main():
+    value = None
+    mh.heap['window'] = []
+    mh.heap['by_parity'] = {'even': [], 'odd': []}
+    while mh.running:
+        mh.reconfig_point('P')
+        value = mh.read1('inp')
+        mh.heap['window'].append(value)
+        if value % 2 == 0:
+            mh.heap['by_parity']['even'].append(value)
+        else:
+            mh.heap['by_parity']['odd'].append(value)
+        mh.write('out', 'l', len(mh.heap['window']))
+"""
+
+
+class TestHeapAcrossReplacement:
+    def capture_after(self, reads):
+        result = prepare_module(BUFFERING_SRC, "buffers")
+        mh = MH("buffers")
+        port = ScriptedPort(
+            mh, {"inp": [1, 2, 3, 4, 5]}, reconfig_after_reads=reads
+        )
+        mh.attach_port(port)
+        run_module(result.source, mh)
+        assert mh.divulged.is_set()
+        return result, mh, port
+
+    def test_heap_contents_carried(self):
+        result, mh, port = self.capture_after(3)
+        clone = MH("buffers", status="clone")
+        clone.incoming_packet = mh.outgoing_packet
+        clone_port = ScriptedPort(clone, dict(port.queues))
+        clone.attach_port(clone_port)
+        try:
+            run_module(result.source, clone)
+        except AssertionError:
+            pass  # scripted queue drained
+        assert clone.heap["window"] == [1, 2, 3, 4, 5]
+        assert clone.heap["by_parity"] == {"even": [2, 4], "odd": [1, 3, 5]}
+
+    def test_aliasing_survives(self):
+        result = prepare_module(BUFFERING_SRC, "buffers")
+        mh = MH("buffers")
+        shared = [10, 20]
+        mh.heap["a"] = shared
+        mh.heap["b"] = shared
+        mh.heap["window"] = []
+        mh.heap["by_parity"] = {"even": [], "odd": []}
+        port = ScriptedPort(mh, {"inp": [1]}, reconfig_after_reads=1)
+        mh.attach_port(port)
+        run_module(result.source, mh)
+
+        clone = MH("buffers", status="clone")
+        clone.incoming_packet = mh.outgoing_packet
+        clone.attach_port(ScriptedPort(clone, {"inp": []}))
+        clone.decode()
+        assert clone.heap["a"] is clone.heap["b"]
+        clone.heap["a"].append(30)
+        assert clone.heap["b"] == [10, 20, 30]
+
+    def test_custom_structure_via_hook(self):
+        class RingBuffer:
+            def __init__(self, items, capacity):
+                self.items = list(items)
+                self.capacity = capacity
+
+        def hook_pair():
+            return (
+                lambda rb: {"items": rb.items, "capacity": rb.capacity},
+                lambda raw: RingBuffer(raw["items"], raw["capacity"]),
+            )
+
+        result = prepare_module(BUFFERING_SRC, "buffers")
+        mh = MH("buffers")
+        capture_hook, restore_hook = hook_pair()
+        mh.register_heap_hook("ring", capture_hook, restore_hook)
+        mh.heap["ring"] = RingBuffer([1, 2], capacity=8)
+        port = ScriptedPort(mh, {"inp": [1]}, reconfig_after_reads=1)
+        mh.attach_port(port)
+        run_module(result.source, mh)
+
+        clone = MH("buffers", status="clone")
+        capture_hook2, restore_hook2 = hook_pair()
+        clone.register_heap_hook("ring", capture_hook2, restore_hook2)
+        clone.incoming_packet = mh.outgoing_packet
+        clone.attach_port(ScriptedPort(clone, {"inp": []}))
+        clone.decode()
+        ring = clone.heap["ring"]
+        assert ring.items == [1, 2] and ring.capacity == 8

@@ -1,0 +1,79 @@
+"""Integration: heterogeneous moves across every simulated machine pair.
+
+The paper's abstract-state argument is that a module can be moved "to
+different architectures".  We move the compute module between hosts of
+every architecture pairing (endianness x word size) and verify exact
+computational continuity; we also verify that an *unrepresentable* state
+is refused with a diagnostic rather than silently corrupted.
+"""
+
+import pytest
+
+from repro.errors import MachineCompatibilityError
+from repro.state.frames import ProcessState
+from repro.state.machine import MACHINES
+
+from tests.core.helpers import capture_compute_mid_recursion, resume_compute
+
+DOUBLE_MACHINES = [name for name, p in MACHINES.items() if p.float_bits == 64]
+
+
+@pytest.mark.parametrize("source_name", DOUBLE_MACHINES)
+@pytest.mark.parametrize("target_name", DOUBLE_MACHINES)
+def test_every_machine_pair(source_name, target_name):
+    packet, port = capture_compute_mid_recursion(
+        n=4, reconfig_after_reads=3, machine=MACHINES[source_name]
+    )
+    clone_port = resume_compute(
+        packet, port.queues["sensor"], machine=MACHINES[target_name]
+    )
+    assert clone_port.out == [("display", [25.0])]
+
+
+def test_packet_identical_from_any_source():
+    # Canonical means canonical: the abstract packet bytes depend only on
+    # the abstract state, not on the capturing machine.  (Timestamps and
+    # sequence numbers do not enter process-state packets; the source
+    # machine name does, so compare with it normalised.)
+    packets = []
+    for name in DOUBLE_MACHINES:
+        packet, _ = capture_compute_mid_recursion(
+            n=3, reconfig_after_reads=2, machine=MACHINES[name]
+        )
+        state = ProcessState.from_bytes(packet)
+        state.source_machine = ""
+        packets.append(state.to_bytes())
+    assert len(set(packets)) == 1
+
+
+def test_unrepresentable_state_refused():
+    # Capture a frame whose long exceeds the target's 32-bit native long:
+    # restoring on vax-like must fail loudly at decode time.
+    from repro.runtime.mh import MH
+
+    mh = MH("m", MACHINES["alpha-like"])  # 64-bit source
+    mh.begin_reconfig_capture("P")
+    mh.capture("main", "ll", 1, 2**40)
+    packet = mh.encode()
+
+    clone = MH("m", MACHINES["vax-like"], status="clone")
+    clone.incoming_packet = packet
+    with pytest.raises(MachineCompatibilityError):
+        clone.decode()
+
+
+def test_refusal_happens_before_any_state_installed():
+    from repro.runtime.mh import MH
+
+    mh = MH("m", MACHINES["alpha-like"])
+    mh.statics["wide"] = 2**40
+    mh.begin_reconfig_capture("P")
+    mh.capture("main", "l", 1)
+    packet = mh.encode()
+
+    clone = MH("m", MACHINES["vax-like"], status="clone")
+    clone.incoming_packet = packet
+    with pytest.raises(MachineCompatibilityError):
+        clone.decode()
+    assert not clone.restoring
+    assert clone.statics == {}

@@ -1,0 +1,81 @@
+"""Integration: live software upgrade of a pipeline worker (maintenance).
+
+The paper's motivation: "Dynamic reconfiguration is needed in order to
+make changes to very long-running applications or those that must be
+continuously available ... to perform software maintenance."
+"""
+
+import pytest
+
+from repro.apps.pipeline import (
+    WORKER_V2_SOURCE,
+    build_pipeline_configuration,
+    v1_formula,
+    v2_formula,
+)
+from repro.bus.bus import SoftwareBus
+from repro.reconfig.scripts import upgrade_module
+from repro.state.machine import MACHINES
+
+from tests.conftest import wait_until
+
+
+@pytest.fixture
+def pipeline():
+    config = build_pipeline_configuration(count=40, interval=0.02)
+    bus = SoftwareBus(sleep_scale=1.0)
+    bus.add_host("alpha", MACHINES["sparc-like"])
+    bus.add_host("beta", MACHINES["vax-like"])
+    bus.launch(config, default_host="alpha")
+    yield bus
+    bus.shutdown()
+
+
+def sink_values(bus: SoftwareBus):
+    return bus.get_module("sink").mh.statics.get("values", [])
+
+
+def wait_sink(bus: SoftwareBus, count: int):
+    def check():
+        bus.check_health()
+        return len(sink_values(bus)) >= count
+
+    wait_until(check, timeout=30)
+    return list(sink_values(bus))
+
+
+class TestLiveUpgrade:
+    def test_upgrade_mid_stream(self, pipeline):
+        wait_sink(pipeline, 3)
+        report = upgrade_module(pipeline, "worker", WORKER_V2_SOURCE, timeout=15)
+        assert report.kind == "upgrade"
+        values = wait_sink(pipeline, 40)
+
+        # Every reading converted exactly once, in order; the formula
+        # switches from v1 to v2 at exactly one cut point.
+        assert len(values) == 40
+        cuts = [
+            k
+            for k in range(41)
+            if values[:k] == [v1_formula(c) for c in range(k)]
+            and values[k:] == [v2_formula(c) for c in range(k, 40)]
+        ]
+        assert cuts, f"no consistent upgrade cut in {values}"
+
+    def test_upgrade_preserves_statics(self, pipeline):
+        wait_sink(pipeline, 3)
+        count_before = pipeline.get_module("worker").mh.statics.get("count", 0)
+        upgrade_module(pipeline, "worker", WORKER_V2_SOURCE, timeout=15)
+        wait_sink(pipeline, 40)
+        count_after = pipeline.get_module("worker").mh.statics.get("count", 0)
+        assert count_after == 40
+        assert count_after >= count_before
+
+    def test_upgrade_can_also_relocate(self, pipeline):
+        wait_sink(pipeline, 2)
+        upgrade_module(
+            pipeline, "worker", WORKER_V2_SOURCE, machine="beta", timeout=15
+        )
+        assert pipeline.get_module("worker").host.name == "beta"
+        values = wait_sink(pipeline, 40)
+        assert len(values) == 40

@@ -1,0 +1,83 @@
+"""Integration: the paper's Section 2 scenario, end to end (FIG1).
+
+The monitor application runs across two simulated machines; the compute
+module is moved mid-recursion; no displayed value is lost, duplicated,
+or wrong.
+"""
+
+import pytest
+
+from repro.reconfig.scripts import move_module, replace_module
+from repro.state.frames import ProcessState
+
+from tests.reconfig.helpers import expected_averages, launch_monitor, wait_displayed
+
+
+@pytest.fixture
+def monitor():
+    bus = launch_monitor()
+    yield bus
+    bus.shutdown()
+
+
+class TestMonitorMove:
+    def test_figure1_before_after_topology(self, monitor):
+        wait_displayed(monitor, 2)
+        before = monitor.snapshot_configuration()
+        assert before.instance("compute").machine == "alpha"
+
+        move_module(monitor, "compute", machine="beta", timeout=15)
+
+        after = monitor.snapshot_configuration()
+        assert after.instance("compute").machine == "beta"
+        # Topology otherwise unchanged: same instances, same bindings.
+        assert sorted(i.instance for i in after.instances) == sorted(
+            i.instance for i in before.instances
+        )
+        assert len(after.bindings) == len(before.bindings)
+
+    def test_move_happens_mid_recursion(self, monitor):
+        # The defining demonstration: the AR stack is captured "in the
+        # midst of these recursive calls" — stack depth > 1.
+        wait_displayed(monitor, 2)
+        report = move_module(monitor, "compute", machine="beta", timeout=15)
+        assert report.stack_depth >= 2  # main + at least one compute frame
+        values = wait_displayed(monitor, 30)
+        assert values == expected_averages(30)
+
+    def test_no_value_lost_or_duplicated(self, monitor):
+        wait_displayed(monitor, 3)
+        move_module(monitor, "compute", machine="beta", timeout=15)
+        values = wait_displayed(monitor, 30)
+        assert values == expected_averages(30)
+        assert len(values) == len(set(values))
+
+    def test_state_packet_crosses_endianness(self, monitor):
+        # alpha is big-endian, beta little-endian: the packet decoded on
+        # beta must be the exact abstract state captured on alpha.
+        wait_displayed(monitor, 2)
+        report = move_module(monitor, "compute", machine="beta", timeout=15)
+        packet = monitor.get_module("compute").mh.incoming_packet
+        assert packet is not None
+        state = ProcessState.from_bytes(packet)
+        assert state.reconfig_point == "R"
+        assert state.source_machine == "alpha"
+        assert state.stack.depth == report.stack_depth
+
+    def test_discard_variant_also_moves(self):
+        # The faithful Figure 3 module (with the buffer-discard branch)
+        # reaches R even while idle, via compute(1, 1, Ref(0.0)).
+        bus = launch_monitor(requests=0, discard=True)
+        try:
+            report = replace_module(bus, "compute", machine="beta", timeout=15)
+            assert report.stack_depth >= 2
+            assert bus.get_module("compute").host.name == "beta"
+        finally:
+            bus.shutdown()
+
+    def test_many_consecutive_moves(self, monitor):
+        wait_displayed(monitor, 1)
+        for target in ("beta", "alpha", "beta", "alpha"):
+            move_module(monitor, "compute", machine=target, timeout=15)
+        values = wait_displayed(monitor, 30)
+        assert values == expected_averages(30)

@@ -1,0 +1,76 @@
+"""Integration: the evolving philosophers problem ([6], Kramer & Magee).
+
+A philosopher is replaced while the dinner runs.  The reconfiguration
+point in the thinking phase is the application-level consistency
+condition: the philosopher holds no forks and has no outstanding
+request, so the change cannot corrupt the table's state.
+"""
+
+import pytest
+
+from repro.apps.philosophers import build_philosophers_configuration, meal_counts
+from repro.bus.bus import SoftwareBus
+from repro.reconfig.scripts import move_module, replace_module
+from repro.state.machine import MACHINES
+
+from tests.conftest import wait_until
+
+
+@pytest.fixture
+def dinner():
+    config = build_philosophers_configuration(count=3, think=0.005)
+    bus = SoftwareBus(sleep_scale=1.0)
+    bus.add_host("alpha", MACHINES["sparc-like"])
+    bus.add_host("beta", MACHINES["vax-like"])
+    bus.launch(config, default_host="alpha")
+    yield bus
+    bus.shutdown()
+
+
+def wait_meals(bus, minimum, timeout=30):
+    def check():
+        bus.check_health()
+        return all(count >= minimum for count in meal_counts(bus))
+
+    wait_until(check, timeout=timeout)
+
+
+class TestEvolvingPhilosophers:
+    def test_everyone_eats(self, dinner):
+        wait_meals(dinner, 2)
+        table = dinner.get_module("table").mh.statics
+        assert table["grants"] >= 6
+
+    def test_replace_philosopher_mid_dinner(self, dinner):
+        wait_meals(dinner, 2)
+        meals_before = dinner.get_module("phil1").mh.statics.get("meals", 0)
+        report = replace_module(dinner, "phil1", timeout=15)
+        assert report.stack_depth == 1  # point is in main: flat capture
+        wait_meals(dinner, meals_before + 2)
+        meals_after = dinner.get_module("phil1").mh.statics["meals"]
+        # The meal counter was part of the captured frame: no reset.
+        assert meals_after >= meals_before + 2
+
+    def test_move_philosopher_to_other_machine(self, dinner):
+        wait_meals(dinner, 1)
+        move_module(dinner, "phil2", machine="beta", timeout=15)
+        assert dinner.get_module("phil2").host.name == "beta"
+        wait_meals(dinner, 3)
+
+    def test_table_state_consistent_after_change(self, dinner):
+        wait_meals(dinner, 2)
+        replace_module(dinner, "phil0", timeout=15)
+        wait_meals(dinner, 4)
+        # If fork bookkeeping had leaked a held fork, some philosopher
+        # would starve and wait_meals would time out; additionally, the
+        # table must have granted at least as many times as total meals.
+        table = dinner.get_module("table").mh.statics
+        assert table["grants"] >= sum(meal_counts(dinner))
+
+
+class TestPerInstanceAttributes:
+    def test_attributes_survive_replacement(self, dinner):
+        wait_meals(dinner, 1)
+        left_before = dinner.get_module("phil1").mh.config["left"]
+        replace_module(dinner, "phil1", timeout=15)
+        assert dinner.get_module("phil1").mh.config["left"] == left_before

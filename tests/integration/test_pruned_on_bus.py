@@ -1,0 +1,70 @@
+"""Integration: capture pruning enabled through the module specification.
+
+Setting the ``prune_dead_captures`` attribute on a module spec turns on
+the liveness extension platform-wide for that module: moves still work,
+and the state packets are smaller.
+"""
+
+import pytest
+
+from repro.reconfig.scripts import move_module
+from repro.state.frames import ProcessState
+
+from tests.reconfig.helpers import expected_averages, launch_monitor, wait_displayed
+
+
+def launch(pruned: bool):
+    bus = launch_monitor()
+    if pruned:
+        # Relaunch with the attribute set (launch_monitor builds fresh).
+        bus.shutdown()
+        from repro.apps.monitor import build_monitor_configuration
+        from repro.bus.bus import SoftwareBus
+        from repro.state.machine import MACHINES
+
+        config = build_monitor_configuration(
+            requests=30, group_size=4, interval=0.02, discard=False
+        )
+        config.modules["sensor"].attributes["interval"] = "0.001"
+        config.modules["compute"].attributes["prune_dead_captures"] = "true"
+        bus = SoftwareBus(sleep_scale=1.0)
+        bus.add_host("alpha", MACHINES["sparc-like"])
+        bus.add_host("beta", MACHINES["vax-like"])
+        bus.launch(config, default_host="alpha")
+    return bus
+
+
+class TestPrunedModuleOnBus:
+    def test_pruned_move_is_correct(self):
+        bus = launch(pruned=True)
+        try:
+            wait_displayed(bus, 2)
+            report = move_module(bus, "compute", machine="beta", timeout=15)
+            assert report.packet_bytes > 0
+            values = wait_displayed(bus, 30)
+            assert values == expected_averages(30)
+        finally:
+            bus.shutdown()
+
+    def test_pruned_packets_not_larger(self):
+        results = {}
+        for pruned in (False, True):
+            bus = launch(pruned=pruned)
+            try:
+                wait_displayed(bus, 2)
+                report = move_module(bus, "compute", machine="beta", timeout=15)
+                results[pruned] = report.packet_bytes
+            finally:
+                bus.shutdown()
+        assert results[True] <= results[False]
+
+    def test_pruned_transform_recorded_on_instance(self):
+        bus = launch(pruned=True)
+        try:
+            module = bus.get_module("compute")
+            assert module.transform is not None
+            # Pruned restore arms carry per-edge format checks: one per
+            # reconfiguration-graph edge (the no-discard compute has 3).
+            assert module.executable_source.count("mh.expect_frame_fmt") >= 3
+        finally:
+            bus.shutdown()

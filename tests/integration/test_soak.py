@@ -1,0 +1,51 @@
+"""Soak test: many reconfigurations under continuous load.
+
+Reconfiguration is not a one-shot capability: a long-running application
+may be reconfigured many times over its life (the clone re-arms its
+signal handler at the end of restoration, Figure 8).  Ten alternating
+moves of the kv shard under a constant request stream must lose nothing.
+"""
+
+import pytest
+
+from repro.apps.kvstore import build_kvstore_configuration, expected_replies
+from repro.bus.bus import SoftwareBus
+from repro.reconfig.scripts import move_module
+from repro.state.machine import MACHINES
+
+from tests.conftest import wait_until
+
+
+@pytest.mark.slow
+def test_ten_moves_under_load():
+    puts = 40
+    config = build_kvstore_configuration(puts=puts, interval=0.015)
+    bus = SoftwareBus(sleep_scale=1.0)
+    bus.add_host("alpha", MACHINES["sparc-like"])
+    bus.add_host("beta", MACHINES["vax-like"])
+    bus.launch(config, default_host="alpha")
+    try:
+        def replies():
+            return bus.get_module("client").mh.statics.get("replies", [])
+
+        targets = ["beta", "alpha"] * 5
+        for index, target in enumerate(targets):
+            floor = min(2 * (index + 1), 2 * puts - 4)
+            wait_until(lambda f=floor: len(replies()) >= f, timeout=30)
+            report = move_module(bus, "shard", machine=target, timeout=15)
+            assert report.new_machine == target
+
+        def done():
+            bus.check_health()
+            return len(replies()) >= 2 * puts
+
+        wait_until(done, timeout=60)
+        assert replies() == expected_replies(puts)
+        shard = bus.get_module("shard")
+        assert shard.mh.statics["serves"] == 2 * puts
+        assert shard.mh.heap["store"] == {f"k{i}": f"v{i}" for i in range(puts)}
+        # Ten moves happened and are all on the audit trail.
+        moves = [line for line in bus.trace if line.startswith("move of")]
+        assert len(moves) == 10
+    finally:
+        bus.shutdown()

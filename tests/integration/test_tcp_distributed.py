@@ -1,0 +1,90 @@
+"""Integration: genuine multi-process distribution over TCP.
+
+Each simulated machine is a real OS process; the monitor application's
+compute module is moved between processes with its state packet crossing
+a real socket.
+"""
+
+import time
+
+import pytest
+
+from repro.apps.monitor import build_monitor_configuration
+from repro.bus.tcp import DistributedBus
+
+from tests.conftest import wait_until
+
+
+@pytest.fixture
+def distributed():
+    config = build_monitor_configuration(
+        requests=30, group_size=4, interval=0.03, discard=False
+    )
+    config.modules["sensor"].attributes["interval"] = "0.002"
+    bus = DistributedBus(sleep_scale=1.0)
+    bus.spawn_machine("alpha", "sparc-like")
+    bus.spawn_machine("beta", "vax-like")
+    bus.launch(
+        config,
+        placement={"display": "alpha", "compute": "alpha", "sensor": "alpha"},
+    )
+    yield bus
+    bus.shutdown()
+
+
+def displayed(bus):
+    return bus.statics_of("display").get("displayed", [])
+
+
+@pytest.mark.slow
+class TestDistributedMove:
+    def test_move_between_processes(self, distributed):
+        wait_until(lambda: len(displayed(distributed)) >= 2, timeout=40)
+        report = distributed.move_module("compute", "beta", timeout=20)
+        assert report["from"] == "alpha"
+        assert report["to"] == "beta"
+        assert report["packet_bytes"] > 0
+        wait_until(lambda: len(displayed(distributed)) >= 30, timeout=60)
+        values = displayed(distributed)
+        expected = [2.5 + 4 * k for k in range(30)]
+        assert values == expected
+        assert distributed.machine_of("compute") == "beta"
+
+    def test_module_states_queryable(self, distributed):
+        wait_until(lambda: len(displayed(distributed)) >= 1, timeout=40)
+        assert distributed.state_of("compute") == "running"
+        assert distributed.state_of("sensor") == "running"
+
+    def test_same_daemon_replacement(self, distributed):
+        # Replace in place (no machine change): the atomic daemon-side
+        # swap carries the queues; the stream stays exact.
+        wait_until(lambda: len(displayed(distributed)) >= 2, timeout=40)
+        report = distributed.replace_module("compute", timeout=20)
+        assert report["from"] == report["to"] == "alpha"
+        wait_until(lambda: len(displayed(distributed)) >= 12, timeout=60)
+        values = displayed(distributed)
+        assert values == [2.5 + 4 * k for k in range(len(values))]
+
+    def test_distributed_upgrade(self, distributed):
+        # Swap in a compute v2 whose reply is scaled 10x — a visible
+        # version change mid-stream, across processes.
+        from repro.apps.monitor import COMPUTE_NODISCARD_SOURCE
+
+        v2 = COMPUTE_NODISCARD_SOURCE.replace(
+            "mh.write('display', 'F', response.get())",
+            "mh.write('display', 'F', response.get() * 10.0)",
+        )
+        wait_until(lambda: len(displayed(distributed)) >= 2, timeout=40)
+        distributed.upgrade_module("compute", v2, machine="beta", timeout=20)
+        before = len(displayed(distributed))
+        wait_until(lambda: len(displayed(distributed)) >= before + 4, timeout=60)
+        values = displayed(distributed)
+        cut_found = any(
+            all(v == 2.5 + 4 * k for k, v in enumerate(values[:c]))
+            and all(
+                v == (2.5 + 4 * k) * 10
+                for k, v in enumerate(values[c:], start=c)
+            )
+            for c in range(len(values) + 1)
+        )
+        assert cut_found, values

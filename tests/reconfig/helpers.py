@@ -1,0 +1,55 @@
+"""Shared monitor-app fixture machinery for reconfiguration tests."""
+
+from __future__ import annotations
+
+from repro.apps.monitor import build_monitor_configuration
+from repro.bus.bus import SoftwareBus
+from repro.state.machine import MACHINES
+
+from tests.conftest import wait_until
+
+
+def launch_monitor(
+    requests: int = 30,
+    group_size: int = 4,
+    interval: float = 0.02,
+    discard: bool = False,
+    hosts=(("alpha", "sparc-like"), ("beta", "vax-like")),
+) -> SoftwareBus:
+    """Start the paced monitor app; caller must bus.shutdown()."""
+    config = build_monitor_configuration(
+        requests=requests,
+        group_size=group_size,
+        interval=interval,
+        discard=discard,
+    )
+    config.modules["sensor"].attributes["interval"] = str(interval / 20)
+    bus = SoftwareBus(sleep_scale=1.0)
+    for name, architecture in hosts:
+        bus.add_host(name, MACHINES[architecture])
+    bus.launch(config, default_host=hosts[0][0])
+    return bus
+
+
+def displayed(bus: SoftwareBus):
+    return bus.get_module("display").mh.statics.get("displayed", [])
+
+
+def wait_displayed(bus: SoftwareBus, count: int, timeout: float = 30.0):
+    def check():
+        bus.check_health()
+        return len(displayed(bus)) >= count
+
+    wait_until(check, timeout=timeout)
+    return displayed(bus)
+
+
+def expected_averages(requests: int, group_size: int = 4, start: int = 1):
+    """Averages of consecutive disjoint windows (no-discard compute)."""
+    values = []
+    cursor = start
+    for _ in range(requests):
+        window = range(cursor, cursor + group_size)
+        values.append(sum(window) / group_size)
+        cursor += group_size
+    return values

@@ -1,0 +1,71 @@
+"""Tests for application growth/shrinkage (attach_module / detach_module)."""
+
+import pytest
+
+from repro.bus.spec import BindingSpec
+from repro.reconfig.scripts import attach_module, detach_module
+
+from tests.conftest import wait_until
+from tests.reconfig.helpers import launch_monitor, wait_displayed
+
+
+@pytest.fixture
+def monitor():
+    bus = launch_monitor()
+    yield bus
+    bus.shutdown()
+
+
+class TestAttach:
+    def test_attach_second_display(self, monitor):
+        wait_displayed(monitor, 2)
+        spec = monitor.module_specs["display"].with_attributes(
+            requests="5", group_size="4", interval="0.01"
+        )
+        attach_module(
+            monitor,
+            spec,
+            instance="display2",
+            machine="beta",
+            bindings=[BindingSpec("display2", "temper", "compute", "display")],
+        )
+        assert monitor.has_module("display2")
+
+        def display2_done():
+            monitor.check_health()
+            return len(
+                monitor.get_module("display2").mh.statics.get("displayed", [])
+            ) >= 5
+
+        wait_until(display2_done, timeout=30)
+
+    def test_attach_records_topology(self, monitor):
+        spec = monitor.module_specs["sensor"].with_attributes(interval="0.01")
+        attach_module(monitor, spec, instance="sensor2", machine="beta",
+                      bindings=[BindingSpec("sensor2", "out", "compute", "sensor")])
+        app = monitor.snapshot_configuration()
+        assert "sensor2" in app.instance_names()
+        assert any(b.involves("sensor2") for b in app.bindings)
+
+
+class TestDetach:
+    def test_detach_removes_module_and_bindings(self, monitor):
+        wait_displayed(monitor, 2)
+        removed = detach_module(monitor, "sensor")
+        assert removed == 1
+        assert not monitor.has_module("sensor")
+        app = monitor.snapshot_configuration()
+        assert not any(b.involves("sensor") for b in app.bindings)
+
+    def test_detach_then_reattach(self, monitor):
+        wait_displayed(monitor, 1)
+        spec = monitor.get_module("sensor").spec
+        detach_module(monitor, "sensor")
+        attach_module(
+            monitor,
+            spec.with_attributes(start="1000", interval="0.001"),
+            instance="sensor",
+            machine="beta",
+            bindings=[BindingSpec("sensor", "out", "compute", "sensor")],
+        )
+        assert monitor.get_module("sensor").host.name == "beta"

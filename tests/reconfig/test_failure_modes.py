@@ -1,0 +1,84 @@
+"""Failure modes of replacement: what happens when the clone is bad.
+
+The platform's failure contract: a clone that cannot restore crashes
+*visibly* (CRASHED state, surfaced by check_health) rather than running
+with corrupt state; a reconfiguration that cannot start stays rolled
+back.
+"""
+
+import pytest
+
+from repro.bus.module import ModuleState
+from repro.errors import ModuleCrashedError, TransformError
+from repro.reconfig.scripts import upgrade_module
+
+from tests.conftest import wait_until
+from tests.reconfig.helpers import launch_monitor, wait_displayed
+
+#: A "new version" whose instrumented frame layout differs from v1's —
+#: an incompatible upgrade that the restore-time format check catches.
+INCOMPATIBLE_V2 = '''\
+def main():
+    n = None
+    extra_slot = None
+    idle = float(mh.config.get('idle_interval', '2'))
+    response: Ref = None
+    mh.init()
+    while mh.running:
+        while mh.query_ifmsgs('display'):
+            n = mh.read1('display')
+            response = Ref(0.0)
+            compute(n, n, response)
+            mh.write('display', 'F', response.get())
+        mh.sleep(idle)
+
+
+def compute(num: int, n: int, rp: Ref):
+    temper = None
+    if n <= 0:
+        rp.set(0.0)
+        return
+    compute(num, n - 1, rp)
+    mh.reconfig_point('R')
+    temper = mh.read1('sensor')
+    rp.set(rp.get() + float(temper) / float(num))
+'''
+
+#: A "new version" that does not even declare the reconfiguration point.
+POINTLESS_V2 = '''\
+def main():
+    while mh.running:
+        mh.sleep(0.1)
+'''
+
+
+@pytest.fixture
+def monitor():
+    bus = launch_monitor()
+    yield bus
+    bus.shutdown()
+
+
+class TestIncompatibleUpgrade:
+    def test_layout_mismatch_crashes_clone_visibly(self, monitor):
+        wait_displayed(monitor, 2)
+        upgrade_module(monitor, "compute", INCOMPATIBLE_V2, timeout=15)
+        # The clone starts, tries to restore main's frame with an extra
+        # slot, and dies on the frame-format cross-check.
+        wait_until(
+            lambda: monitor.get_module("compute").state is ModuleState.CRASHED,
+            timeout=10,
+        )
+        with pytest.raises(ModuleCrashedError, match="format"):
+            monitor.check_health()
+
+    def test_pointless_new_version_rejected_before_any_damage(self, monitor):
+        wait_displayed(monitor, 2)
+        before = monitor.snapshot_configuration().describe()
+        # The spec declares point R; a source without the marker fails
+        # the declared-points cross-check at clone load time.
+        with pytest.raises(TransformError, match="do not match"):
+            upgrade_module(monitor, "compute", POINTLESS_V2, timeout=15)
+        after = monitor.snapshot_configuration().describe()
+        assert before == after
+        assert monitor.get_module("compute").state is ModuleState.RUNNING

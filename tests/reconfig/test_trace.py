@@ -1,0 +1,47 @@
+"""The bus reconfiguration trace: an auditable record of every change."""
+
+import pytest
+
+from repro.reconfig.scripts import move_module
+
+from tests.reconfig.helpers import launch_monitor, wait_displayed
+
+
+@pytest.fixture
+def monitor():
+    bus = launch_monitor()
+    yield bus
+    bus.shutdown()
+
+
+class TestTrace:
+    def test_launch_recorded(self, monitor):
+        assert any("add module compute" in line for line in monitor.trace)
+        assert any('bind "display temper"' in line for line in monitor.trace)
+        assert any("start module sensor" in line for line in monitor.trace)
+
+    def test_move_leaves_full_audit_trail(self, monitor):
+        wait_displayed(monitor, 2)
+        move_module(monitor, "compute", machine="beta", timeout=15)
+        trace = "\n".join(monitor.trace)
+        assert "signal reconfig compute" in trace
+        assert "objstate_move compute -> compute.new" in trace
+        assert "cq compute.sensor -> compute.new" in trace
+        assert "rmq compute.sensor" in trace
+        assert "start module compute.new" in trace
+        assert "remove module compute" in trace
+        assert "rename compute.new -> compute" in trace
+        assert "move of 'compute': alpha -> beta" in trace
+
+    def test_trace_is_ordered(self, monitor):
+        wait_displayed(monitor, 2)
+        move_module(monitor, "compute", machine="beta", timeout=15)
+        trace = monitor.trace
+        signal_at = next(i for i, l in enumerate(trace) if "signal reconfig" in l)
+        start_at = next(
+            i for i, l in enumerate(trace) if "start module compute.new" in l
+        )
+        remove_at = next(
+            i for i, l in enumerate(trace) if "remove module compute" in l
+        )
+        assert signal_at < start_at < remove_at

@@ -1,0 +1,91 @@
+"""Tests for file re-attachment hooks (repro.runtime.files)."""
+
+import pytest
+
+from repro.errors import RestoreError
+from repro.runtime.files import (
+    FileDescription,
+    FileReattachRegistry,
+    default_reattach,
+)
+
+
+class TestFileDescription:
+    def test_roundtrip(self):
+        description = FileDescription("log", "/tmp/x", "a", 42)
+        assert FileDescription.from_abstract(description.to_abstract()) == description
+
+    def test_malformed(self):
+        with pytest.raises(RestoreError):
+            FileDescription.from_abstract("nope")
+        with pytest.raises(RestoreError):
+            FileDescription.from_abstract({"name": "x"})
+
+
+class TestRegistry:
+    def test_capture_describes_position(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("hello world")
+        registry = FileReattachRegistry()
+        handle = registry.register("data", open(path, "r"))
+        handle.read(5)
+        captured = registry.capture()
+        assert captured[0]["position"] == 5
+        assert captured[0]["name"] == "data"
+        registry.close_all()
+
+    def test_restore_reopens_and_seeks(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("hello world")
+        old = FileReattachRegistry()
+        old.register("data", open(path, "r"))
+        old.get("data").read(6)
+        captured = old.capture()
+        old.close_all()
+
+        new = FileReattachRegistry()
+        new.restore(captured)
+        assert new.get("data").read() == "world"
+        new.close_all()
+
+    def test_write_mode_reopen_does_not_truncate(self, tmp_path):
+        path = tmp_path / "out.txt"
+        old = FileReattachRegistry()
+        handle = old.register("out", open(path, "w"))
+        handle.write("partial output ")
+        captured = old.capture()
+        old.close_all()
+
+        new = FileReattachRegistry()
+        new.restore(captured)
+        new.get("out").write("continued")
+        new.close_all()
+        assert path.read_text() == "partial output continued"
+
+    def test_custom_reattach_hook(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("abc")
+        calls = []
+
+        def hook(description):
+            calls.append(description.name)
+            return default_reattach(description)
+
+        registry = FileReattachRegistry()
+        registry.register("data", open(path, "r"), reattach=hook)
+        captured = registry.capture()
+        registry.restore(captured)
+        assert calls == ["data"]
+        registry.close_all()
+
+    def test_get_unknown(self):
+        with pytest.raises(RestoreError):
+            FileReattachRegistry().get("nope")
+
+    def test_names(self, tmp_path):
+        path = tmp_path / "a"
+        path.write_text("")
+        registry = FileReattachRegistry()
+        registry.register("a", open(path))
+        assert registry.names() == ["a"]
+        registry.close_all()

@@ -1,0 +1,42 @@
+"""Tests for Ref out-parameter cells (repro.runtime.refs)."""
+
+from repro.runtime.refs import Ref
+
+
+class TestRef:
+    def test_get_set(self):
+        cell = Ref(0.0)
+        cell.set(2.5)
+        assert cell.get() == 2.5
+
+    def test_default_none(self):
+        assert Ref().get() is None
+
+    def test_update_accumulates(self):
+        # The paper's *rp = *rp + t/num idiom.
+        cell = Ref(1.0)
+        cell.update(0.5)
+        cell.update(0.5)
+        assert cell.get() == 2.0
+
+    def test_equality_by_value(self):
+        assert Ref(3) == Ref(3)
+        assert Ref(3) != Ref(4)
+        assert Ref(3) != 3
+
+    def test_identity_hash(self):
+        a, b = Ref(1), Ref(1)
+        assert hash(a) != hash(b) or a is b
+
+    def test_repr(self):
+        assert repr(Ref(7)) == "Ref(7)"
+
+    def test_pointer_chain_semantics(self):
+        # A Ref passed down a call chain writes into the caller's frame.
+        def callee(out: Ref) -> None:
+            out.set(out.get() + 1)
+
+        result = Ref(10)
+        callee(result)
+        callee(result)
+        assert result.get() == 12

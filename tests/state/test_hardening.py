@@ -1,0 +1,66 @@
+"""Hardening tests: corrupt inputs and defensive limits."""
+
+import pytest
+
+from repro.bus.message import Message
+from repro.errors import DecodingError, EncodingError
+from repro.state.encoding import Decoder, Encoder, decode_values, encode_values
+from repro.state.format import ScalarType
+from repro.state.machine import Endianness
+
+
+class TestDecoderDefenses:
+    def test_runaway_varint_rejected(self):
+        # A stream of continuation bits must not loop forever.
+        poison = b"s" + b"\xff" * 2000
+        with pytest.raises(DecodingError):
+            decode_values(poison)
+
+    def test_negative_length_impossible(self):
+        # Lengths are unsigned varints by construction; a huge announced
+        # length hits the truncation guard instead of allocating.
+        data = b"B\xff\xff\xff\xff\x0f" + b"x"
+        with pytest.raises(DecodingError):
+            decode_values(data)
+
+    def test_empty_container_tags(self):
+        encoder = Encoder()
+        encoder.write(ScalarType("a"), [])
+        encoder.write(ScalarType("a"), ())
+        encoder.write(ScalarType("a"), {})
+        assert Decoder(encoder.getvalue()).read_all() == [[], (), {}]
+
+    def test_encoder_varint_negative_rejected(self):
+        encoder = Encoder()
+        with pytest.raises(EncodingError):
+            encoder._write_varint(-1)
+
+
+class TestMessageDefenses:
+    def test_short_wire_rejected(self):
+        with pytest.raises(DecodingError):
+            Message.from_wire(encode_values("s", ["only-one"]), None)
+
+    def test_wire_roundtrip_keeps_binary(self):
+        payload = bytes(range(256))
+        message = Message(values=[payload], fmt="B",
+                          source_instance="a", source_interface="x")
+        back = Message.from_wire(message.to_wire(None), None)
+        assert back.values == [payload]
+
+
+class TestEndianness:
+    def test_struct_prefixes(self):
+        assert Endianness.LITTLE.struct_prefix == "<"
+        assert Endianness.BIG.struct_prefix == ">"
+
+
+class TestNestedNullability:
+    def test_nested_none_values(self):
+        # NULL slots inside containers survive declared formats.
+        data = encode_values("[a]", [[None, 1, None]])
+        assert decode_values(data) == [[None, 1, None]]
+
+    def test_tuple_with_nones(self):
+        data = encode_values("(aa)", [(None, "x")])
+        assert decode_values(data) == [(None, "x")]

@@ -1,0 +1,139 @@
+"""Tests for heap capture/restore (repro.state.heap)."""
+
+import pytest
+
+from repro.errors import HeapError
+from repro.state.encoding import decode_any, encode_any
+from repro.state.heap import (
+    HeapCodec,
+    HeapImage,
+    clear_hooks,
+    heap_hook,
+    registered_hooks,
+    run_capture_hook,
+    run_restore_hook,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_hooks():
+    clear_hooks()
+    yield
+    clear_hooks()
+
+
+class TestHeapCodecScalars:
+    def test_scalars_pass_through(self):
+        codec = HeapCodec()
+        roots = {"a": 1, "b": "x", "c": 2.5, "d": None, "e": True, "f": b"\x01"}
+        assert codec.roundtrip(roots) == roots
+
+    def test_empty(self):
+        assert HeapCodec().roundtrip({}) == {}
+
+
+class TestHeapCodecContainers:
+    def test_list(self):
+        assert HeapCodec().roundtrip({"xs": [1, 2, 3]}) == {"xs": [1, 2, 3]}
+
+    def test_dict(self):
+        roots = {"d": {"k": [1, 2], "j": "v"}}
+        assert HeapCodec().roundtrip(roots) == roots
+
+    def test_tuple_flattened_in_place(self):
+        roots = {"t": (1, (2, 3))}
+        assert HeapCodec().roundtrip(roots) == roots
+
+    def test_deep_nesting(self):
+        roots = {"x": [{"a": [(1, [2])]}]}
+        assert HeapCodec().roundtrip(roots) == roots
+
+
+class TestAliasingAndCycles:
+    def test_shared_list_stays_shared(self):
+        shared = [1, 2]
+        restored = HeapCodec().roundtrip({"a": shared, "b": shared})
+        assert restored["a"] is restored["b"]
+        restored["a"].append(3)
+        assert restored["b"] == [1, 2, 3]
+
+    def test_distinct_lists_stay_distinct(self):
+        restored = HeapCodec().roundtrip({"a": [1], "b": [1]})
+        assert restored["a"] is not restored["b"]
+
+    def test_self_cycle(self):
+        xs: list = [1]
+        xs.append(xs)
+        restored = HeapCodec().roundtrip({"xs": xs})
+        assert restored["xs"][1] is restored["xs"]
+
+    def test_mutual_cycle(self):
+        a: dict = {}
+        b = {"a": a}
+        a["b"] = b
+        restored = HeapCodec().roundtrip({"a": a})
+        assert restored["a"]["b"]["a"] is restored["a"]
+
+    def test_image_is_canonically_encodable(self):
+        # The flattened image must survive the abstract wire format —
+        # that is how heap state crosses machines.
+        shared = [1, 2]
+        image = HeapCodec().capture({"a": shared, "b": shared})
+        wire = encode_any(image.to_abstract())
+        rebuilt = HeapCodec().restore(HeapImage.from_abstract(decode_any(wire)))
+        assert rebuilt["a"] is rebuilt["b"]
+
+
+class TestHeapErrors:
+    def test_unsupported_type_names_hook(self):
+        class Custom:
+            pass
+
+        with pytest.raises(HeapError, match="heap_hook"):
+            HeapCodec().capture({"x": Custom()})
+
+    def test_malformed_image(self):
+        with pytest.raises(HeapError):
+            HeapImage.from_abstract("nonsense")
+
+    def test_malformed_image_fields(self):
+        with pytest.raises(HeapError):
+            HeapImage.from_abstract({"roots": [], "segments": {}})
+
+    def test_dangling_segment(self):
+        from repro.state.pointers import SymbolicPointer
+
+        image = HeapImage(roots={"x": SymbolicPointer("heap:9", 0)}, segments={"heap:9": None})
+        with pytest.raises(HeapError):
+            HeapCodec().restore(image)
+
+    def test_pointer_outside_image_kept_symbolic(self):
+        from repro.state.pointers import SymbolicPointer
+
+        pointer = SymbolicPointer("static:x", 0)
+        image = HeapCodec().capture({"p": pointer})
+        assert HeapCodec().restore(image)["p"] == pointer
+
+
+class TestProgrammerHooks:
+    def test_register_and_run(self):
+        class Matrix:
+            def __init__(self, rows):
+                self.rows = rows
+
+        heap_hook(
+            "matrix",
+            capture=lambda m: m.rows,
+            restore=lambda rows: Matrix(rows),
+        )
+        assert registered_hooks() == ["matrix"]
+        m = Matrix([[1, 2], [3, 4]])
+        flat = run_capture_hook("matrix", m)
+        assert flat == [[1, 2], [3, 4]]
+        rebuilt = run_restore_hook("matrix", flat)
+        assert isinstance(rebuilt, Matrix)
+        assert rebuilt.rows == m.rows
+
+    def test_missing_hook(self):
+        with pytest.raises(HeapError, match="no heap hook"):
+            run_capture_hook("nope", object())

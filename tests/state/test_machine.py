@@ -1,0 +1,120 @@
+"""Tests for simulated machine architectures (repro.state.machine)."""
+
+import pytest
+
+from repro.errors import MachineCompatibilityError
+from repro.state.format import ScalarType, parse_format
+from repro.state.machine import MACHINES, Endianness, MachineProfile
+
+
+class TestProfileConstruction:
+    def test_catalogue_is_diverse(self):
+        endians = {p.endianness for p in MACHINES.values()}
+        int_widths = {p.int_bits for p in MACHINES.values()}
+        assert endians == {Endianness.LITTLE, Endianness.BIG}
+        assert len(int_widths) >= 2
+
+    def test_bad_int_width(self):
+        with pytest.raises(ValueError):
+            MachineProfile("x", Endianness.BIG, int_bits=24)
+
+    def test_bad_long_width(self):
+        with pytest.raises(ValueError):
+            MachineProfile("x", Endianness.BIG, long_bits=128)
+
+    def test_long_narrower_than_int(self):
+        with pytest.raises(ValueError):
+            MachineProfile("x", Endianness.BIG, int_bits=64, long_bits=32)
+
+    def test_bad_float_width(self):
+        with pytest.raises(ValueError):
+            MachineProfile("x", Endianness.BIG, float_bits=80)
+
+    def test_describe(self, sparc):
+        text = sparc.describe()
+        assert "big-endian" in text
+        assert "int32" in text
+
+
+class TestIntRanges:
+    def test_int_range_32(self, sparc):
+        rng = sparc.int_range("i")
+        assert rng.start == -(2**31)
+        assert rng.stop == 2**31
+
+    def test_long_range_64(self, sparc):
+        rng = sparc.int_range("l")
+        assert rng.stop == 2**63
+
+    def test_16bit(self, m68k):
+        assert m68k.int_range("i").stop == 2**15
+
+
+class TestRepresentability:
+    def test_int_fits(self, vax):
+        vax.check_representable(ScalarType("i"), 2**31 - 1)
+
+    def test_int_overflow(self, vax):
+        with pytest.raises(MachineCompatibilityError, match="32-bit"):
+            vax.check_representable(ScalarType("i"), 2**31)
+
+    def test_none_always_fits(self, m68k):
+        m68k.check_representable(ScalarType("i"), None)
+
+    def test_containers_checked_elementwise(self, vax):
+        with pytest.raises(MachineCompatibilityError):
+            vax.check_representable(parse_format("[l]")[0], [1, 2**40])
+
+    def test_dict_checked(self, vax):
+        with pytest.raises(MachineCompatibilityError):
+            vax.check_representable(parse_format("{ll}")[0], {1: 2**40})
+
+    def test_float64_machine_accepts_all(self, sparc):
+        sparc.check_representable(ScalarType("F"), 1.1)
+
+    def test_float32_machine_rejects(self, m68k):
+        with pytest.raises(MachineCompatibilityError):
+            m68k.check_representable(ScalarType("F"), 1.1)
+
+    def test_float32_machine_accepts_nan(self, m68k):
+        m68k.check_representable(ScalarType("F"), float("nan"))
+
+
+class TestNativeImages:
+    def test_endianness_differs(self, sparc, vax):
+        # The raw memory image of the same value differs across machines:
+        # this is why the paper requires an abstract format.
+        big = sparc.pack_native(ScalarType("i"), 1)
+        little = vax.pack_native(ScalarType("i"), 1)
+        assert big != little
+        assert big == bytes(reversed(little))
+
+    def test_word_size_differs(self, sparc, vax):
+        # sparc-like longs are 8 bytes, vax-like longs 4.
+        assert len(sparc.pack_native(ScalarType("l"), 1)) == 8
+        assert len(vax.pack_native(ScalarType("l"), 1)) == 4
+
+    @pytest.mark.parametrize("char,value", [
+        ("b", True),
+        ("i", -123),
+        ("l", 2**20),
+        ("f", 0.5),
+        ("F", 2.5),
+        ("s", "hëllo"),
+        ("B", b"\x01\x02"),
+        ("n", None),
+    ])
+    def test_pack_unpack_roundtrip(self, sparc, char, value):
+        spec = ScalarType(char)
+        assert sparc.unpack_native(spec, sparc.pack_native(spec, value)) == value
+
+    def test_pack_checks_range(self, m68k):
+        with pytest.raises(MachineCompatibilityError):
+            m68k.pack_native(ScalarType("i"), 100000)
+
+    def test_cross_machine_raw_copy_is_wrong(self, sparc, vax):
+        # Demonstration of the paper's premise: interpreting one machine's
+        # bytes on another machine yields a different value.
+        spec = ScalarType("i")
+        image = sparc.pack_native(spec, 258)
+        assert vax.unpack_native(spec, image) != 258

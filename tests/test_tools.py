@@ -1,0 +1,122 @@
+"""Tests for the command-line tools (repro.tools)."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.apps.monitor import COMPUTE_SOURCE, MONITOR_MIL, SENSOR_SOURCE, DISPLAY_SOURCE
+from repro.tools.graph import main as graph_main
+from repro.tools.prepare import main as prepare_main
+
+
+@pytest.fixture
+def compute_file(tmp_path):
+    path = tmp_path / "compute.py"
+    path.write_text(COMPUTE_SOURCE)
+    return path
+
+
+class TestPrepareCli:
+    def test_prepare_to_stdout(self, compute_file, capsys):
+        assert prepare_main([str(compute_file)]) == 0
+        out = capsys.readouterr().out
+        assert "mh.capturestack" in out
+        compile(out, "<cli>", "exec")
+
+    def test_prepare_to_file(self, compute_file, tmp_path):
+        output = tmp_path / "compute_r.py"
+        assert prepare_main([str(compute_file), "-o", str(output)]) == 0
+        text = output.read_text()
+        assert "mh.begin_reconfig_capture('R')" in text
+
+    def test_report_flag(self, compute_file, capsys):
+        assert prepare_main([str(compute_file), "--report"]) == 0
+        err = capsys.readouterr().err
+        assert "reconfiguration graph" in err
+        assert "liveness" in err
+
+    def test_prune_flag(self, compute_file, capsys):
+        assert prepare_main([str(compute_file), "--prune"]) == 0
+        out = capsys.readouterr().out
+        compile(out, "<cli>", "exec")
+
+    def test_no_points_passthrough(self, tmp_path, capsys):
+        path = tmp_path / "plain.py"
+        path.write_text("def main():\n    pass\n")
+        assert prepare_main([str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "no reconfiguration points" in captured.err
+        assert captured.out == "def main():\n    pass\n"
+
+    def test_error_reported(self, tmp_path, capsys):
+        path = tmp_path / "bad.py"
+        path.write_text(
+            "def main():\n"
+            "    with open('x') as f:\n"
+            "        pass\n"
+            "    mh.reconfig_point('R')\n"
+        )
+        assert prepare_main([str(path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestGraphCli:
+    def test_text_output(self, compute_file, capsys):
+        assert graph_main([str(compute_file)]) == 0
+        out = capsys.readouterr().out
+        assert "static call graph" in out
+        assert "(4, R)" in out
+
+    def test_dot_output(self, compute_file, capsys):
+        assert graph_main([str(compute_file), "--dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert '"compute" -> "reconfig"' in out
+        assert "doublecircle" in out
+
+    def test_module_without_points(self, tmp_path, capsys):
+        path = tmp_path / "plain.py"
+        path.write_text("def main():\n    helper()\n\ndef helper():\n    pass\n")
+        assert graph_main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "no reconfiguration points" in out
+        assert "main -> helper" in out
+
+    def test_error_exit(self, tmp_path, capsys):
+        path = tmp_path / "broken.py"
+        path.write_text("def main(:\n")
+        assert graph_main([str(path)]) == 1
+
+
+@pytest.mark.slow
+class TestRunAppCli:
+    def test_end_to_end_with_move(self, tmp_path):
+        (tmp_path / "compute.py").write_text(COMPUTE_SOURCE)
+        (tmp_path / "sensor.py").write_text(SENSOR_SOURCE)
+        (tmp_path / "display.py").write_text(DISPLAY_SOURCE)
+        mil = MONITOR_MIL.replace('"display.py"', '"display.py"')
+        (tmp_path / "monitor.mil").write_text(mil)
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.tools.runapp",
+                str(tmp_path / "monitor.mil"),
+                "--hosts",
+                "alpha:sparc-like",
+                "beta:vax-like",
+                "--move",
+                "compute:beta:0.5",
+                "--run-for",
+                "2.5",
+                "--sleep-scale",
+                "0.05",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "move of 'compute'" in result.stdout
+        assert "alpha -> beta" in result.stdout
