@@ -1,0 +1,185 @@
+"""A4 (bus fast path) — message throughput of the software bus.
+
+POLYLITH's bus is the substrate every experiment rides on: it provides
+"basic operations for sending and receiving messages", and every
+application, example, and reconfiguration script goes through
+``SoftwareBus.route``.  The paper's design principle is that
+reconfiguration support should cost only "a flag test" at run time —
+so the *message* hot path must not pay for reconfigurability either.
+This benchmark measures delivered messages/second through ``route`` for
+the configurations that stress the routing table:
+
+- ``1to1``          one binding, same host (the latency floor);
+- ``fanout32``      one sender endpoint bound to 32 receivers;
+- ``bindings128``   the measured pair plus 128 unrelated bindings
+                    (an O(bindings) route scan collapses here);
+- ``xhost_fanout8`` one sender fanning out to 8 receivers on a
+                    different architecture (stresses encode-once
+                    cross-host delivery: one wire encode per send, one
+                    decode per distinct receiver profile).
+
+Run standalone to (re)generate ``BENCH_bus.json``::
+
+    PYTHONPATH=src python benchmarks/bench_a4_bus_throughput.py [--quick]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Dict, List, Tuple
+
+from repro.bus.bus import SoftwareBus
+from repro.bus.interfaces import InterfaceDecl, Role
+from repro.bus.message import Message
+from repro.bus.spec import BindingSpec, ModuleSpec
+from repro.state.machine import MACHINES
+
+from benchmarks.conftest import report
+
+IDLE = "def main():\n    pass\n"
+
+#: Delivered msgs/sec measured on the pre-fast-path bus (the seed's
+#: O(bindings) route scan + 50 ms queue polling), same container, 1.0 s
+#: measurement windows.  Kept so regenerated BENCH_bus.json always
+#: records the before/after comparison.
+PRE_FAST_PATH_BASELINE = {
+    "1to1": 344650.0,
+    "fanout32": 493423.9,
+    "bindings128": 30102.2,
+    "xhost_fanout8": 40624.8,
+}
+
+
+def sender_spec(name: str = "sender") -> ModuleSpec:
+    return ModuleSpec(
+        name=name,
+        inline_source=IDLE,
+        interfaces=[InterfaceDecl("out", Role.DEFINE, pattern="l")],
+    )
+
+
+def receiver_spec(name: str = "receiver") -> ModuleSpec:
+    return ModuleSpec(
+        name=name,
+        inline_source=IDLE,
+        interfaces=[InterfaceDecl("inp", Role.USE, pattern="l")],
+    )
+
+
+def build(
+    receivers: int,
+    extra_pairs: int = 0,
+    receiver_host: str = "local",
+) -> Tuple[SoftwareBus, List[str]]:
+    """A bus with one sender endpoint bound to ``receivers`` receivers.
+
+    ``extra_pairs`` unrelated sender/receiver pairs are bound besides the
+    measured endpoint; modules are never started — ``route`` is driven
+    directly, which is exactly the per-message hot path.
+    """
+    bus = SoftwareBus(sleep_scale=0.0)
+    bus.add_host("local", MACHINES["modern-64"])
+    if receiver_host != "local":
+        bus.add_host(receiver_host, MACHINES["sparc-like"])
+    bus.add_module(sender_spec(), machine="local")
+    names = []
+    for i in range(receivers):
+        name = f"r{i}"
+        bus.add_module(receiver_spec(), instance=name, machine=receiver_host)
+        bus.add_binding(BindingSpec("sender", "out", name, "inp"))
+        names.append(name)
+    for i in range(extra_pairs):
+        src, dst = f"xs{i}", f"xr{i}"
+        bus.add_module(sender_spec(name="sender"), instance=src, machine="local")
+        bus.add_module(receiver_spec(), instance=dst, machine="local")
+        bus.add_binding(BindingSpec(src, "out", dst, "inp"))
+    return bus, names
+
+
+def measure(bus: SoftwareBus, names: List[str], seconds: float) -> float:
+    """Delivered messages per second through ``route``."""
+    message = Message(
+        values=[7], fmt="l", source_instance="sender", source_interface="out"
+    )
+    queues = [bus.get_module(name).queue("inp") for name in names]
+    batch = 200
+
+    def spin(duration: float) -> Tuple[int, float]:
+        sent = 0
+        start = time.perf_counter()
+        deadline = start + duration
+        while time.perf_counter() < deadline:
+            for _ in range(batch):
+                bus.route("sender", "out", message)
+            sent += batch
+            for queue in queues:  # keep memory bounded
+                queue.drain()
+        return sent, time.perf_counter() - start
+
+    spin(seconds / 4)  # warmup
+    sent, elapsed = spin(seconds)
+    return sent * len(names) / elapsed
+
+
+def run_all(seconds: float) -> Dict[str, float]:
+    results: Dict[str, float] = {}
+    scenarios = {
+        "1to1": dict(receivers=1),
+        "fanout32": dict(receivers=32),
+        "bindings128": dict(receivers=1, extra_pairs=128),
+        "xhost_fanout8": dict(receivers=8, receiver_host="sparc"),
+    }
+    for key, kwargs in scenarios.items():
+        bus, names = build(**kwargs)
+        try:
+            results[key] = round(measure(bus, names, seconds), 1)
+        finally:
+            bus.shutdown()
+    return results
+
+
+def test_a4_throughput():
+    results = run_all(seconds=0.5)
+    report(
+        "A4",
+        "reconfiguration support should cost only a flag test at run "
+        "time; the per-message route path must likewise be O(1) — no "
+        "binding-list scan, no lock held across delivery",
+        ", ".join(f"{k}: {v:,.0f} msg/s" for k, v in results.items()),
+    )
+    # Shape, not absolute speed: unrelated bindings must not tax the
+    # measured pair (an O(bindings) scan fails this by ~10x), and the
+    # per-delivery cost of a 32-way fan-out must stay in the same
+    # ballpark as a single delivery.
+    assert results["bindings128"] > results["1to1"] / 3
+    assert results["fanout32"] > results["1to1"] / 3
+    assert results["xhost_fanout8"] > 0
+
+
+def main(argv: List[str]) -> None:
+    quick = "--quick" in argv
+    out = "BENCH_bus.json"
+    if "--out" in argv:
+        out = argv[argv.index("--out") + 1]
+    results = run_all(seconds=0.3 if quick else 1.0)
+    payload = {
+        "benchmark": "bench_a4_bus_throughput",
+        "unit": "delivered messages/second",
+        "quick": quick,
+        "results": results,
+        "pre_fast_path_baseline": PRE_FAST_PATH_BASELINE,
+        "speedup_vs_pre_fast_path": {
+            key: round(value / PRE_FAST_PATH_BASELINE[key], 2)
+            for key, value in results.items()
+        },
+    }
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(payload, indent=2))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

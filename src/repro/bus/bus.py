@@ -15,7 +15,7 @@ import threading
 from typing import Dict, List, Optional, Tuple
 
 from repro.bus.machine import HostRegistry
-from repro.bus.message import Message
+from repro.bus.message import FanoutTransfer, Message
 from repro.bus.module import ModuleInstance, ModuleState
 from repro.bus.spec import (
     ApplicationSpec,
@@ -34,6 +34,48 @@ from repro.runtime.mh import SleepPolicy
 from repro.state.machine import MachineProfile
 
 
+class _RouteEntry:
+    """Precomputed deliveries for one bound (instance, interface) endpoint.
+
+    Built once per topology change (see ``SoftwareBus._rebuild_routing``),
+    so the per-message path is a dict lookup plus direct ``queue.put``
+    calls — no binding-list scan, no interface-direction re-checks, and
+    no bus lock held during delivery.  ``deliveries`` pairs each
+    receiving queue's bound ``put`` with the receiver's machine profile
+    (``None`` when the transfer is an identity — same host profile — so
+    broadcast can skip the wire round-trip without consulting profiles).
+    """
+
+    __slots__ = ("sender_profile", "deliveries", "local_puts", "by_dest")
+
+    def __init__(self, sender_profile: Optional[MachineProfile]):
+        self.sender_profile = sender_profile
+        # [(queue.put, receiver_profile | None)]
+        self.deliveries: List[Tuple] = []
+        # Fast path when every delivery is an identity transfer.
+        self.local_puts: Optional[List] = None
+        # destination instance -> (queue.put, receiver_profile | None)
+        self.by_dest: Dict[str, Tuple] = {}
+
+    def add(self, peer: ModuleInstance, peer_if: str) -> None:
+        receiver = peer.host.profile
+        sender = self.sender_profile
+        if (
+            sender is receiver
+            or sender is None
+            or receiver is None
+            or sender.name == receiver.name
+        ):
+            receiver = None  # identity transfer
+        delivery = (peer.queue(peer_if).put, receiver)
+        self.deliveries.append(delivery)
+        self.by_dest.setdefault(peer.name, delivery)
+
+    def finalize(self) -> None:
+        if all(profile is None for _, profile in self.deliveries):
+            self.local_puts = [put for put, _ in self.deliveries]
+
+
 class SoftwareBus:
     """An in-process software bus whose modules are threads on simulated hosts.
 
@@ -48,6 +90,10 @@ class SoftwareBus:
         self._instances: Dict[str, ModuleInstance] = {}
         self._bindings: List[BindingSpec] = []
         self._lock = threading.RLock()
+        # Copy-on-write routing snapshot: instance -> interface -> entry.
+        # ``None`` means "stale, rebuild on next route"; mutators only
+        # ever invalidate, so readers never see a half-built table.
+        self._routing_table: Optional[Dict[str, Dict[str, _RouteEntry]]] = None
         self._sleep_policy = SleepPolicy(scale=sleep_scale)
         self.application_name = ""
         self.trace: List[str] = []  # reconfiguration/audit log
@@ -128,6 +174,7 @@ class SoftwareBus:
                 module.mh.incoming_packet = state_packet
             module.load()
             self._instances[name] = module
+            self._routing_table = None
         self.trace.append(f"add module {name} on {machine} (status={status})")
         if start:
             self.start_module(name)
@@ -151,6 +198,7 @@ class SoftwareBus:
         with self._lock:
             module.state = ModuleState.REMOVED
             del self._instances[instance]
+            self._routing_table = None
         self.trace.append(f"remove module {instance}")
 
     def rename_instance(self, old_name: str, new_name: str) -> None:
@@ -180,6 +228,7 @@ class SoftwareBus:
                 )
 
             self._bindings = [rewrite(b) for b in self._bindings]
+            self._routing_table = None
         self.trace.append(f"rename {old_name} -> {new_name}")
 
     def get_module(self, instance: str) -> ModuleInstance:
@@ -215,6 +264,7 @@ class SoftwareBus:
             if binding in self._bindings:
                 raise BindingError(f"{binding.describe()}: already bound")
             self._bindings.append(binding)
+            self._routing_table = None
         self.trace.append(binding.describe())
 
     def remove_binding(self, binding: BindingSpec) -> None:
@@ -228,6 +278,7 @@ class SoftwareBus:
                     and existing.to_interface == binding.from_interface
                 ):
                     self._bindings.remove(existing)
+                    self._routing_table = None
                     self.trace.append(f"unbind {existing.describe()[5:]}")
                     return
             raise BindingError(f"{binding.describe()}: no such binding")
@@ -244,32 +295,70 @@ class SoftwareBus:
     # Message routing
     # ------------------------------------------------------------------
 
+    def _rebuild_routing(self) -> Dict[str, Dict[str, _RouteEntry]]:
+        """Build a fresh routing snapshot from the current topology.
+
+        Every declared interface of every instance gets an entry (so a
+        bound-or-not lookup is one dict hit); receive-direction checks
+        and host-profile comparisons happen here, once per topology
+        change, never on the per-message path.  The finished table is
+        published atomically; concurrent routes either see the previous
+        snapshot or rebuild their own — both are complete tables.
+        """
+        with self._lock:
+            table: Dict[str, Dict[str, _RouteEntry]] = {}
+            for name, module in self._instances.items():
+                profile = module.host.profile
+                table[name] = {
+                    decl.name: _RouteEntry(profile)
+                    for decl in module.spec.interfaces
+                }
+            for binding in self._bindings:
+                (a_inst, a_if), (b_inst, b_if) = binding.endpoints()
+                for src, src_if, dst, dst_if in (
+                    (a_inst, a_if, b_inst, b_if),
+                    (b_inst, b_if, a_inst, a_if),
+                ):
+                    peer = self._instances[dst]
+                    if peer.spec.interface(dst_if).direction.can_receive:
+                        table[src][src_if].add(peer, dst_if)
+            for by_interface in table.values():
+                for entry in by_interface.values():
+                    entry.finalize()
+            self._routing_table = table
+            return table
+
     def route(self, instance: str, interface: str, message: Message) -> None:
         """Deliver a message written on (instance, interface).
 
         Asynchronous: the message is enqueued at every bound peer whose
         interface can receive; cross-host deliveries round-trip through
-        the canonical encoding.
+        the canonical encoding, encoded once per send and decoded once
+        per distinct receiver profile.  The hot path is two dict lookups
+        against the routing snapshot — no binding scan, and no bus lock
+        held while enqueuing at peers.
         """
-        with self._lock:
-            sender = self.get_module(instance)
-            peers: List[Tuple[ModuleInstance, str]] = []
-            for binding in self._bindings:
-                (a_inst, a_if), (b_inst, b_if) = binding.endpoints()
-                if (a_inst, a_if) == (instance, interface):
-                    peer_name, peer_if = b_inst, b_if
-                elif (b_inst, b_if) == (instance, interface):
-                    peer_name, peer_if = a_inst, a_if
-                else:
-                    continue
-                peer = self.get_module(peer_name)
-                if peer.spec.interface(peer_if).direction.can_receive:
-                    peers.append((peer, peer_if))
-        for peer, peer_if in peers:
-            delivered = message.transferred(
-                sender.host.profile, peer.host.profile
-            )
-            peer.deliver(peer_if, delivered)
+        table = self._routing_table
+        if table is None:
+            table = self._rebuild_routing()
+        by_interface = table.get(instance)
+        if by_interface is None:
+            # Stale snapshot or unknown instance: rebuild settles which.
+            by_interface = self._rebuild_routing().get(instance)
+            if by_interface is None:
+                self.get_module(instance)  # raises UnknownModuleError
+                return
+        entry = by_interface.get(interface)
+        if entry is None:
+            return  # declared-interface misuse kept as the historical no-op
+        local_puts = entry.local_puts
+        if local_puts is not None:
+            for put in local_puts:
+                put(message)
+            return
+        fanout = FanoutTransfer(message, entry.sender_profile)
+        for put, profile in entry.deliveries:
+            put(fanout.for_profile(profile))
 
     def route_to(
         self, instance: str, interface: str, destination: str, message: Message
@@ -280,29 +369,25 @@ class SoftwareBus:
         destination must actually be bound to (instance, interface) —
         an unbound directed send is a programming error, not a silent drop.
         """
-        with self._lock:
-            sender = self.get_module(instance)
-            for binding in self._bindings:
-                (a_inst, a_if), (b_inst, b_if) = binding.endpoints()
-                if (a_inst, a_if) == (instance, interface) and b_inst == destination:
-                    peer, peer_if = b_inst, b_if
-                elif (b_inst, b_if) == (instance, interface) and a_inst == destination:
-                    peer, peer_if = a_inst, a_if
-                else:
-                    continue
-                target = self.get_module(peer)
-                if target.spec.interface(peer_if).direction.can_receive:
-                    target.deliver(
-                        peer_if,
-                        message.transferred(
-                            sender.host.profile, target.host.profile
-                        ),
-                    )
-                    return
-        raise BindingError(
-            f"directed send from {instance}.{interface} to {destination!r}: "
-            f"no such binding"
-        )
+        table = self._routing_table
+        if table is None:
+            table = self._rebuild_routing()
+        by_interface = table.get(instance)
+        if by_interface is None:
+            by_interface = self._rebuild_routing().get(instance, {})
+        entry = by_interface.get(interface)
+        target = entry.by_dest.get(destination) if entry is not None else None
+        if target is None:
+            self.get_module(instance)  # unknown senders still raise
+            raise BindingError(
+                f"directed send from {instance}.{interface} to "
+                f"{destination!r}: no such binding"
+            )
+        put, profile = target
+        if profile is None:
+            put(message)
+        else:
+            put(message.transferred(entry.sender_profile, profile))
 
     # ------------------------------------------------------------------
     # Configuration introspection (paper: "obtaining the current
@@ -312,36 +397,40 @@ class SoftwareBus:
     def interface_names(self, instance: str) -> List[str]:
         return self.get_module(instance).spec.interface_names()
 
-    def destinations_of(self, instance: str, interface: str) -> List[Tuple[str, str]]:
-        """Peers reached by messages written on (instance, interface)."""
-        result = []
+    def _bound_peers(
+        self, instance: str, interface: str
+    ) -> List[Tuple[ModuleInstance, str]]:
+        """Resolve the peers bound to (instance, interface).
+
+        Runs entirely under the lock: resolving a peer *after* releasing
+        it raced with concurrent ``remove_module`` (the peer could be
+        gone by the time it was looked up, turning an introspection call
+        into a spurious ``UnknownModuleError``).
+        """
         with self._lock:
+            result = []
             for binding in self._bindings:
                 (a_inst, a_if), (b_inst, b_if) = binding.endpoints()
                 if (a_inst, a_if) == (instance, interface):
-                    result.append((b_inst, b_if))
+                    result.append((self._instances[b_inst], b_if))
                 elif (b_inst, b_if) == (instance, interface):
-                    result.append((a_inst, a_if))
+                    result.append((self._instances[a_inst], a_if))
+            return result
+
+    def destinations_of(self, instance: str, interface: str) -> List[Tuple[str, str]]:
+        """Peers reached by messages written on (instance, interface)."""
         return [
-            (peer, peer_if)
-            for peer, peer_if in result
-            if self.get_module(peer).spec.interface(peer_if).direction.can_receive
+            (peer.name, peer_if)
+            for peer, peer_if in self._bound_peers(instance, interface)
+            if peer.spec.interface(peer_if).direction.can_receive
         ]
 
     def sources_of(self, instance: str, interface: str) -> List[Tuple[str, str]]:
         """Peers whose writes arrive at (instance, interface)."""
-        result = []
-        with self._lock:
-            for binding in self._bindings:
-                (a_inst, a_if), (b_inst, b_if) = binding.endpoints()
-                if (a_inst, a_if) == (instance, interface):
-                    result.append((b_inst, b_if))
-                elif (b_inst, b_if) == (instance, interface):
-                    result.append((a_inst, a_if))
         return [
-            (peer, peer_if)
-            for peer, peer_if in result
-            if self.get_module(peer).spec.interface(peer_if).direction.can_send
+            (peer.name, peer_if)
+            for peer, peer_if in self._bound_peers(instance, interface)
+            if peer.spec.interface(peer_if).direction.can_send
         ]
 
     def snapshot_configuration(self) -> ApplicationSpec:
@@ -433,6 +522,7 @@ class SoftwareBus:
         with self._lock:
             self._instances.clear()
             self._bindings.clear()
+            self._routing_table = None
 
     def check_health(self) -> None:
         """Raise the first crash found among running modules."""

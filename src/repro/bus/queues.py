@@ -5,12 +5,23 @@ The reconfiguration script of Figure 5 issues ``cq`` (copy queue) and
 module's interfaces are not lost during a replacement.  The queue type
 therefore supports an atomic snapshot-copy and a drain, in addition to
 the usual blocking get.
+
+Wakeup protocol (see ``docs/bus-internals.md``): ``get`` parks on a
+condition variable with a ``time.monotonic()`` deadline — there is no
+polling loop.  Waiters are woken by ``put``/``extend``/``prepend`` (only
+when someone is actually waiting), by ``close``, and by stop requests:
+a stop event that supports ``subscribe``/``unsubscribe`` (see
+:class:`repro.runtime.events.InterruptibleEvent`, which every module's
+``mh`` stop flag is) has the waiter's condition registered for the
+duration of the wait, so ``set()`` interrupts the read immediately.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import List, Optional
+import time
+from collections import deque
+from typing import Deque, List, Optional
 
 from repro.bus.message import Message
 from repro.errors import TransportError
@@ -21,21 +32,23 @@ class MessageQueue:
 
     def __init__(self, name: str = ""):
         self.name = name
-        self._items: List[Message] = []
+        self._items: Deque[Message] = deque()
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
         self._closed = False
+        self._waiters = 0
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._items)
 
     def put(self, message: Message) -> None:
-        with self._not_empty:
+        with self._lock:
             if self._closed:
                 raise TransportError(f"queue {self.name!r} is closed")
             self._items.append(message)
-            self._not_empty.notify()
+            if self._waiters:
+                self._not_empty.notify()
 
     def get(
         self,
@@ -44,28 +57,45 @@ class MessageQueue:
     ) -> Message:
         """Block for the next message.
 
-        Wakes periodically to honour ``stop_event`` (a stopping module
-        must not stay parked on an empty queue) and raises
-        :class:`TransportError` on timeout or stop.
+        Raises :class:`TransportError` on timeout, close, or stop (a
+        stopping module must not stay parked on an empty queue).  The
+        deadline is computed from ``time.monotonic()``, so notify-heavy
+        queues neither overshoot nor undershoot the timeout.
         """
         deadline = None
-        if timeout is not None:
-            deadline = threading.TIMEOUT_MAX if timeout < 0 else timeout
-        waited = 0.0
-        slice_ = 0.05
+        if timeout is not None and timeout >= 0:
+            deadline = time.monotonic() + timeout
         with self._not_empty:
-            while not self._items:
-                if stop_event is not None and stop_event.is_set():
-                    raise TransportError(
-                        f"queue {self.name!r}: read interrupted by stop"
-                    )
-                if deadline is not None and waited >= deadline:
-                    raise TransportError(
-                        f"queue {self.name!r}: read timed out after {timeout}s"
-                    )
-                self._not_empty.wait(slice_)
-                waited += slice_
-            return self._items.pop(0)
+            items = self._items
+            if items:
+                return items.popleft()
+            subscribe = getattr(stop_event, "subscribe", None)
+            if subscribe is not None:
+                subscribe(self._not_empty)
+            self._waiters += 1
+            try:
+                while not items:
+                    if stop_event is not None and stop_event.is_set():
+                        raise TransportError(
+                            f"queue {self.name!r}: read interrupted by stop"
+                        )
+                    if self._closed:
+                        raise TransportError(f"queue {self.name!r} is closed")
+                    if deadline is None:
+                        self._not_empty.wait()
+                    else:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            raise TransportError(
+                                f"queue {self.name!r}: read timed out "
+                                f"after {timeout}s"
+                            )
+                        self._not_empty.wait(remaining)
+                return items.popleft()
+            finally:
+                self._waiters -= 1
+                if subscribe is not None:
+                    stop_event.unsubscribe(self._not_empty)  # type: ignore[union-attr]
 
     def peek_count(self) -> int:
         return len(self)
@@ -78,14 +108,16 @@ class MessageQueue:
     def drain(self) -> List[Message]:
         """Atomically remove and return everything (the ``rmq`` command)."""
         with self._lock:
-            items, self._items = self._items, []
+            items = list(self._items)
+            self._items.clear()
             return items
 
     def extend(self, messages: List[Message]) -> None:
         """Append copied messages at the back."""
-        with self._not_empty:
+        with self._lock:
             self._items.extend(messages)
-            self._not_empty.notify_all()
+            if self._waiters:
+                self._not_empty.notify_all()
 
     def prepend(self, messages: List[Message]) -> None:
         """Insert copied messages at the *front*, preserving their order.
@@ -94,11 +126,12 @@ class MessageQueue:
         so fresh messages may already sit in its queue; the old module's
         messages are strictly older and must be consumed first.
         """
-        with self._not_empty:
-            self._items[:0] = messages
-            self._not_empty.notify_all()
+        with self._lock:
+            self._items.extendleft(reversed(messages))
+            if self._waiters:
+                self._not_empty.notify_all()
 
     def close(self) -> None:
-        with self._not_empty:
+        with self._lock:
             self._closed = True
             self._not_empty.notify_all()

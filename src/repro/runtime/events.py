@@ -1,0 +1,56 @@
+"""Interruptible events: stop flags that wake condition waiters.
+
+A module blocked in :meth:`repro.bus.queues.MessageQueue.get` parks on
+the queue's condition variable.  A plain :class:`threading.Event` can
+only be *polled* from there — the historical implementation woke every
+50 ms to check it, adding up to 50 ms of latency to every blocking read.
+:class:`InterruptibleEvent` removes the poll: condition variables
+subscribe while they wait, and :meth:`set` notifies every subscriber, so
+a stop request interrupts a blocked read immediately.
+
+Lock ordering: :meth:`set` snapshots the subscriber list under the
+registry lock and *releases it* before acquiring any condition's lock,
+while subscribers acquire the registry lock nested inside their
+condition's lock — the two paths never hold both at once in opposite
+order, so they cannot deadlock.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List
+
+
+class InterruptibleEvent(threading.Event):
+    """A :class:`threading.Event` that wakes subscribed condition waiters.
+
+    ``subscribe``/``unsubscribe`` are duck-typed by
+    :class:`~repro.bus.queues.MessageQueue`: any stop event exposing them
+    gets immediate wakeups; a plain ``Event`` is still honoured, but only
+    re-checked when a message arrives or the read's own deadline expires.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._subscribers: List[threading.Condition] = []
+        self._subscribers_lock = threading.Lock()
+
+    def subscribe(self, condition: threading.Condition) -> None:
+        """Register a condition to be notified when the event is set."""
+        with self._subscribers_lock:
+            self._subscribers.append(condition)
+
+    def unsubscribe(self, condition: threading.Condition) -> None:
+        with self._subscribers_lock:
+            try:
+                self._subscribers.remove(condition)
+            except ValueError:
+                pass
+
+    def set(self) -> None:
+        super().set()
+        with self._subscribers_lock:
+            subscribers = list(self._subscribers)
+        for condition in subscribers:
+            with condition:
+                condition.notify_all()

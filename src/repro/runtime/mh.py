@@ -44,6 +44,7 @@ from repro.errors import (
     RestoreError,
     RuntimeStateError,
 )
+from repro.runtime.events import InterruptibleEvent
 from repro.runtime.files import FileReattachRegistry
 from repro.state.frames import ActivationRecord, ProcessState, StackState
 from repro.state.heap import HeapCodec, HeapImage
@@ -130,7 +131,9 @@ class MH:
         }
 
         # --- lifecycle ---
-        self._stop_event = threading.Event()
+        # Interruptible so a stop request wakes reads blocked on empty
+        # message queues without any polling (see repro.bus.queues).
+        self._stop_event = InterruptibleEvent()
         self._sleep_policy = sleep_policy or SleepPolicy()
         self._port = None  # duck-typed message port attached by the bus
 

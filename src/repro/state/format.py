@@ -42,6 +42,7 @@ maps those names onto format characters.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Iterator, List, Sequence, Tuple
 
 from repro.errors import FormatError
@@ -179,13 +180,25 @@ class _Parser:
         return specs
 
 
+@lru_cache(maxsize=4096)
+def _parse_format_cached(fmt: str) -> Tuple[TypeSpec, ...]:
+    """Parse once per distinct format string.
+
+    Formats recur heavily — every message on an interface carries the
+    interface's declared pattern, and every wire header is ``"ssl"`` —
+    so the parsed structure is memoized.  :class:`TypeSpec` nodes are
+    immutable, making the shared tuple safe to hand out repeatedly.
+    """
+    return tuple(_Parser(fmt).parse_all())
+
+
 def parse_format(fmt: str) -> List[TypeSpec]:
     """Parse a format string into a list of :class:`TypeSpec` nodes.
 
     >>> [s.format_char() for s in parse_format("il[F]")]
     ['i', 'l', '[F]']
     """
-    return _Parser(fmt).parse_all()
+    return list(_parse_format_cached(fmt))
 
 
 def pattern_to_format(names: Sequence[str]) -> str:

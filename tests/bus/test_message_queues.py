@@ -1,12 +1,14 @@
 """Tests for messages and queues (repro.bus.message, repro.bus.queues)."""
 
 import threading
+import time
 
 import pytest
 
 from repro.bus.message import Message
 from repro.bus.queues import MessageQueue
 from repro.errors import MachineCompatibilityError, TransportError
+from repro.runtime.events import InterruptibleEvent
 
 
 class TestMessage:
@@ -78,13 +80,74 @@ class TestMessageQueue:
             queue.get(timeout=0.05)
 
     def test_get_interrupted_by_stop(self):
+        # An interruptible stop event (what every module's mh uses) wakes
+        # the blocked reader immediately — no timeout needed at all.
         queue = MessageQueue("q")
-        stop = threading.Event()
+        stop = InterruptibleEvent()
         timer = threading.Timer(0.05, stop.set)
         timer.start()
+        start = time.monotonic()
         with pytest.raises(TransportError, match="stop"):
-            queue.get(timeout=5, stop_event=stop)
+            queue.get(timeout=None, stop_event=stop)
         timer.cancel()
+        assert time.monotonic() - start < 2.0
+
+    def test_plain_event_stop_checked_at_deadline(self):
+        # A plain Event cannot interrupt the wait, but stop still wins
+        # over the timeout report once the reader wakes.
+        queue = MessageQueue("q")
+        stop = threading.Event()
+        stop.set()
+        with pytest.raises(TransportError, match="stop"):
+            queue.get(timeout=0.01, stop_event=stop)
+
+    def test_close_wakes_blocked_reader(self):
+        queue = MessageQueue("q")
+        outcome = []
+
+        def consumer():
+            try:
+                queue.get(timeout=None)
+            except TransportError as exc:
+                outcome.append(str(exc))
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        time.sleep(0.05)
+        queue.close()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert outcome and "closed" in outcome[0]
+
+    def test_timeout_honoured_under_notify_storm(self):
+        # Regression: the historical implementation charged a full 50 ms
+        # poll slice per wakeup (`waited += slice_`), so spurious wakeups
+        # made timeouts fire far too early (and quiet queues up to 50 ms
+        # late).  With monotonic deadlines the timeout must land within
+        # ~10% regardless of how often the condition is poked.
+        queue = MessageQueue("q")
+        timeout = 0.25
+        storm_stop = threading.Event()
+
+        def storm():
+            # Spurious wakeups: notify without ever enqueuing a message.
+            while not storm_stop.is_set():
+                with queue._not_empty:
+                    queue._not_empty.notify_all()
+                time.sleep(0.002)
+
+        thread = threading.Thread(target=storm)
+        thread.start()
+        try:
+            start = time.monotonic()
+            with pytest.raises(TransportError, match="timed out"):
+                queue.get(timeout=timeout)
+            elapsed = time.monotonic() - start
+        finally:
+            storm_stop.set()
+            thread.join(timeout=5)
+        assert elapsed >= timeout * 0.9, f"timeout fired early: {elapsed:.3f}s"
+        assert elapsed <= timeout * 1.5 + 0.1, f"timeout fired late: {elapsed:.3f}s"
 
     def test_blocking_get_wakes_on_put(self):
         queue = MessageQueue("q")
