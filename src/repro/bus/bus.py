@@ -480,6 +480,23 @@ class SoftwareBus:
         self.trace.append(f"objstate_move {old} -> {new} ({len(packet)} bytes)")
         return packet
 
+    def objstate_stream(self, old: str) -> "StateMoveStream":
+        """Pipelined ``objstate_move``: signal now, deliver whenever.
+
+        Returns immediately after the reconfiguration signal, opening the
+        wait-for-point window for the caller to spend on useful work —
+        building the clone, preparing the rebind batch.  The divulged
+        packet is pushed into the clone from the old module's own thread
+        the instant it is produced, so the handoff adds no coordinator
+        wakeup to the critical path.  Call :meth:`StateMoveStream.wait`
+        to close the window.
+        """
+        old_module = self.get_module(old)
+        stream = StateMoveStream(self, old, old_module)
+        old_module.mh.set_divulge_callback(stream._on_divulge)
+        self.signal_reconfig(old)
+        return stream
+
     # ------------------------------------------------------------------
     # Queue transfer (Figure 5's ``cq`` / ``rmq`` bind commands)
     # ------------------------------------------------------------------
@@ -530,3 +547,84 @@ class SoftwareBus:
             modules = list(self._instances.values())
         for module in modules:
             module.check_alive()
+
+
+class StateMoveStream:
+    """An in-flight state move whose wait-for-point window is open.
+
+    Created by :meth:`SoftwareBus.objstate_stream` *after* the old module
+    has been signalled but (possibly) *before* the receiving clone exists.
+    The divulge callback runs on the old module's thread, inside
+    ``mh_encode``; if the clone is already attached the packet lands in
+    its mail slot right there, otherwise :meth:`attach_target` installs
+    it as soon as the clone is named.
+
+    Unlike the one-shot ``objstate_move``, :meth:`wait` does not join the
+    old module's thread — its teardown overlaps with rebinding and clone
+    start, and ``remove_module`` joins it at the end of the replacement.
+    """
+
+    def __init__(self, bus: SoftwareBus, old: str, old_module: ModuleInstance):
+        self.bus = bus
+        self.old = old
+        self._old_module = old_module
+        self._target: Optional[ModuleInstance] = None
+        self._target_name: Optional[str] = None
+        self._packet: Optional[bytes] = None
+        self._delivered = threading.Event()
+        self._lock = threading.Lock()
+
+    def _on_divulge(self, packet: bytes) -> None:
+        # Runs on the old module's thread, inside mh.encode().
+        with self._lock:
+            self._packet = packet
+            if self._target is not None:
+                self._target.mh.incoming_packet = packet
+        self._delivered.set()
+
+    def attach_target(self, new: str) -> None:
+        """Name the clone that receives the state.
+
+        The clone may have been built during the wait window, i.e. after
+        the signal went out; if the old module has already divulged by
+        the time it is attached, the packet is installed here instead of
+        in the callback.
+        """
+        new_module = self.bus.get_module(new)
+        if new_module.state not in (ModuleState.CREATED, ModuleState.LOADED):
+            raise BusError(
+                f"objstate_move target {new!r} already started; state must "
+                f"be installed before the clone runs"
+            )
+        with self._lock:
+            self._target = new_module
+            self._target_name = new
+            if self._packet is not None:
+                new_module.mh.incoming_packet = self._packet
+
+    def wait(self, timeout: float = 10.0) -> bytes:
+        """Block until the packet has been handed to the clone."""
+        if self._target_name is None:
+            raise BusError(
+                f"objstate_move from {self.old!r} has no target; call "
+                f"attach_target() before wait()"
+            )
+        if not self._delivered.wait(timeout):
+            self._old_module.check_alive()
+            raise ReconfigTimeoutError(
+                f"{self.old}: no reconfiguration point reached within "
+                f"{timeout}s"
+            )
+        packet = self._packet
+        if packet is None:  # pragma: no cover - delivered implies packet
+            raise BusError(f"{self.old}: divulged without packet")
+        self.bus.trace.append(
+            f"objstate_move {self.old} -> {self._target_name} "
+            f"({len(packet)} bytes)"
+        )
+        return packet
+
+    def cancel(self) -> None:
+        """Withdraw the move: detach the callback and the signal."""
+        self._old_module.mh.set_divulge_callback(None)
+        self._old_module.mh.reconfig = False

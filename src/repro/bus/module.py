@@ -18,7 +18,8 @@ from __future__ import annotations
 import enum
 import threading
 import traceback
-from typing import Dict, List, Optional
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
 
 from repro.bus.machine import Host
 from repro.bus.message import Message
@@ -108,6 +109,32 @@ class ModulePort:
         return self.instance.queue(interface).peek_count() > 0
 
 
+@lru_cache(maxsize=128)
+def _prepare_module_cached(
+    source: str,
+    module_name: str,
+    declared_points: Tuple[str, ...],
+    prune_dead_captures: bool,
+) -> TransformResult:
+    """Memoized :func:`prepare_module` keyed by everything that shapes it.
+
+    The transformation is deterministic in these four inputs and its
+    result is never mutated after construction, so instances of the same
+    module share one :class:`TransformResult`.  The payoff is on the
+    reconfiguration critical path: a replacement clone is prepared from
+    the exact source/points/pruning of the original, so its whole AST
+    pipeline collapses to a cache hit.  Transform *errors* are not
+    cached (``lru_cache`` re-raises by re-running), so a rejected new
+    version stays rejected with a fresh traceback every time.
+    """
+    return prepare_module(
+        source,
+        module_name=module_name,
+        declared_points=list(declared_points),
+        prune_dead_captures=prune_dead_captures,
+    )
+
+
 class ModuleInstance:
     """One executing (or executable) module on a host."""
 
@@ -188,11 +215,11 @@ class ModuleInstance:
                 "yes",
                 "1",
             )
-            self.transform = prepare_module(
+            self.transform = _prepare_module_cached(
                 source,
-                module_name=self.spec.name,
-                declared_points=list(self.spec.reconfig_points),
-                prune_dead_captures=prune,
+                self.spec.name,
+                tuple(self.spec.reconfig_points),
+                prune,
             )
             source = self.transform.source
         self.executable_source = source

@@ -141,27 +141,45 @@ class ReconfigurationCoordinator:
             new_machine=target_machine,
         )
         temp_name = f"{instance}.new"
-        clone = self.bus.add_module(
-            spec, instance=temp_name, machine=target_machine, status="clone"
-        )
 
-        batch = prepare_rebind_batch(
-            self.bus, old, temp_name, preserve_queues=preserve_queues
-        )
+        # A *new* version can be rejected by the transformer, and the
+        # paper's all-or-nothing rule says a bad version must leave the
+        # application untouched — so it is loaded before any signal goes
+        # out.  A same-version clone (move/replicate) uses a spec the
+        # original already proved loadable, so the signal goes out first
+        # and the clone is built inside the wait-for-point window, which
+        # otherwise is pure dead time (the dominant delay_to_point term).
+        clone_built = False
+        if new_spec is not None:
+            self.bus.add_module(
+                spec, instance=temp_name, machine=target_machine, status="clone"
+            )
+            clone_built = True
 
         report.t_signal = time.monotonic()
+        stream = self.bus.objstate_stream(instance)
         try:
-            packet = self.bus.objstate_move(instance, temp_name, timeout=timeout)
+            if not clone_built:
+                self.bus.add_module(
+                    spec,
+                    instance=temp_name,
+                    machine=target_machine,
+                    status="clone",
+                )
+                clone_built = True
+            stream.attach_target(temp_name)
+            batch = prepare_rebind_batch(
+                self.bus, old, temp_name, preserve_queues=preserve_queues
+            )
+            packet = stream.wait(timeout)
         except (ReconfigTimeoutError, Exception):
-            # All-or-nothing: discard the clone, withdraw the signal.
-            self.bus.get_module(instance).mh.reconfig = False
-            self.bus.remove_module(temp_name)
+            # All-or-nothing: withdraw the signal, discard the clone.
+            stream.cancel()
+            if clone_built:
+                self.bus.remove_module(temp_name)
             raise
         report.t_divulged = time.monotonic()
         report.packet_bytes = len(packet)
-        from repro.state.frames import ProcessState
-
-        report.stack_depth = ProcessState.from_bytes(packet).stack.depth
 
         old_module = self.bus.get_module(instance)
         report.queued_copied = {
@@ -178,6 +196,11 @@ class ReconfigurationCoordinator:
         self.bus.remove_module(instance)
         self.bus.rename_instance(temp_name, instance)
         report.t_done = time.monotonic()
+        # Reporting detail, computed off the critical path: the depth
+        # comes from the packet's peekable header — no frame decode.
+        from repro.state.frames import peek_state_header
+
+        report.stack_depth = peek_state_header(packet).depth
         self.history.append(report)
         self.bus.trace.append(report.describe())
         return report

@@ -272,6 +272,10 @@ class MH:
             raise RestoreError(
                 f"state packet is for module {state.module!r}, this is {self.module!r}"
             )
+        # Frames parse lazily; force them through the target-machine check
+        # here, before any state is installed, so an unrepresentable value
+        # refuses the whole packet with nothing half-restored.
+        state.stack.materialize()
         self._restore_stack = state.stack
         self._active_point = state.reconfig_point
         self.statics.update(state.statics)
@@ -398,8 +402,16 @@ class MH:
         """Platform side: connect this runtime to the software bus."""
         self._port = port
 
-    def set_divulge_callback(self, callback: Callable[[bytes], None]) -> None:
-        """Platform side: where :meth:`encode` delivers the state packet."""
+    def set_divulge_callback(
+        self, callback: Optional[Callable[[bytes], None]] = None
+    ) -> None:
+        """Platform side: where :meth:`encode` delivers the state packet.
+
+        The bus's streamed state move installs its delivery hook here so
+        the packet reaches the clone on the divulging thread, with no
+        coordinator wakeup in between; ``None`` detaches the hook (used
+        when a timed-out reconfiguration is withdrawn).
+        """
         self._divulge_callback = callback
 
     def init(self, *_args) -> None:

@@ -15,12 +15,39 @@ Wire grammar (one value)::
 Self-description means the decoder never needs the format string; format
 strings are used at capture time for validation (a typo'd capture block
 fails loudly at the module, not mysteriously at the clone).
+
+Implementation notes (the reconfiguration critical path, see
+``docs/state-encoding.md``):
+
+- **Compiled encoder plans.**  Each :class:`TypeSpec` compiles once into a
+  flat closure that validates and appends in a single walk
+  (:func:`compiled_encoder`); each format string compiles once into a
+  tuple of those closures (:func:`encoder_plan`, lru-cached alongside
+  format parsing).  The old ``Encoder.write`` re-dispatched on
+  ``isinstance``/tag chars for every value of every frame.
+- **Machine-representability stays a pluggable hook.**  Compiled closures
+  take the machine's check suite as a call argument
+  (``MachineProfile.codec_checks``: per-char closures with bounds and
+  error strings pre-resolved; subclasses that override
+  ``check_representable`` get shims that route every scalar through the
+  override), so heterogeneity errors surface at capture time with
+  identical messages and custom profiles keep working.
+- **Zero-copy decode.**  The decode core (:func:`read_value`) is a
+  position-passing function over any buffer (``bytes`` or ``memoryview``)
+  with slice-free scalar reads (``struct.unpack_from``), so decoding a
+  packet region never copies it out first.  :func:`skip_value` advances
+  past a value without materialising it — that is what makes process-state
+  headers peekable (:func:`repro.state.frames.peek_state_header`).
+
+The naive tree-walk implementation this replaced is preserved verbatim in
+:mod:`repro.state.reference` as the executable wire specification; a
+golden-bytes test pins the compiled path to it byte-for-byte.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import DecodingError, EncodingError
 from repro.state.format import (
@@ -35,10 +62,6 @@ from repro.state.format import (
 from repro.state.machine import MachineProfile
 
 
-def _zigzag(n: int) -> int:
-    return (n << 1) ^ (n >> 63) if -(1 << 63) <= n < (1 << 63) else _zigzag_big(n)
-
-
 def _zigzag_big(n: int) -> int:
     # Arbitrary-precision zigzag: non-negative -> 2n, negative -> -2n - 1.
     return n * 2 if n >= 0 else -n * 2 - 1
@@ -48,6 +71,291 @@ def _unzigzag(z: int) -> int:
     return (z >> 1) if z % 2 == 0 else -((z + 1) >> 1)
 
 
+_pack_f32 = struct.Struct(">f").pack
+_pack_f64 = struct.Struct(">d").pack
+_unpack_f32 = struct.Struct(">f").unpack_from
+_unpack_f64 = struct.Struct(">d").unpack_from
+
+def _append_varint(buf: bytearray, n: int) -> None:
+    if n < 0:
+        raise EncodingError("varint must be non-negative")
+    while True:
+        byte = n & 0x7F
+        n >>= 7
+        if n:
+            buf.append(byte | 0x80)
+        else:
+            buf.append(byte)
+            return
+
+
+def _append_signed(buf: bytearray, n: int) -> None:
+    _append_varint(buf, n * 2 if n >= 0 else -n * 2 - 1)
+
+
+def _pointer_parts(value: object) -> Tuple[str, int]:
+    segment = getattr(value, "segment", None)
+    index = getattr(value, "index", None)
+    if not isinstance(segment, str) or not isinstance(index, int):
+        raise EncodingError(f"format 'p' requires SymbolicPointer, got {value!r}")
+    return segment, index
+
+
+# ---------------------------------------------------------------------------
+# Compiled encoders
+# ---------------------------------------------------------------------------
+
+#: An encoder closure: append the canonical form of ``value`` to ``buf``.
+#: ``checks`` is a machine's compiled check suite (see
+#: ``MachineProfile.codec_checks``), resolved once per encode call rather
+#: than once per value, or None when no machine constraint applies.
+_EncodeFn = Callable[[bytearray, object, Optional[tuple]], None]
+
+
+def _checks_of(machine: MachineProfile) -> tuple:
+    # The compiled (check_i, check_l, check_F, check_other) suite, attached
+    # to the machine on first use — see MachineProfile.codec_checks.
+    return machine.__dict__.get("_codec_checks") or machine.codec_checks()
+
+
+def _build_scalar_encoder(spec: ScalarType) -> _EncodeFn:
+    char = spec.char
+
+    if char == "a":
+
+        def enc_any(buf, value, checks):
+            # Self-describing: infer the concrete spec and encode under it.
+            compiled_encoder(format_of_value(value))(buf, value, checks)
+
+        return enc_any
+
+    if char == "n":
+
+        def enc_none(buf, value, checks):
+            if value is None:
+                buf.append(0x6E)  # 'n'
+                return
+            if checks is not None and checks[3] is not None:
+                checks[3](spec, value)
+            raise EncodingError(f"format 'n' requires None, got {value!r}")
+
+        return enc_none
+
+    if char == "b":
+
+        def enc_bool(buf, value, checks):
+            if value is None:
+                buf.append(0x6E)
+                return
+            if checks is not None and checks[3] is not None:
+                checks[3](spec, value)
+            if not isinstance(value, bool):
+                raise EncodingError(f"format 'b' requires bool, got {value!r}")
+            buf.append(0x62)  # 'b'
+            buf.append(1 if value else 0)
+
+        return enc_bool
+
+    if char in ("i", "l"):
+        tag = ord(char)
+        check_index = 0 if char == "i" else 1
+
+        def enc_int(buf, value, checks):
+            if value is None:
+                buf.append(0x6E)
+                return
+            if checks is not None:
+                checks[check_index](value)
+            if type(value) is not int and (
+                not isinstance(value, int) or isinstance(value, bool)
+            ):
+                raise EncodingError(f"format {char!r} requires int, got {value!r}")
+            buf.append(tag)
+            n = value * 2 if value >= 0 else -value * 2 - 1
+            while True:
+                byte = n & 0x7F
+                n >>= 7
+                if n:
+                    buf.append(byte | 0x80)
+                else:
+                    buf.append(byte)
+                    return
+
+        return enc_int
+
+    if char in ("f", "F"):
+        tag = ord(char)
+        pack = _pack_f32 if char == "f" else _pack_f64
+        is_double = char == "F"
+
+        def enc_float(buf, value, checks):
+            if value is None:
+                buf.append(0x6E)
+                return
+            if checks is not None:
+                if is_double:
+                    if checks[2] is not None:
+                        checks[2](value)
+                elif checks[3] is not None:
+                    checks[3](spec, value)
+            if type(value) is not float and (
+                not isinstance(value, (int, float)) or isinstance(value, bool)
+            ):
+                raise EncodingError(
+                    f"format {char!r} requires int or float, got {value!r}"
+                )
+            buf.append(tag)
+            buf.extend(pack(float(value)))
+
+        return enc_float
+
+    if char == "s":
+
+        def enc_str(buf, value, checks):
+            if value is None:
+                buf.append(0x6E)
+                return
+            if checks is not None and checks[3] is not None:
+                checks[3](spec, value)
+            if not isinstance(value, str):
+                raise EncodingError(f"format 's' requires str, got {value!r}")
+            data = value.encode("utf-8")
+            buf.append(0x73)  # 's'
+            _append_varint(buf, len(data))
+            buf.extend(data)
+
+        return enc_str
+
+    if char == "B":
+
+        def enc_bytes(buf, value, checks):
+            if value is None:
+                buf.append(0x6E)
+                return
+            if checks is not None and checks[3] is not None:
+                checks[3](spec, value)
+            if not isinstance(value, (bytes, bytearray)):
+                raise EncodingError(f"format 'B' requires bytes, got {value!r}")
+            buf.append(0x42)  # 'B'
+            _append_varint(buf, len(value))
+            buf.extend(value)
+
+        return enc_bytes
+
+    if char == "p":
+
+        def enc_pointer(buf, value, checks):
+            if value is None:
+                buf.append(0x6E)
+                return
+            if checks is not None and checks[3] is not None:
+                checks[3](spec, value)
+            segment, index = _pointer_parts(value)
+            data = segment.encode("utf-8")
+            buf.append(0x70)  # 'p'
+            _append_varint(buf, len(data))
+            buf.extend(data)
+            _append_signed(buf, index)
+
+        return enc_pointer
+
+    raise EncodingError(f"unknown scalar format {char!r}")  # pragma: no cover
+
+
+def _build_encoder(spec: TypeSpec) -> _EncodeFn:
+    if isinstance(spec, ScalarType):
+        return _build_scalar_encoder(spec)
+
+    if isinstance(spec, ListType):
+        enc_element = compiled_encoder(spec.element)
+
+        def enc_list(buf, value, checks):
+            if value is None:
+                buf.append(0x6E)
+                return
+            if not isinstance(value, list):
+                raise EncodingError(f"expected list, got {type(value).__name__}")
+            buf.append(0x5B)  # '['
+            _append_varint(buf, len(value))
+            for item in value:
+                enc_element(buf, item, checks)
+
+        return enc_list
+
+    if isinstance(spec, TupleType):
+        elements = tuple(compiled_encoder(e) for e in spec.elements)
+        arity = len(elements)
+
+        def enc_tuple(buf, value, checks):
+            if value is None:
+                buf.append(0x6E)
+                return
+            if not isinstance(value, tuple) or len(value) != arity:
+                raise EncodingError(f"expected {arity}-tuple, got {value!r}")
+            buf.append(0x28)  # '('
+            _append_varint(buf, arity)
+            for enc_element, item in zip(elements, value):
+                enc_element(buf, item, checks)
+
+        return enc_tuple
+
+    if isinstance(spec, DictType):
+        enc_key = compiled_encoder(spec.key)
+        enc_val = compiled_encoder(spec.value)
+
+        def enc_dict(buf, value, checks):
+            if value is None:
+                buf.append(0x6E)
+                return
+            if not isinstance(value, dict):
+                raise EncodingError(f"expected dict, got {type(value).__name__}")
+            buf.append(0x7B)  # '{'
+            _append_varint(buf, len(value))
+            for key, item in value.items():
+                enc_key(buf, key, checks)
+                enc_val(buf, item, checks)
+
+        return enc_dict
+
+    raise EncodingError(f"unknown type spec {spec!r}")  # pragma: no cover
+
+
+#: Compiled encoder per distinct spec (TypeSpec hashes by format_char, so
+#: structurally equal specs share one closure).  Plain dict, no lock: a
+#: racing rebuild just installs an equivalent closure.
+_ENCODER_CACHE: Dict[TypeSpec, _EncodeFn] = {}
+
+
+def compiled_encoder(spec: TypeSpec) -> _EncodeFn:
+    """The compiled single-walk encoder for one spec."""
+    encoder = _ENCODER_CACHE.get(spec)
+    if encoder is None:
+        encoder = _build_encoder(spec)
+        _ENCODER_CACHE[spec] = encoder
+    return encoder
+
+
+def encoder_plan(fmt: str) -> Tuple[_EncodeFn, ...]:
+    """One compiled encoder per top-level spec of ``fmt``.
+
+    Cached per distinct format string (formats recur heavily: every frame
+    of a deep capture reuses its procedure's format, every message on an
+    interface reuses the declared pattern), sharing the lru-cached parse
+    from :mod:`repro.state.format`.
+    """
+    plan = _PLAN_CACHE.get(fmt)
+    if plan is None:
+        from repro.state.format import parse_format
+
+        plan = tuple(compiled_encoder(spec) for spec in parse_format(fmt))
+        if len(_PLAN_CACHE) < 4096:
+            _PLAN_CACHE[fmt] = plan
+    return plan
+
+
+_PLAN_CACHE: Dict[str, Tuple[_EncodeFn, ...]] = {}
+
+
 class Encoder:
     """Append-only canonical encoder.
 
@@ -55,6 +363,10 @@ class Encoder:
     checked for representability on that (source) machine before encoding,
     so heterogeneity errors surface at capture time with the live value in
     the message.
+
+    ``write`` dispatches through the compiled per-spec closures, so the
+    class costs nothing over :func:`encode_values`; it remains the
+    convenient streaming API for callers that assemble a buffer piecewise.
     """
 
     def __init__(self, machine: Optional[MachineProfile] = None):
@@ -70,16 +382,7 @@ class Encoder:
     # -- primitives ----------------------------------------------------------
 
     def _write_varint(self, n: int) -> None:
-        if n < 0:
-            raise EncodingError("varint must be non-negative")
-        while True:
-            byte = n & 0x7F
-            n >>= 7
-            if n:
-                self._buffer.append(byte | 0x80)
-            else:
-                self._buffer.append(byte)
-                return
+        _append_varint(self._buffer, n)
 
     def _write_signed(self, n: int) -> None:
         self._write_varint(_zigzag_big(n))
@@ -93,188 +396,249 @@ class Encoder:
         :func:`repro.state.format.value_matches`); it travels as the ``n``
         tag and decodes as ``None``.
         """
-        if value is None and not (isinstance(spec, ScalarType) and spec.char == "a"):
-            self._buffer.append(ord("n"))
-            return
-        if isinstance(spec, ScalarType):
-            self._write_scalar(spec, value)
-        elif isinstance(spec, ListType):
-            if not isinstance(value, list):
-                raise EncodingError(f"expected list, got {type(value).__name__}")
-            self._buffer.append(ord("["))
-            self._write_varint(len(value))
-            for item in value:
-                self.write(spec.element, item)
-        elif isinstance(spec, TupleType):
-            if not isinstance(value, tuple) or len(value) != len(spec.elements):
-                raise EncodingError(f"expected {len(spec.elements)}-tuple, got {value!r}")
-            self._buffer.append(ord("("))
-            self._write_varint(len(value))
-            for element, item in zip(spec.elements, value):
-                self.write(element, item)
-        elif isinstance(spec, DictType):
-            if not isinstance(value, dict):
-                raise EncodingError(f"expected dict, got {type(value).__name__}")
-            self._buffer.append(ord("{"))
-            self._write_varint(len(value))
-            for key, item in value.items():
-                self.write(spec.key, key)
-                self.write(spec.value, item)
-        else:  # pragma: no cover - parser produces only the above
-            raise EncodingError(f"unknown type spec {spec!r}")
-
-    def _write_scalar(self, spec: ScalarType, value: object) -> None:
-        char = spec.char
-        if char == "a":
-            # Self-describing: infer the concrete spec and encode under it.
-            self.write(format_of_value(value), value)
-            return
-        if self.machine is not None:
-            self.machine.check_representable(spec, value)
-        if char == "n":
-            if value is not None:
-                raise EncodingError(f"format 'n' requires None, got {value!r}")
-            self._buffer.append(ord("n"))
-        elif char == "b":
-            if not isinstance(value, bool):
-                raise EncodingError(f"format 'b' requires bool, got {value!r}")
-            self._buffer.append(ord("b"))
-            self._buffer.append(1 if value else 0)
-        elif char in ("i", "l"):
-            if not isinstance(value, int) or isinstance(value, bool):
-                raise EncodingError(f"format {char!r} requires int, got {value!r}")
-            self._buffer.append(ord(char))
-            self._write_signed(value)
-        elif char == "f":
-            self._buffer.append(ord("f"))
-            self._buffer.extend(struct.pack(">f", float(value)))  # type: ignore[arg-type]
-        elif char == "F":
-            self._buffer.append(ord("F"))
-            self._buffer.extend(struct.pack(">d", float(value)))  # type: ignore[arg-type]
-        elif char == "s":
-            if not isinstance(value, str):
-                raise EncodingError(f"format 's' requires str, got {value!r}")
-            data = value.encode("utf-8")
-            self._buffer.append(ord("s"))
-            self._write_varint(len(data))
-            self._buffer.extend(data)
-        elif char == "B":
-            if not isinstance(value, (bytes, bytearray)):
-                raise EncodingError(f"format 'B' requires bytes, got {value!r}")
-            self._buffer.append(ord("B"))
-            self._write_varint(len(value))
-            self._buffer.extend(value)
-        elif char == "p":
-            segment, index = _pointer_parts(value)
-            data = segment.encode("utf-8")
-            self._buffer.append(ord("p"))
-            self._write_varint(len(data))
-            self._buffer.extend(data)
-            self._write_signed(index)
-        else:  # pragma: no cover - SCALAR_CHARS is closed
-            raise EncodingError(f"unknown scalar format {char!r}")
+        compiled_encoder(spec)(
+            self._buffer,
+            value,
+            None if self.machine is None else _checks_of(self.machine),
+        )
 
 
-def _pointer_parts(value: object) -> Tuple[str, int]:
-    segment = getattr(value, "segment", None)
-    index = getattr(value, "index", None)
-    if not isinstance(segment, str) or not isinstance(index, int):
-        raise EncodingError(f"format 'p' requires SymbolicPointer, got {value!r}")
-    return segment, index
+# ---------------------------------------------------------------------------
+# Decode core
+# ---------------------------------------------------------------------------
+
+
+def _truncated(pos: int, need: int, end: int) -> DecodingError:
+    return DecodingError(
+        f"truncated abstract state: need {need} bytes at offset "
+        f"{pos}, have {end - pos}"
+    )
+
+
+def _read_varint(buf, pos: int, end: int) -> Tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= end:
+            raise _truncated(pos, 1, end)
+        byte = buf[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 10_000:  # defensive: corrupt stream
+            raise DecodingError("runaway varint in abstract state")
+
+
+_SymbolicPointer = None
+
+
+def _pointer_cls():
+    # Imported lazily (and memoized) to avoid a circular import with
+    # repro.state.pointers.
+    global _SymbolicPointer
+    if _SymbolicPointer is None:
+        from repro.state.pointers import SymbolicPointer
+
+        _SymbolicPointer = SymbolicPointer
+    return _SymbolicPointer
+
+
+def read_value(
+    buf, pos: int, end: int, machine: Optional[MachineProfile] = None
+) -> Tuple[object, int]:
+    """Decode one self-described value from ``buf[pos:end]``.
+
+    Returns ``(value, new_pos)``.  ``buf`` may be ``bytes`` or a
+    ``memoryview`` — scalar payloads are read in place with
+    ``struct.unpack_from`` and only string/bytes payloads materialise a
+    copy (the decoded value itself).  When a :class:`MachineProfile` is
+    supplied, decoded integers and doubles are checked against that
+    (target) machine's native ranges — this is where a 2**40 captured on
+    a 64-bit host fails to land on a simulated 32-bit host.
+    """
+    return _read_checked(
+        buf, pos, end, None if machine is None else _checks_of(machine)
+    )
+
+
+def _read_checked(buf, pos: int, end: int, checks) -> Tuple[object, int]:
+    # The decode core; ``checks`` is a machine's compiled check suite
+    # (resolved once per top-level value, not once per scalar) or None.
+    if pos >= end:
+        raise _truncated(pos, 1, end)
+    tag = buf[pos]
+    pos += 1
+    if tag == 0x6C or tag == 0x69:  # 'l' / 'i'
+        z, pos = _read_varint(buf, pos, end)
+        value = (z >> 1) if z % 2 == 0 else -((z + 1) >> 1)
+        if checks is not None:
+            checks[1 if tag == 0x6C else 0](value)
+        return value, pos
+    if tag == 0x46:  # 'F'
+        if pos + 8 > end:
+            raise _truncated(pos, 8, end)
+        value = _unpack_f64(buf, pos)[0]
+        if checks is not None:
+            check = checks[2]
+            if check is not None:
+                check(value)
+        return value, pos + 8
+    if tag == 0x73:  # 's'
+        length, pos = _read_varint(buf, pos, end)
+        if pos + length > end:
+            raise _truncated(pos, length, end)
+        return str(buf[pos : pos + length], "utf-8"), pos + length
+    if tag == 0x6E:  # 'n'
+        return None, pos
+    if tag == 0x62:  # 'b'
+        if pos >= end:
+            raise _truncated(pos, 1, end)
+        return buf[pos] != 0, pos + 1
+    if tag == 0x66:  # 'f'
+        if pos + 4 > end:
+            raise _truncated(pos, 4, end)
+        return _unpack_f32(buf, pos)[0], pos + 4
+    if tag == 0x42:  # 'B'
+        length, pos = _read_varint(buf, pos, end)
+        if pos + length > end:
+            raise _truncated(pos, length, end)
+        return bytes(buf[pos : pos + length]), pos + length
+    if tag == 0x70:  # 'p'
+        length, pos = _read_varint(buf, pos, end)
+        if pos + length > end:
+            raise _truncated(pos, length, end)
+        segment = str(buf[pos : pos + length], "utf-8")
+        pos += length
+        z, pos = _read_varint(buf, pos, end)
+        index = (z >> 1) if z % 2 == 0 else -((z + 1) >> 1)
+        return _pointer_cls()(segment, index), pos
+    if tag == 0x5B:  # '['
+        count, pos = _read_varint(buf, pos, end)
+        result = []
+        for _ in range(count):
+            item, pos = _read_checked(buf, pos, end, checks)
+            result.append(item)
+        return result, pos
+    if tag == 0x28:  # '('
+        count, pos = _read_varint(buf, pos, end)
+        items = []
+        for _ in range(count):
+            item, pos = _read_checked(buf, pos, end, checks)
+            items.append(item)
+        return tuple(items), pos
+    if tag == 0x7B:  # '{'
+        count, pos = _read_varint(buf, pos, end)
+        result = {}
+        for _ in range(count):
+            key, pos = _read_checked(buf, pos, end, checks)
+            result[key], pos = _read_checked(buf, pos, end, checks)
+        return result, pos
+    raise DecodingError(f"unknown tag {chr(tag)!r} at offset {pos - 1}")
+
+
+def skip_value(buf, pos: int, end: int) -> int:
+    """Advance past one encoded value without materialising it.
+
+    The cost is the structural walk only — string/bytes payloads are
+    skipped by length, scalars by width.  This is what makes state-packet
+    headers peekable: the coordinator can read the stack depth that sits
+    *after* the statics and heap dicts without decoding either.
+    """
+    if pos >= end:
+        raise _truncated(pos, 1, end)
+    tag = buf[pos]
+    pos += 1
+    if tag == 0x6E:  # 'n'
+        return pos
+    if tag == 0x62:  # 'b'
+        if pos >= end:
+            raise _truncated(pos, 1, end)
+        return pos + 1
+    if tag == 0x6C or tag == 0x69:  # 'l' / 'i'
+        _, pos = _read_varint(buf, pos, end)
+        return pos
+    if tag == 0x66:  # 'f'
+        if pos + 4 > end:
+            raise _truncated(pos, 4, end)
+        return pos + 4
+    if tag == 0x46:  # 'F'
+        if pos + 8 > end:
+            raise _truncated(pos, 8, end)
+        return pos + 8
+    if tag == 0x73 or tag == 0x42:  # 's' / 'B'
+        length, pos = _read_varint(buf, pos, end)
+        if pos + length > end:
+            raise _truncated(pos, length, end)
+        return pos + length
+    if tag == 0x70:  # 'p'
+        length, pos = _read_varint(buf, pos, end)
+        if pos + length > end:
+            raise _truncated(pos, length, end)
+        _, pos = _read_varint(buf, pos + length, end)
+        return pos
+    if tag == 0x5B or tag == 0x28:  # '[' / '('
+        count, pos = _read_varint(buf, pos, end)
+        for _ in range(count):
+            pos = skip_value(buf, pos, end)
+        return pos
+    if tag == 0x7B:  # '{'
+        count, pos = _read_varint(buf, pos, end)
+        for _ in range(count):
+            pos = skip_value(buf, pos, end)
+            pos = skip_value(buf, pos, end)
+        return pos
+    raise DecodingError(f"unknown tag {chr(tag)!r} at offset {pos - 1}")
 
 
 class Decoder:
     """Streaming canonical decoder.
 
-    When a :class:`MachineProfile` is supplied, decoded integers and
-    doubles are checked against that (target) machine's native ranges —
-    this is where a 2**40 captured on a 64-bit host fails to land on a
-    simulated 32-bit host.
+    A thin positional wrapper over :func:`read_value`; accepts ``bytes``
+    or a ``memoryview`` (the zero-copy path used for process-state
+    bodies).  When a :class:`MachineProfile` is supplied, decoded integers
+    and doubles are checked against that (target) machine's native ranges.
     """
 
-    def __init__(self, data: bytes, machine: Optional[MachineProfile] = None):
+    def __init__(self, data, machine: Optional[MachineProfile] = None):
         self._data = data
         self._pos = 0
+        self._end = len(data)
         self.machine = machine
+        self._checks = None if machine is None else _checks_of(machine)
 
     @property
     def remaining(self) -> int:
-        return len(self._data) - self._pos
+        return self._end - self._pos
 
     def at_end(self) -> bool:
-        return self._pos >= len(self._data)
+        return self._pos >= self._end
 
     def _take(self, count: int) -> bytes:
-        if self._pos + count > len(self._data):
-            raise DecodingError(
-                f"truncated abstract state: need {count} bytes at offset "
-                f"{self._pos}, have {len(self._data) - self._pos}"
-            )
-        chunk = self._data[self._pos : self._pos + count]
+        if self._pos + count > self._end:
+            raise _truncated(self._pos, count, self._end)
+        chunk = bytes(self._data[self._pos : self._pos + count])
         self._pos += count
         return chunk
 
     def _read_varint(self) -> int:
-        shift = 0
-        result = 0
-        while True:
-            byte = self._take(1)[0]
-            result |= (byte & 0x7F) << shift
-            if not byte & 0x80:
-                return result
-            shift += 7
-            if shift > 10_000:  # defensive: corrupt stream
-                raise DecodingError("runaway varint in abstract state")
+        value, self._pos = _read_varint(self._data, self._pos, self._end)
+        return value
 
     def _read_signed(self) -> int:
         return _unzigzag(self._read_varint())
 
     def read(self) -> object:
         """Decode one self-described value."""
-        tag = chr(self._take(1)[0])
-        if tag == "n":
-            return None
-        if tag == "b":
-            return self._take(1)[0] != 0
-        if tag in ("i", "l"):
-            value = self._read_signed()
-            if self.machine is not None:
-                self.machine.check_representable(ScalarType(tag), value)
-            return value
-        if tag == "f":
-            return struct.unpack(">f", self._take(4))[0]
-        if tag == "F":
-            value = struct.unpack(">d", self._take(8))[0]
-            if self.machine is not None:
-                self.machine.check_representable(ScalarType("F"), value)
-            return value
-        if tag == "s":
-            length = self._read_varint()
-            return self._take(length).decode("utf-8")
-        if tag == "B":
-            length = self._read_varint()
-            return self._take(length)
-        if tag == "p":
-            length = self._read_varint()
-            segment = self._take(length).decode("utf-8")
-            index = self._read_signed()
-            from repro.state.pointers import SymbolicPointer
+        value, self._pos = _read_checked(
+            self._data, self._pos, self._end, self._checks
+        )
+        return value
 
-            return SymbolicPointer(segment, index)
-        if tag == "[":
-            count = self._read_varint()
-            return [self.read() for _ in range(count)]
-        if tag == "(":
-            count = self._read_varint()
-            return tuple(self.read() for _ in range(count))
-        if tag == "{":
-            count = self._read_varint()
-            result = {}
-            for _ in range(count):
-                key = self.read()
-                result[key] = self.read()
-            return result
-        raise DecodingError(f"unknown tag {tag!r} at offset {self._pos - 1}")
+    def skip(self) -> None:
+        """Advance past one value without materialising it."""
+        self._pos = skip_value(self._data, self._pos, self._end)
 
     def read_all(self) -> List[object]:
         values: List[object] = []
@@ -291,32 +655,61 @@ def encode_values(
     This is the function behind ``mh.capture`` — the paper's
     ``mh_capture("llF", 1, n, response)`` becomes
     ``encode_values("llF", [1, n, response], machine)``.
+
+    Validation and encoding are one compiled walk; when a value does not
+    match its declaration, the slow-path re-check reproduces the exact
+    :class:`FormatError` the naive implementation raised, naming the
+    failing position.
     """
-    specs = check_arity(fmt, values)
-    encoder = Encoder(machine)
-    for spec, value in zip(specs, values):
-        encoder.write(spec, value)
-    return encoder.getvalue()
+    plan = encoder_plan(fmt)
+    if len(plan) != len(values):
+        from repro.errors import FormatError
+
+        raise FormatError(
+            f"format {fmt!r} declares {len(plan)} values but {len(values)} supplied"
+        )
+    buf = bytearray()
+    checks = None if machine is None else _checks_of(machine)
+    try:
+        for encode, value in zip(plan, values):
+            encode(buf, value, checks)
+    except EncodingError:
+        # A declaration mismatch must surface as the position-naming
+        # FormatError of the pre-compiled implementation; re-walk with the
+        # full checker to distinguish it from a genuine encoding failure.
+        check_arity(fmt, values)
+        raise
+    return bytes(buf)
 
 
 def decode_values(
-    data: bytes, machine: Optional[MachineProfile] = None
+    data, machine: Optional[MachineProfile] = None
 ) -> List[object]:
     """Decode a canonical stream back into Python values."""
-    return Decoder(data, machine).read_all()
+    values: List[object] = []
+    pos = 0
+    end = len(data)
+    checks = None if machine is None else _checks_of(machine)
+    while pos < end:
+        value, pos = _read_checked(data, pos, end, checks)
+        values.append(value)
+    return values
 
 
 def encode_any(value: object, machine: Optional[MachineProfile] = None) -> bytes:
     """Encode a single self-described value (format char ``a``)."""
-    encoder = Encoder(machine)
-    encoder.write(ScalarType("a"), value)
-    return encoder.getvalue()
+    buf = bytearray()
+    _ENC_ANY(buf, value, None if machine is None else _checks_of(machine))
+    return bytes(buf)
 
 
-def decode_any(data: bytes, machine: Optional[MachineProfile] = None) -> object:
+def decode_any(data, machine: Optional[MachineProfile] = None) -> object:
     """Decode a single self-described value, requiring full consumption."""
-    decoder = Decoder(data, machine)
-    value = decoder.read()
-    if not decoder.at_end():
-        raise DecodingError(f"{decoder.remaining} trailing bytes after value")
+    end = len(data)
+    value, pos = read_value(data, 0, end, machine)
+    if pos < end:
+        raise DecodingError(f"{end - pos} trailing bytes after value")
     return value
+
+
+_ENC_ANY = compiled_encoder(ScalarType("a"))

@@ -43,7 +43,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Iterator, List, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Sequence, Tuple
 
 from repro.errors import FormatError
 
@@ -278,6 +278,98 @@ def format_of_value(value: object) -> TypeSpec:
     raise FormatError(f"cannot infer abstract type for {type(value).__name__}")
 
 
+# ---------------------------------------------------------------------------
+# Compiled matchers
+#
+# ``value_matches`` used to re-dispatch on the TypeSpec class and re-branch
+# on the scalar char for every value of every frame of every capture — a
+# measurable cost on the reconfiguration critical path (and on every bus
+# message, via ``check_arity``).  Each spec now compiles once into a flat
+# closure; compiled matchers are cached per spec and bundled per format
+# string, mirroring the compiled encoder plans in ``repro.state.encoding``.
+# ---------------------------------------------------------------------------
+
+_Matcher = Callable[[object], bool]
+
+
+def _match_any(value: object) -> bool:
+    if value is None:
+        return True
+    try:
+        format_of_value(value)
+    except FormatError:
+        return False
+    return True
+
+
+def _build_matcher(spec: TypeSpec) -> _Matcher:
+    if isinstance(spec, ScalarType):
+        ch = spec.char
+        if ch == "a":
+            return _match_any
+        if ch == "n":
+            return lambda value: value is None
+        if ch == "b":
+            return lambda value: value is None or isinstance(value, bool)
+        if ch in ("i", "l"):
+            return lambda value: value is None or (
+                isinstance(value, int) and not isinstance(value, bool)
+            )
+        if ch in ("f", "F"):
+            return lambda value: value is None or (
+                isinstance(value, (int, float)) and not isinstance(value, bool)
+            )
+        if ch == "s":
+            return lambda value: value is None or isinstance(value, str)
+        if ch == "B":
+            return lambda value: value is None or isinstance(value, (bytes, bytearray))
+        if ch == "p":
+            return lambda value: value is None or type(value).__name__ == "SymbolicPointer"
+        return lambda value: value is None  # pragma: no cover - closed set
+    if isinstance(spec, ListType):
+        element = compiled_matcher(spec.element)
+        return lambda value: value is None or (
+            isinstance(value, list) and all(element(v) for v in value)
+        )
+    if isinstance(spec, TupleType):
+        elements = tuple(compiled_matcher(e) for e in spec.elements)
+        arity = len(elements)
+        return lambda value: value is None or (
+            isinstance(value, tuple)
+            and len(value) == arity
+            and all(m(v) for m, v in zip(elements, value))
+        )
+    if isinstance(spec, DictType):
+        key = compiled_matcher(spec.key)
+        val = compiled_matcher(spec.value)
+        return lambda value: value is None or (
+            isinstance(value, dict)
+            and all(key(k) and val(v) for k, v in value.items())
+        )
+    return lambda value: value is None  # pragma: no cover - parser is closed
+
+
+#: Compiled matcher per distinct spec.  TypeSpec hashes by format_char, so
+#: structurally equal specs share one closure.  Plain dict (no lock): a
+#: racing rebuild just produces an equivalent closure.
+_MATCHER_CACHE: Dict[TypeSpec, _Matcher] = {}
+
+
+def compiled_matcher(spec: TypeSpec) -> _Matcher:
+    """The compiled form of :func:`value_matches` for one spec."""
+    matcher = _MATCHER_CACHE.get(spec)
+    if matcher is None:
+        matcher = _build_matcher(spec)
+        _MATCHER_CACHE[spec] = matcher
+    return matcher
+
+
+@lru_cache(maxsize=4096)
+def matcher_plan(fmt: str) -> Tuple[_Matcher, ...]:
+    """One compiled matcher per top-level spec of ``fmt``, parse-cached."""
+    return tuple(compiled_matcher(spec) for spec in _parse_format_cached(fmt))
+
+
 def value_matches(spec: TypeSpec, value: object) -> bool:
     """Return True when ``value`` is acceptable for ``spec``.
 
@@ -291,49 +383,7 @@ def value_matches(spec: TypeSpec, value: object) -> bool:
     encoding is self-describing, so a NULL travels as the ``n`` tag and
     restores as ``None`` regardless of the declared format.
     """
-    if value is None:
-        return True
-    if isinstance(spec, ScalarType):
-        ch = spec.char
-        if ch == "a":
-            try:
-                format_of_value(value)
-            except FormatError:
-                return False
-            return True
-        if ch == "n":
-            return value is None
-        if ch == "b":
-            return isinstance(value, bool)
-        if ch in ("i", "l"):
-            return isinstance(value, int) and not isinstance(value, bool)
-        if ch in ("f", "F"):
-            return isinstance(value, float) or (
-                isinstance(value, int) and not isinstance(value, bool)
-            )
-        if ch == "s":
-            return isinstance(value, str)
-        if ch == "B":
-            return isinstance(value, (bytes, bytearray))
-        if ch == "p":
-            return type(value).__name__ == "SymbolicPointer"
-        return False
-    if isinstance(spec, ListType):
-        return isinstance(value, list) and all(
-            value_matches(spec.element, v) for v in value
-        )
-    if isinstance(spec, TupleType):
-        return (
-            isinstance(value, tuple)
-            and len(value) == len(spec.elements)
-            and all(value_matches(e, v) for e, v in zip(spec.elements, value))
-        )
-    if isinstance(spec, DictType):
-        return isinstance(value, dict) and all(
-            value_matches(spec.key, k) and value_matches(spec.value, v)
-            for k, v in value.items()
-        )
-    return False
+    return compiled_matcher(spec)(value)
 
 
 def check_arity(fmt: str, values: Sequence[object]) -> List[TypeSpec]:
@@ -344,18 +394,19 @@ def check_arity(fmt: str, values: Sequence[object]) -> List[TypeSpec]:
     surfaced verbatim by ``mh.capture`` so a module author can find the
     bad capture block.
     """
-    specs = parse_format(fmt)
+    specs = _parse_format_cached(fmt)
     if len(specs) != len(values):
         raise FormatError(
             f"format {fmt!r} declares {len(specs)} values but {len(values)} supplied"
         )
-    for index, (spec, value) in enumerate(zip(specs, values)):
-        if not value_matches(spec, value):
+    plan = matcher_plan(fmt)
+    for index, (matcher, value) in enumerate(zip(plan, values)):
+        if not matcher(value):
             raise FormatError(
                 f"value #{index} ({value!r}) does not match format "
-                f"{spec.format_char()!r} in {fmt!r}"
+                f"{specs[index].format_char()!r} in {fmt!r}"
             )
-    return specs
+    return list(specs)
 
 
 def iter_scalars(spec: TypeSpec) -> Iterator[ScalarType]:

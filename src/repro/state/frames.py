@@ -14,22 +14,63 @@ gives each item a concrete, machine-independent representation:
 
 The serialized form (:meth:`ProcessState.to_bytes`) is the packet that
 ``mh_objstate_move`` ships between the old and new module.
+
+Critical-path layout (see ``docs/state-encoding.md``): serialization
+appends every field and frame into **one** ``bytearray`` through compiled
+encoder plans; deserialization reads header fields from a ``memoryview``
+of the packet body and leaves the frames as an undecoded byte region that
+:class:`StackState` materialises on first access.  Callers that only need
+identity or depth — the coordinator recording ``stack_depth``, trace
+lines, queue accounting — use :func:`peek_state_header` and never decode
+a frame at all.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import DecodingError, EncodingError
-from repro.state.encoding import Decoder, Encoder
-from repro.state.format import ScalarType, check_arity
+from repro.state.encoding import (
+    Decoder,
+    Encoder,
+    _append_varint,
+    _checks_of,
+    _read_checked,
+    compiled_encoder,
+    encoder_plan,
+    read_value,
+    skip_value,
+)
+from repro.state.format import ScalarType, check_arity, parse_format
 from repro.state.machine import MachineProfile
 
 #: Magic prefix of a serialized process state packet.
 STATE_MAGIC = b"MHST"
 #: Version of the packet layout; bumped on incompatible change.
 STATE_VERSION = 1
+
+#: ``len(STATE_MAGIC) + 1`` (version byte) — start of the body-length word.
+_LEN_OFFSET = len(STATE_MAGIC) + 1
+#: Full fixed-header size: magic + version + 4-byte body length.
+_BODY_OFFSET = _LEN_OFFSET + 4
+
+#: Compiled self-describing encoder, used for the statics/heap dicts.
+_ENC_ANY = compiled_encoder(ScalarType("a"))
+
+
+def _append_str(buf: bytearray, value: object) -> None:
+    # The 's' wire form, inlined for the packet header fields (a NULL
+    # field travels as the 'n' tag, as everywhere in the encoding).
+    if isinstance(value, str):
+        data = value.encode("utf-8")
+        buf.append(0x73)
+        _append_varint(buf, len(data))
+        buf.extend(data)
+    elif value is None:
+        buf.append(0x6E)
+    else:
+        raise EncodingError(f"format 's' requires str, got {value!r}")
 
 
 @dataclass
@@ -52,12 +93,39 @@ class ActivationRecord:
     def __post_init__(self) -> None:
         check_arity(self.fmt, self.values)
 
+    def encode_into_buffer(
+        self, buf: bytearray, machine: Optional[MachineProfile], checks=None
+    ) -> None:
+        """Append this frame's wire form; the capture/encode hot path.
+
+        ``checks`` is the machine's resolved check suite when the caller
+        already holds it (``ProcessState.to_bytes`` resolves once for the
+        whole packet); otherwise it is derived from ``machine``.
+        """
+        if checks is None and machine is not None:
+            checks = _checks_of(machine)
+        _append_str(buf, self.procedure)
+        buf.append(0x6C)  # 'l'
+        _append_varint(
+            buf,
+            self.location * 2 if self.location >= 0 else -self.location * 2 - 1,
+        )
+        _append_str(buf, self.fmt)
+        plan = encoder_plan(self.fmt)
+        values = self.values
+        if len(plan) != len(values):
+            check_arity(self.fmt, values)  # raises the arity FormatError
+        try:
+            for encode, value in zip(plan, values):
+                encode(buf, value, checks)
+        except EncodingError:
+            # Values mutated since construction: surface the same
+            # position-naming FormatError the eager walk raised.
+            check_arity(self.fmt, values)
+            raise
+
     def encode_into(self, encoder: Encoder) -> None:
-        encoder.write(ScalarType("s"), self.procedure)
-        encoder.write(ScalarType("l"), self.location)
-        encoder.write(ScalarType("s"), self.fmt)
-        for spec, value in zip(check_arity(self.fmt, self.values), self.values):
-            encoder.write(spec, value)
+        self.encode_into_buffer(encoder._buffer, encoder.machine)
 
     @classmethod
     def decode_from(cls, decoder: Decoder) -> "ActivationRecord":
@@ -68,8 +136,6 @@ class ActivationRecord:
             raise DecodingError("corrupt activation record header")
         if not isinstance(location, int):
             raise DecodingError("corrupt activation record location")
-        from repro.state.format import parse_format
-
         values = [decoder.read() for _ in parse_format(fmt)]
         return cls(procedure=procedure, location=location, fmt=fmt, values=values)
 
@@ -83,43 +149,159 @@ class StackState:
     a frame.  Restoration consumes them in the opposite order
     (:meth:`pop_for_restore` yields ``main`` first), mirroring how the
     restore blocks rebuild the stack by re-executing calls downward.
+
+    A stack parsed from a packet starts **lazy**: :attr:`depth` comes from
+    the packet's frame count and the records stay an undecoded byte region
+    until something touches a frame.  Restoration pops the *last* wire
+    frame first, so frames cannot stream one at a time — the first touch
+    decodes them all.  Depth-only consumers never pay for a decode.
     """
 
     def __init__(self, records: Optional[Sequence[ActivationRecord]] = None):
         self._records: List[ActivationRecord] = list(records or [])
+        self._pending = 0
+        self._materializer: Optional[Callable[[], List[ActivationRecord]]] = None
+
+    @classmethod
+    def lazy(
+        cls, count: int, materializer: Callable[[], List[ActivationRecord]]
+    ) -> "StackState":
+        """A stack of ``count`` frames decoded on first record access."""
+        stack = cls()
+        stack._pending = count
+        stack._materializer = materializer
+        return stack
+
+    def _ensure(self) -> None:
+        if self._materializer is not None:
+            materializer, self._materializer = self._materializer, None
+            self._pending = 0
+            self._records.extend(materializer())
+
+    def materialize(self) -> "StackState":
+        """Force-decode any pending frames (validating them); returns self."""
+        self._ensure()
+        return self
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._records) + self._pending
 
     def __iter__(self):
+        self._ensure()
         return iter(self._records)
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, StackState) and self._records == other._records
+        if not isinstance(other, StackState):
+            return False
+        self._ensure()
+        other._ensure()
+        return self._records == other._records
 
     def records(self) -> List[ActivationRecord]:
+        self._ensure()
         return list(self._records)
 
     @property
     def depth(self) -> int:
-        return len(self._records)
+        return len(self._records) + self._pending
 
     def push_captured(self, record: ActivationRecord) -> None:
         """Append a frame during capture (top of stack arrives first)."""
+        self._ensure()
         self._records.append(record)
 
     def pop_for_restore(self) -> ActivationRecord:
         """Remove and return the next frame to restore (outermost first)."""
+        self._ensure()
         if not self._records:
             raise DecodingError("restore consumed more frames than captured")
         return self._records.pop()
 
     def peek_for_restore(self) -> Optional[ActivationRecord]:
+        self._ensure()
         return self._records[-1] if self._records else None
 
     def call_chain(self) -> List[str]:
         """Procedure names from ``main`` down to the reconfiguration point."""
+        self._ensure()
         return [record.procedure for record in reversed(self._records)]
+
+
+@dataclass(frozen=True)
+class StateHeader:
+    """The peekable prefix of a process-state packet.
+
+    Everything the coordinator's bookkeeping needs — identity, origin and
+    stack depth — without decoding a single activation record.  ``depth``
+    sits *after* the statics and heap values on the wire; they are skipped
+    structurally (:func:`repro.state.encoding.skip_value`), never decoded.
+    """
+
+    module: str
+    status: str
+    reconfig_point: str
+    source_machine: str
+    depth: int
+    body_length: int
+    packet_length: int
+
+
+def _check_packet_framing(data) -> int:
+    """Validate magic/version/length; return the body length."""
+    if len(data) < _LEN_OFFSET + 4:
+        raise DecodingError("process state packet too short")
+    if bytes(data[: len(STATE_MAGIC)]) != STATE_MAGIC:
+        raise DecodingError("bad process state magic")
+    version = data[len(STATE_MAGIC)]
+    if version != STATE_VERSION:
+        raise DecodingError(f"unsupported process state version {version}")
+    length = int.from_bytes(data[_LEN_OFFSET:_BODY_OFFSET], "big")
+    if len(data) - _BODY_OFFSET != length:
+        raise DecodingError(
+            f"process state length mismatch: header says {length}, "
+            f"packet has {len(data) - _BODY_OFFSET}"
+        )
+    return length
+
+
+def _read_str_field(buf, pos: int, end: int, name: str) -> Tuple[str, int]:
+    value, pos = read_value(buf, pos, end)
+    if not isinstance(value, str):
+        raise DecodingError(f"corrupt process state field {name!r}")
+    return value, pos
+
+
+def peek_state_header(data) -> StateHeader:
+    """Read a packet's identity and stack depth without decoding frames.
+
+    Cost is the four header strings plus a structural skip over the
+    statics and heap — proportional to the packet prefix, independent of
+    the stack depth and of how much state each activation record carries.
+    The coordinator uses this to record ``stack_depth`` off the critical
+    path (it used to pay a full ``from_bytes`` for that one integer).
+    """
+    length = _check_packet_framing(data)
+    buf = memoryview(data)[_BODY_OFFSET:]
+    end = len(buf)
+    pos = 0
+    module, pos = _read_str_field(buf, pos, end, "module")
+    status, pos = _read_str_field(buf, pos, end, "status")
+    reconfig_point, pos = _read_str_field(buf, pos, end, "reconfig_point")
+    source_machine, pos = _read_str_field(buf, pos, end, "source_machine")
+    pos = skip_value(buf, pos, end)  # statics
+    pos = skip_value(buf, pos, end)  # heap
+    frame_count, pos = read_value(buf, pos, end)
+    if not isinstance(frame_count, int) or frame_count < 0:
+        raise DecodingError("corrupt frame count in process state")
+    return StateHeader(
+        module=module,
+        status=status,
+        reconfig_point=reconfig_point,
+        source_machine=source_machine,
+        depth=frame_count,
+        body_length=length,
+        packet_length=len(data),
+    )
 
 
 @dataclass
@@ -142,20 +324,30 @@ class ProcessState:
     # -- serialization ----------------------------------------------------------
 
     def to_bytes(self, machine: Optional[MachineProfile] = None) -> bytes:
-        """Serialize to the canonical packet moved by ``objstate_move``."""
-        encoder = Encoder(machine)
-        encoder.write(ScalarType("s"), self.module)
-        encoder.write(ScalarType("s"), self.status)
-        encoder.write(ScalarType("s"), self.reconfig_point)
-        encoder.write(ScalarType("s"), self.source_machine)
-        encoder.write(ScalarType("a"), dict(self.statics))
-        encoder.write(ScalarType("a"), dict(self.heap))
-        encoder.write(ScalarType("l"), len(self.stack))
+        """Serialize to the canonical packet moved by ``objstate_move``.
+
+        One ``bytearray`` end to end: the fixed header goes in first with
+        a placeholder length word, the body is appended through compiled
+        encoder plans, and the length is patched in place — no per-frame
+        Encoder objects, no header+body concatenation copy.
+        """
+        checks = None if machine is None else _checks_of(machine)
+        buf = bytearray(STATE_MAGIC)
+        buf.append(STATE_VERSION)
+        buf.extend(b"\x00\x00\x00\x00")  # length word, patched below
+        _append_str(buf, self.module)
+        _append_str(buf, self.status)
+        _append_str(buf, self.reconfig_point)
+        _append_str(buf, self.source_machine)
+        _ENC_ANY(buf, dict(self.statics), checks)
+        _ENC_ANY(buf, dict(self.heap), checks)
+        buf.append(0x6C)  # 'l'
+        _append_varint(buf, len(self.stack) * 2)  # zigzag of a non-negative
         for record in self.stack:
-            record.encode_into(encoder)
-        body = encoder.getvalue()
-        header = STATE_MAGIC + bytes([STATE_VERSION])
-        return header + len(body).to_bytes(4, "big") + body
+            record.encode_into_buffer(buf, machine, checks)
+        body_length = len(buf) - _BODY_OFFSET
+        buf[_LEN_OFFSET:_BODY_OFFSET] = body_length.to_bytes(4, "big")
+        return bytes(buf)
 
     @classmethod
     def from_bytes(
@@ -164,49 +356,71 @@ class ProcessState:
         """Parse a packet produced by :meth:`to_bytes`.
 
         ``machine`` is the *target* machine profile; representability of
-        every value is checked as it decodes.
+        every value is checked as it decodes.  Header fields, statics and
+        heap decode immediately — off a ``memoryview``, so the body is
+        never copied out of the packet — while activation records stay an
+        undecoded region until first access (see :class:`StackState`).
+        Callers that need the target-machine check to cover the frames
+        *now* (module restore does, before installing any state) call
+        ``state.stack.materialize()``.
         """
-        if len(data) < len(STATE_MAGIC) + 5:
-            raise DecodingError("process state packet too short")
-        if data[: len(STATE_MAGIC)] != STATE_MAGIC:
-            raise DecodingError("bad process state magic")
-        version = data[len(STATE_MAGIC)]
-        if version != STATE_VERSION:
-            raise DecodingError(f"unsupported process state version {version}")
-        offset = len(STATE_MAGIC) + 1
-        length = int.from_bytes(data[offset : offset + 4], "big")
-        body = data[offset + 4 :]
-        if len(body) != length:
-            raise DecodingError(
-                f"process state length mismatch: header says {length}, "
-                f"packet has {len(body)}"
-            )
-        decoder = Decoder(body, machine)
-        module = decoder.read()
-        status = decoder.read()
-        reconfig_point = decoder.read()
-        source_machine = decoder.read()
-        statics = decoder.read()
-        heap = decoder.read()
-        frame_count = decoder.read()
-        for name, value in (("module", module), ("status", status)):
-            if not isinstance(value, str):
-                raise DecodingError(f"corrupt process state field {name!r}")
+        _check_packet_framing(data)
+        buf = memoryview(data)[_BODY_OFFSET:]
+        end = len(buf)
+        pos = 0
+        module, pos = _read_str_field(buf, pos, end, "module")
+        status, pos = _read_str_field(buf, pos, end, "status")
+        reconfig_point, pos = read_value(buf, pos, end)
+        source_machine, pos = read_value(buf, pos, end)
+        statics, pos = read_value(buf, pos, end, machine)
+        heap, pos = read_value(buf, pos, end, machine)
+        frame_count, pos = read_value(buf, pos, end)
+        if not isinstance(statics, dict) or not isinstance(heap, dict):
+            raise DecodingError("corrupt statics/heap in process state")
         if not isinstance(frame_count, int) or frame_count < 0:
             raise DecodingError("corrupt frame count in process state")
-        records = [ActivationRecord.decode_from(decoder) for _ in range(frame_count)]
-        if not decoder.at_end():
-            raise DecodingError(
-                f"{decoder.remaining} trailing bytes in process state packet"
-            )
+
+        frame_region_start = pos
+
+        def materialize_frames() -> List[ActivationRecord]:
+            checks = None if machine is None else _checks_of(machine)
+            records = []
+            fpos = frame_region_start
+            for _ in range(frame_count):
+                procedure, fpos = _read_checked(buf, fpos, end, None)
+                location, fpos = _read_checked(buf, fpos, end, None)
+                fmt, fpos = _read_checked(buf, fpos, end, None)
+                if not isinstance(procedure, str) or not isinstance(fmt, str):
+                    raise DecodingError("corrupt activation record header")
+                if not isinstance(location, int):
+                    raise DecodingError("corrupt activation record location")
+                values = []
+                for _ in parse_format(fmt):
+                    value, fpos = _read_checked(buf, fpos, end, checks)
+                    values.append(value)
+                # Trusted construction: the values just came off the
+                # self-describing wire under this fmt's arity, so the
+                # dataclass __post_init__ re-validation is skipped.
+                record = ActivationRecord.__new__(ActivationRecord)
+                record.procedure = procedure
+                record.location = location
+                record.fmt = fmt
+                record.values = values
+                records.append(record)
+            if fpos < end:
+                raise DecodingError(
+                    f"{end - fpos} trailing bytes in process state packet"
+                )
+            return records
+
         return cls(
-            module=module,  # type: ignore[arg-type]
-            stack=StackState(records),
-            statics=dict(statics),  # type: ignore[arg-type]
-            heap=dict(heap),  # type: ignore[arg-type]
+            module=module,
+            stack=StackState.lazy(frame_count, materialize_frames),
+            statics=statics,
+            heap=heap,
             reconfig_point=str(reconfig_point),
             source_machine=str(source_machine),
-            status=status,  # type: ignore[arg-type]
+            status=status,
         )
 
     # -- convenience ---------------------------------------------------------------
@@ -228,9 +442,13 @@ class ProcessState:
 
         This is exactly what a cross-machine move does; exposing it as a
         method lets tests and the heterogeneity benchmark (D5) exercise
-        the translation without a running bus.
+        the translation without a running bus.  The result is fully
+        materialised: a translation that merely deferred the target
+        machine's representability check would not be a translation.
         """
-        return ProcessState.from_bytes(self.to_bytes(source), target)
+        state = ProcessState.from_bytes(self.to_bytes(source), target)
+        state.stack.materialize()
+        return state
 
 
 def frames_equal_ignoring_order_metadata(

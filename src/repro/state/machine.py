@@ -75,6 +75,92 @@ class MachineProfile:
         bits = self.int_bits if char == "i" else self.long_bits
         return range(-(1 << (bits - 1)), 1 << (bits - 1))
 
+    # -- compiled codec checks ----------------------------------------------
+
+    def codec_checks(self) -> tuple:
+        """Per-char representability checks compiled for the codec hot path.
+
+        Returns ``(check_i, check_l, check_F, check_other)`` where each
+        entry is either ``None`` (this machine imposes no constraint on
+        that char — the codec skips the call entirely) or a closure with
+        the bounds and error strings pre-resolved.  The result is attached
+        to the instance, so the cost is paid once per machine.
+
+        This is the pluggable-hook boundary: a subclass that overrides
+        :meth:`check_representable` gets shims that route every scalar
+        through the override, so custom representability rules keep
+        working and keep their own error messages.
+        """
+        checks = self.__dict__.get("_codec_checks")
+        if checks is not None:
+            return checks
+        if type(self).check_representable is not MachineProfile.check_representable:
+
+            def shim_for(spec: ScalarType):
+                def shim(value, _spec=spec, _machine=self):
+                    _machine.check_representable(_spec, value)
+
+                return shim
+
+            def shim_other(spec, value, _machine=self):
+                _machine.check_representable(spec, value)
+
+            checks = (
+                shim_for(ScalarType("i")),
+                shim_for(ScalarType("l")),
+                shim_for(ScalarType("F")),
+                shim_other,
+            )
+        else:
+            checks = (
+                self._compile_int_check("i"),
+                self._compile_int_check("l"),
+                self._compile_double_check(),
+                None,
+            )
+        object.__setattr__(self, "_codec_checks", checks)
+        return checks
+
+    def _compile_int_check(self, char: str):
+        bits = self.int_bits if char == "i" else self.long_bits
+        lo = -(1 << (bits - 1))
+        hi = (1 << (bits - 1)) - 1
+        kind = "int" if char == "i" else "long"
+        spec = ScalarType(char)
+
+        def check_int(value, _self=self):
+            if type(value) is int:
+                if lo <= value <= hi:
+                    return
+                raise MachineCompatibilityError(
+                    f"integer {value} does not fit a {bits}-bit "
+                    f"native {kind} on machine {_self.name!r}"
+                )
+            # bool, containers, foreign types: the generic walk decides.
+            _self.check_representable(spec, value)
+
+        return check_int
+
+    def _compile_double_check(self):
+        if self.float_bits != 32:
+            return None
+        spec = ScalarType("F")
+
+        def check_double(value, _self=self):
+            if type(value) is float:
+                narrowed = struct.unpack("<f", struct.pack("<f", value))[0]
+                if narrowed != value and not (
+                    math.isnan(value) and math.isnan(narrowed)
+                ):
+                    raise MachineCompatibilityError(
+                        f"double {value!r} is not representable on "
+                        f"32-bit-float machine {_self.name!r}"
+                    )
+                return
+            _self.check_representable(spec, value)
+
+        return check_double
+
     # -- representability ---------------------------------------------------
 
     def check_representable(self, spec: TypeSpec, value: object) -> None:

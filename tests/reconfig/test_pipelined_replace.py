@@ -1,0 +1,139 @@
+"""The pipelined replacement path: work overlapped with the wait window.
+
+The coordinator's critical path used to be strictly sequential: build
+clone, prepare rebind batch, signal, wait for the reconfiguration point,
+move state.  The pipelined path signals *first* (for a same-version
+clone, whose spec the original already proved loadable) and spends the
+wait-for-point window building the clone and the batch; the divulged
+packet is pushed into the clone from the old module's own thread via
+the divulge callback (bus.objstate_stream).
+"""
+
+import pytest
+
+from repro.bus.module import ModuleState, _prepare_module_cached
+from repro.errors import BusError, ReconfigTimeoutError, TransformError
+from repro.reconfig.scripts import move_module, upgrade_module
+from repro.state.frames import peek_state_header
+
+from tests.reconfig.helpers import (
+    expected_averages,
+    launch_monitor,
+    wait_displayed,
+)
+
+
+@pytest.fixture
+def monitor():
+    bus = launch_monitor()
+    yield bus
+    bus.shutdown()
+
+
+def trace_index(bus, needle):
+    return next(i for i, line in enumerate(bus.trace) if needle in line)
+
+
+class TestPipelinedMove:
+    def test_signal_precedes_clone_creation(self, monitor):
+        # The pipelining itself, as seen in the audit trace: for a move
+        # (same spec) the signal goes out before the clone is built.
+        wait_displayed(monitor, 2)
+        move_module(monitor, "compute", machine="beta", timeout=15)
+        signal_at = trace_index(monitor, "signal reconfig compute")
+        clone_at = trace_index(monitor, "add module compute.new")
+        moved_at = trace_index(monitor, "objstate_move compute -> compute.new")
+        assert signal_at < clone_at < moved_at
+
+    def test_moved_app_still_correct(self, monitor):
+        wait_displayed(monitor, 2)
+        report = move_module(monitor, "compute", machine="beta", timeout=15)
+        assert report.new_machine == "beta"
+        assert report.stack_depth > 0
+        values = wait_displayed(monitor, 30)
+        assert values == expected_averages(30)
+
+    def test_depth_comes_from_peekable_header(self, monitor):
+        wait_displayed(monitor, 2)
+        report = move_module(monitor, "compute", machine="beta", timeout=15)
+        packet = monitor.get_module("compute").mh.incoming_packet
+        assert report.stack_depth == peek_state_header(packet).depth
+
+    def test_clone_reuses_transform_result(self, monitor):
+        # The wait window covers clone construction because the AST
+        # pipeline for an already-proven spec is a cache hit.
+        wait_displayed(monitor, 2)
+        info_before = _prepare_module_cached.cache_info()
+        move_module(monitor, "compute", machine="beta", timeout=15)
+        info_after = _prepare_module_cached.cache_info()
+        assert info_after.hits > info_before.hits
+        assert info_after.misses == info_before.misses
+
+    def test_upgrade_still_loads_clone_before_signal(self, monitor):
+        # A *new* version can be rejected by the transformer, so its
+        # clone must be built (and validated) before any signal goes out.
+        wait_displayed(monitor, 2)
+        source = monitor.get_module("compute").spec.inline_source
+        upgrade_module(monitor, "compute", source, timeout=15)
+        clone_at = trace_index(monitor, "add module compute.new")
+        signal_at = trace_index(monitor, "signal reconfig compute")
+        assert clone_at < signal_at
+
+    def test_rejected_upgrade_never_signals(self, monitor):
+        wait_displayed(monitor, 1)
+        with pytest.raises(TransformError):
+            upgrade_module(monitor, "compute", "def main():\n    pass\n", timeout=15)
+        assert not any("signal reconfig" in line for line in monitor.trace)
+        assert not monitor.get_module("compute").mh.reconfig
+
+
+class TestTimeoutRollback:
+    def test_stream_timeout_withdraws_signal_and_callback(self):
+        bus = launch_monitor(requests=0)  # compute never reaches R
+        try:
+            wait_displayed(bus, 0)
+            with pytest.raises(ReconfigTimeoutError):
+                move_module(bus, "compute", machine="beta", timeout=0.3)
+            mh = bus.get_module("compute").mh
+            assert not mh.reconfig
+            assert mh._divulge_callback is None
+            assert not bus.has_module("compute.new")
+            assert bus.get_module("compute").state is ModuleState.RUNNING
+        finally:
+            bus.shutdown()
+
+
+class TestStateMoveStream:
+    def test_wait_without_target_raises(self, monitor):
+        wait_displayed(monitor, 1)
+        stream = monitor.objstate_stream("compute")
+        try:
+            with pytest.raises(BusError, match="has no target"):
+                stream.wait(timeout=5)
+        finally:
+            stream.cancel()
+
+    def test_attach_after_divulge_still_installs_packet(self, monitor):
+        # The old module may divulge before the clone exists; the packet
+        # must land in the clone at attach time instead.
+        wait_displayed(monitor, 2)
+        old = monitor.get_module("compute")
+        stream = monitor.objstate_stream("compute")
+        assert stream._delivered.wait(15)  # divulged, no target yet
+        spec = old.spec.with_attributes(machine="beta", status="clone")
+        monitor.add_module(
+            spec, instance="compute.late", machine="beta", status="clone"
+        )
+        stream.attach_target("compute.late")
+        packet = stream.wait(timeout=5)
+        assert monitor.get_module("compute.late").mh.incoming_packet == packet
+        assert peek_state_header(packet).module == "compute"
+
+    def test_attach_to_started_module_rejected(self, monitor):
+        wait_displayed(monitor, 1)
+        stream = monitor.objstate_stream("compute")
+        try:
+            with pytest.raises(BusError, match="already started"):
+                stream.attach_target("display")
+        finally:
+            stream.cancel()

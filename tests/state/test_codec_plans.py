@@ -1,0 +1,163 @@
+"""Tests for the compiled codec plans: caching behaviour and equivalence.
+
+The fast path rests on two properties:
+
+1. Plans are *shared*: the same format string (or structurally equal
+   TypeSpec) always yields the same compiled closures, so a deep capture
+   pays the compilation cost once, not once per frame.
+2. Plans are *faithful*: for every format character and any acceptable
+   value, the compiled encoder emits exactly the bytes the reference
+   tree-walk emits (property-tested below with hypothesis).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.state.encoding import (
+    _ENCODER_CACHE,
+    _PLAN_CACHE,
+    compiled_encoder,
+    encode_values,
+    encoder_plan,
+)
+from repro.state.format import (
+    ScalarType,
+    compiled_matcher,
+    matcher_plan,
+    parse_format,
+    value_matches,
+)
+from repro.state.machine import MACHINES
+from repro.state.pointers import SymbolicPointer
+from repro.state.reference import reference_encode_values
+
+
+class TestPlanCaching:
+    def test_encoder_plan_is_cached_per_format(self):
+        assert encoder_plan("llF") is encoder_plan("llF")
+
+    def test_structurally_equal_specs_share_encoders(self):
+        # TypeSpec hashes by format_char, so "[l]" parsed twice (even in
+        # different surrounding formats) compiles once.
+        a = parse_format("[l]")[0]
+        b = parse_format("i[l]")[1]
+        assert compiled_encoder(a) is compiled_encoder(b)
+
+    def test_plan_entries_are_shared_with_spec_cache(self):
+        plan = encoder_plan("il")
+        assert plan[0] is compiled_encoder(ScalarType("i"))
+        assert plan[1] is compiled_encoder(ScalarType("l"))
+
+    def test_matcher_plan_is_cached(self):
+        assert matcher_plan("llF") is matcher_plan("llF")
+        spec = parse_format("{sl}")[0]
+        assert compiled_matcher(spec) is compiled_matcher(spec)
+
+    def test_plan_cache_interplay_with_parse_lru(self):
+        # encoder_plan goes through the lru-cached parse_format; a format
+        # seen by check_arity first must still hit the same parse result.
+        fmt = "l(si)[F]"
+        specs = parse_format(fmt)
+        plan = encoder_plan(fmt)
+        assert len(plan) == len(specs)
+        assert all(
+            entry is compiled_encoder(spec) for entry, spec in zip(plan, specs)
+        )
+
+    def test_plan_cache_bounded(self):
+        # The per-format dict refuses to grow past its bound, but still
+        # returns a working plan for the overflow format.
+        before = dict(_PLAN_CACHE)
+        try:
+            _PLAN_CACHE.clear()
+            _PLAN_CACHE.update({f"fake{i}": () for i in range(4096)})
+            plan = encoder_plan("overflow-never-cached" * 0 + "l")
+            assert "l" not in _PLAN_CACHE or len(_PLAN_CACHE) <= 4097
+            buf = bytearray()
+            plan[0](buf, 5, None)
+            assert bytes(buf) == encode_values("l", [5])
+        finally:
+            _PLAN_CACHE.clear()
+            _PLAN_CACHE.update(before)
+
+    def test_compiled_encoder_idempotent_for_containers(self):
+        spec = parse_format("{s[l]}")[0]
+        assert compiled_encoder(spec) is compiled_encoder(spec)
+        assert spec in _ENCODER_CACHE
+
+
+# -- property: compiled == reference for every format char ----------------
+
+finite_floats = st.floats(allow_nan=False, width=64)
+pointers = st.builds(
+    SymbolicPointer,
+    segment=st.text(max_size=8),
+    index=st.integers(min_value=-(2**31), max_value=2**31),
+)
+
+# Acceptable values per char, plus None (NULL occupies any slot).
+VALUES_BY_CHAR = {
+    "b": st.booleans(),
+    "i": st.integers(min_value=-(2**70), max_value=2**70),
+    "l": st.integers(min_value=-(2**70), max_value=2**70),
+    "f": st.one_of(finite_floats, st.integers(-(2**40), 2**40)),
+    "F": st.one_of(finite_floats, st.integers(-(2**40), 2**40)),
+    "s": st.text(max_size=60),
+    "B": st.binary(max_size=60),
+    "p": pointers,
+    "n": st.none(),
+    "a": st.recursive(
+        st.one_of(
+            st.none(),
+            st.booleans(),
+            st.integers(-(2**62), 2**62),
+            finite_floats,
+            st.text(max_size=20),
+            st.binary(max_size=20),
+        ),
+        lambda children: st.one_of(
+            st.lists(children, max_size=4),
+            st.dictionaries(st.text(max_size=6), children, max_size=4),
+        ),
+        max_leaves=12,
+    ),
+}
+
+
+@st.composite
+def char_and_value(draw):
+    char = draw(st.sampled_from(sorted(VALUES_BY_CHAR)))
+    value = draw(st.one_of(st.none(), VALUES_BY_CHAR[char]))
+    return char, value
+
+
+@given(case=char_and_value(), machine=st.sampled_from([None, "sparc-like", "vax-like", "m68k-like"]))
+@settings(max_examples=300, deadline=None)
+def test_compiled_encoder_matches_reference(case, machine):
+    char, value = case
+    profile = MACHINES[machine] if machine else None
+
+    def outcome(fn):
+        # Any exception is part of the contract (the seed raised a bare
+        # OverflowError for doubles beyond float32 range under 'f'; the
+        # compiled codec must reproduce even that).
+        try:
+            return fn(char, [value], profile)
+        except Exception as exc:  # noqa: BLE001 - compared, not swallowed
+            return (type(exc).__name__, str(exc))
+
+    assert outcome(encode_values) == outcome(reference_encode_values)
+
+
+@given(case=char_and_value())
+@settings(max_examples=200, deadline=None)
+def test_compiled_matcher_matches_value_matches_contract(case):
+    char, value = case
+    spec = ScalarType(char)
+    assert compiled_matcher(spec)(value) == value_matches(spec, value)
+
+
+@given(values=st.lists(st.integers(-(2**60), 2**60), min_size=1, max_size=6))
+@settings(max_examples=100, deadline=None)
+def test_container_formats_match_reference(values):
+    for fmt, wrapped in (("[l]", values), ("(" + "l" * len(values) + ")", tuple(values))):
+        assert encode_values(fmt, [wrapped]) == reference_encode_values(fmt, [wrapped])

@@ -4,7 +4,12 @@ import math
 
 import pytest
 
-from repro.errors import DecodingError, EncodingError, MachineCompatibilityError
+from repro.errors import (
+    DecodingError,
+    EncodingError,
+    FormatError,
+    MachineCompatibilityError,
+)
 from repro.state.encoding import (
     Decoder,
     Encoder,
@@ -198,3 +203,27 @@ class TestEncoderValidation:
     def test_fake_pointer_rejected(self):
         with pytest.raises(Exception):
             encode_values("p", ["not a pointer"])
+
+    # Regression: the original encoder ran f/F values through float(), so
+    # on the direct Encoder.write path a numeric *string* (or a bool, or
+    # anything else with __float__) was silently coerced into a
+    # legitimate-looking float on the wire.  The encoder now requires an
+    # actual int or float at every level.
+    @pytest.mark.parametrize("fmt", ["f", "F"])
+    @pytest.mark.parametrize("bad", ["1.5", True])
+    def test_float_coercion_rejected_on_write(self, fmt, bad):
+        encoder = Encoder()
+        with pytest.raises(EncodingError, match="requires int or float"):
+            encoder.write(ScalarType(fmt), bad)
+
+    @pytest.mark.parametrize("fmt", ["f", "F"])
+    def test_numeric_string_for_float_rejected(self, fmt):
+        # Via encode_values the arity check reports it first, exactly as
+        # the seed did — the point is that nothing coerces.
+        with pytest.raises((EncodingError, FormatError)):
+            encode_values(fmt, ["1.5"])
+
+    @pytest.mark.parametrize("fmt", ["f", "F"])
+    def test_int_for_float_still_accepted(self, fmt):
+        (result,) = decode_values(encode_values(fmt, [3]))
+        assert result == 3.0 and isinstance(result, float)

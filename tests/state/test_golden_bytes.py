@@ -1,0 +1,136 @@
+"""Golden-bytes tests: the compiled codec is wire-identical to the seed.
+
+The compiled encoder/decoder plans (repro.state.encoding) are a pure
+performance change; every byte they produce must match the original
+tree-walking codec, which is preserved verbatim in
+``repro.state.reference`` as the executable wire specification.  Two
+layers of protection here:
+
+1. Hard-coded hex vectors produced by the seed codec — these catch a
+   wire change even if someone "fixes" the reference module to match a
+   regression in the compiled one.
+2. Live compiled-vs-reference comparison over the same corpus, plus a
+   full ProcessState packet, so any divergence on composite structures
+   is caught byte-for-byte.
+"""
+
+import pytest
+
+from repro.state.encoding import decode_values, encode_values
+from repro.state.frames import ProcessState, ActivationRecord, StackState, peek_state_header
+from repro.state.machine import MACHINES
+from repro.state.pointers import SymbolicPointer
+from repro.state.reference import (
+    reference_decode_values,
+    reference_encode_values,
+    reference_state_from_bytes,
+    reference_state_to_bytes,
+)
+
+# (fmt, values, seed-encoder hex) — generated once from the pre-rewrite
+# codec; never regenerate these from the current code.
+GOLDEN_VECTORS = [
+    ("b", [True], "6201"),
+    ("b", [False], "6200"),
+    ("n", [None], "6e"),
+    ("i", [-1], "6901"),
+    ("l", [4611686018427387904], "6c80808080808080808001"),
+    ("l", [-4611686018427387904], "6cffffffffffffffff7f"),
+    ("f", [1.5], "663fc00000"),
+    ("F", [3.141592653589793], "46400921fb54442d18"),
+    ("F", [-0.0], "468000000000000000"),
+    ("s", ["héllo ☃"], "730a68c3a96c6c6f20e29883"),
+    ("p", [SymbolicPointer(segment="heap:17", index=-3)], "7007686561703a313705"),
+    ("[l]", [[1, 2, 3]], "5b036c026c046c06"),
+    ("(slF)", [("x", 1, 2.0)], "28037301786c02464000000000000000"),
+    ("{sl}", [{"b": 2, "a": 1}], "7b027301626c047301616c02"),
+    (
+        "a",
+        [{"k": [(1, 2.5), None], "f": True}],
+        "7b0273016b5b0228026c024640040000000000006e7301666201",
+    ),
+    (
+        "il[F](si)",
+        [1, 2, [1.5, 2.5], ("s", 9)],
+        "69026c045b02463ff800000000000046400400000000000028027301736912",
+    ),
+    ("b", [None], "6e"),
+    ("[i]", [None], "6e"),
+    ("a", [None], "6e"),
+]
+
+
+def sample_state() -> ProcessState:
+    frames = [
+        ActivationRecord("main", 2, "llF", [2, 40, 1.25]),
+        ActivationRecord("compute", 1, "lls", [1, 7, "window"]),
+        ActivationRecord("helper", 3, "l[i]{sl}", [3, [1, 2], {"k": 9}]),
+    ]
+    return ProcessState(
+        module="compute",
+        stack=StackState(list(frames)),
+        statics={"total": 1234, "label": "running"},
+        heap={"image": {"roots": {}, "cells": []}, "files": []},
+        reconfig_point="R1",
+        source_machine="sparc-like",
+        status="clone",
+    )
+
+
+class TestGoldenVectors:
+    @pytest.mark.parametrize("fmt,values,expected", GOLDEN_VECTORS)
+    def test_compiled_matches_seed_bytes(self, fmt, values, expected):
+        assert encode_values(fmt, values).hex() == expected
+
+    @pytest.mark.parametrize("fmt,values,expected", GOLDEN_VECTORS)
+    def test_reference_matches_seed_bytes(self, fmt, values, expected):
+        assert reference_encode_values(fmt, values).hex() == expected
+
+    @pytest.mark.parametrize("fmt,values,expected", GOLDEN_VECTORS)
+    def test_decoders_agree_on_seed_bytes(self, fmt, values, expected):
+        data = bytes.fromhex(expected)
+        assert decode_values(data) == reference_decode_values(data)
+
+
+class TestLiveComparison:
+    @pytest.mark.parametrize("machine", [None, MACHINES["sparc-like"], MACHINES["vax-like"]])
+    @pytest.mark.parametrize("fmt,values,_expected", GOLDEN_VECTORS)
+    def test_compiled_equals_reference(self, fmt, values, _expected, machine):
+        # Outcomes must agree exactly: same bytes, or the same error with
+        # the same message (e.g. 2**62 under vax-like's 32-bit long).
+        def outcome(fn):
+            try:
+                return fn(fmt, values, machine)
+            except Exception as exc:  # noqa: BLE001 - captured for comparison
+                return (type(exc).__name__, str(exc))
+
+        assert outcome(encode_values) == outcome(reference_encode_values)
+
+    def test_process_state_packet_identical(self):
+        machine = MACHINES["sparc-like"]
+        state = sample_state()
+        compiled = state.to_bytes(machine)
+        reference = reference_state_to_bytes(sample_state(), machine)
+        assert compiled == reference
+
+    def test_process_state_decoders_agree(self):
+        machine = MACHINES["sparc-like"]
+        packet = sample_state().to_bytes(machine)
+        ours = ProcessState.from_bytes(packet, MACHINES["vax-like"])
+        ref = reference_state_from_bytes(packet, MACHINES["vax-like"])
+        assert ours.module == ref.module
+        assert ours.statics == ref.statics
+        assert ours.heap == ref.heap
+        assert [r.values for r in ours.stack.records()] == [
+            r.values for r in ref.stack.records()
+        ]
+
+    def test_peek_header_matches_full_decode(self):
+        packet = sample_state().to_bytes(MACHINES["sparc-like"])
+        header = peek_state_header(packet)
+        full = reference_state_from_bytes(packet, None)
+        assert header.module == full.module == "compute"
+        assert header.reconfig_point == full.reconfig_point == "R1"
+        assert header.source_machine == full.source_machine
+        assert header.depth == full.stack.depth == 3
+        assert header.packet_length == len(packet)
