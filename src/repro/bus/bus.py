@@ -27,9 +27,11 @@ from repro.bus.spec import (
 from repro.errors import (
     BindingError,
     BusError,
+    InjectedFault,
     ReconfigTimeoutError,
     UnknownModuleError,
 )
+from repro.runtime import faults
 from repro.runtime.mh import SleepPolicy
 from repro.state.machine import MachineProfile
 
@@ -287,6 +289,20 @@ class SoftwareBus:
         with self._lock:
             return list(self._bindings)
 
+    def restore_binding_order(self, order: List[BindingSpec]) -> None:
+        """Reorder the binding table to match a prior snapshot.
+
+        Rollback support: undoing a rebind batch re-adds deleted
+        bindings at the end of the table, so after a rollback the
+        topology is equal as a *set* but not as a *sequence* — and the
+        all-or-nothing contract promises a byte-identical configuration
+        snapshot.  Bindings absent from ``order`` keep their relative
+        order after all known ones.
+        """
+        with self._lock:
+            index = {binding: i for i, binding in enumerate(order)}
+            self._bindings.sort(key=lambda b: index.get(b, len(index)))
+
     def bindings_of(self, instance: str) -> List[BindingSpec]:
         with self._lock:
             return [b for b in self._bindings if b.involves(instance)]
@@ -493,7 +509,7 @@ class SoftwareBus:
         """
         old_module = self.get_module(old)
         stream = StateMoveStream(self, old, old_module)
-        old_module.mh.set_divulge_callback(stream._on_divulge)
+        old_module.mh.set_divulge_callback(stream._on_divulge, stream._on_failure)
         self.signal_reconfig(old)
         return stream
 
@@ -571,15 +587,32 @@ class StateMoveStream:
         self._target: Optional[ModuleInstance] = None
         self._target_name: Optional[str] = None
         self._packet: Optional[bytes] = None
+        self._failure: Optional[BaseException] = None
         self._delivered = threading.Event()
         self._lock = threading.Lock()
 
     def _on_divulge(self, packet: bytes) -> None:
-        # Runs on the old module's thread, inside mh.encode().
+        # Runs on the old module's thread, inside mh.encode().  A fault
+        # here must not raise back into the module (it would crash it
+        # unrecoverably): a crash is routed to the failure path, a drop
+        # loses the hand-off and the waiter times out.
+        try:
+            if faults.fire("bus.stream_divulge"):
+                return
+        except InjectedFault as exc:
+            self._on_failure(exc)
+            return
         with self._lock:
             self._packet = packet
             if self._target is not None:
                 self._target.mh.incoming_packet = packet
+        self._delivered.set()
+
+    def _on_failure(self, failure: BaseException) -> None:
+        # Fast abort: the divulge failed on the module's thread; wake the
+        # waiter now instead of letting it burn its full deadline.
+        with self._lock:
+            self._failure = failure
         self._delivered.set()
 
     def attach_target(self, new: str) -> None:
@@ -615,6 +648,8 @@ class StateMoveStream:
                 f"{self.old}: no reconfiguration point reached within "
                 f"{timeout}s"
             )
+        if self._failure is not None:
+            raise self._failure
         packet = self._packet
         if packet is None:  # pragma: no cover - delivered implies packet
             raise BusError(f"{self.old}: divulged without packet")
@@ -625,6 +660,12 @@ class StateMoveStream:
         return packet
 
     def cancel(self) -> None:
-        """Withdraw the move: detach the callback and the signal."""
-        self._old_module.mh.set_divulge_callback(None)
+        """Withdraw the move: detach the callback and the signal.
+
+        Abandoning (not merely detaching) the divulge closes the race
+        where the module read the reconfig flag just before the
+        withdrawal: if its capture completes anyway, the module's own
+        thread reclaims the orphaned packet and resumes from it.
+        """
+        self._old_module.mh.abandon_divulge()
         self._old_module.mh.reconfig = False

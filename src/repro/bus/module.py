@@ -32,6 +32,7 @@ from repro.errors import (
     TransportError,
     UnknownInterfaceError,
 )
+from repro.runtime import faults
 from repro.runtime.mh import MH, ModuleStop, SleepPolicy
 from repro.runtime.refs import Ref
 
@@ -200,6 +201,7 @@ class ModuleInstance:
         """
         if self.state not in (ModuleState.CREATED,):
             raise ModuleLifecycleError(f"{self.name}: cannot load in {self.state}")
+        faults.fire_hard("module.load")
         source = self.spec.inline_source
         if not source:
             if not self.spec.source:
@@ -246,28 +248,38 @@ class ModuleInstance:
         self.thread.start()
 
     def _run(self) -> None:
-        try:
-            self.namespace["main"]()
-        except ModuleStop:
-            self.state = ModuleState.STOPPED
-            return
-        except TransportError:
-            # A read interrupted by stop surfaces as TransportError when the
-            # module swallowed ModuleStop; treat as a clean stop.
-            if not self.mh.running:
+        while True:
+            try:
+                self.namespace["main"]()
+            except ModuleStop:
                 self.state = ModuleState.STOPPED
                 return
-            self.crash = TransportError(traceback.format_exc())
-            self.state = ModuleState.CRASHED
+            except TransportError:
+                # A read interrupted by stop surfaces as TransportError when
+                # the module swallowed ModuleStop; treat as a clean stop.
+                if not self.mh.running:
+                    self.state = ModuleState.STOPPED
+                    return
+                self.crash = TransportError(traceback.format_exc())
+                self.state = ModuleState.CRASHED
+                return
+            except BaseException as exc:  # noqa: BLE001 - report, don't die silently
+                self.crash = exc
+                self.state = ModuleState.CRASHED
+                return
+            # A withdrawn reconfiguration can race the capture: the module
+            # divulges (or suppresses) after the coordinator cancelled the
+            # move.  Nobody will consume the packet, so resume from it —
+            # the module restores in place and keeps serving.
+            abandoned = self.mh.reclaim_abandoned_divulge()
+            if abandoned is not None:
+                self.mh.prepare_revival(abandoned)
+                continue
+            if self.mh.divulged.is_set():
+                self.state = ModuleState.DIVULGED
+            else:
+                self.state = ModuleState.STOPPED
             return
-        except BaseException as exc:  # noqa: BLE001 - report, don't die silently
-            self.crash = exc
-            self.state = ModuleState.CRASHED
-            return
-        if self.mh.divulged.is_set():
-            self.state = ModuleState.DIVULGED
-        else:
-            self.state = ModuleState.STOPPED
 
     def stop(self, timeout: float = 5.0) -> None:
         """Ask the thread of control to exit and wait for it."""
@@ -279,6 +291,39 @@ class ModuleInstance:
     def join(self, timeout: float = 5.0) -> None:
         if self.thread is not None:
             self.thread.join(timeout)
+
+    def revive(self, packet: Optional[bytes] = None, timeout: float = 5.0) -> None:
+        """Resume a divulged/stopped module from a captured state packet.
+
+        The rollback half of an aborted replacement: the old module's
+        thread has exited (its state went out with the divulge), but its
+        queues and bindings are untouched, so restarting it as a clone
+        of *itself* — same namespace, fresh thread, state restored from
+        its own packet — puts the application back exactly where the
+        capture left it.
+        """
+        pkt = packet if packet is not None else self.mh.outgoing_packet
+        if pkt is None:
+            raise ModuleLifecycleError(
+                f"{self.name}: no captured state to revive from"
+            )
+        if self.thread is not None and self.thread.is_alive():
+            if self.state is ModuleState.RUNNING:
+                return  # already self-revived on its own thread
+            self.thread.join(timeout)
+            if self.thread.is_alive():
+                raise ModuleLifecycleError(
+                    f"{self.name}: cannot revive while its thread is alive"
+                )
+        if not self.namespace.get("main"):
+            raise ModuleLifecycleError(f"{self.name}: never started; cannot revive")
+        self.mh.prepare_revival(pkt)
+        self.crash = None
+        self.state = ModuleState.RUNNING
+        self.thread = threading.Thread(
+            target=self._run, name=f"module-{self.name}", daemon=True
+        )
+        self.thread.start()
 
     def check_alive(self) -> None:
         """Raise the module's crash, if it crashed."""

@@ -41,10 +41,13 @@ from repro.bus.spec import BindingSpec, Configuration, ModuleSpec
 from repro.core.transformer import prepare_module
 from repro.errors import (
     BusError,
+    InjectedFault,
     ReconfigTimeoutError,
     TransportError,
     UnknownModuleError,
 )
+from repro.runtime import faults
+from repro.runtime.faults import RetryPolicy
 from repro.runtime.mh import SleepPolicy
 from repro.state.encoding import decode_any, encode_any
 from repro.state.machine import MACHINES, Endianness, MachineProfile
@@ -59,6 +62,8 @@ _MAX_FRAME = 64 * 1024 * 1024
 
 
 def send_frame(sock: socket.socket, value: object) -> None:
+    if faults.fire("tcp.send_frame"):
+        return  # injected drop: the frame is lost on the wire
     payload = encode_any(value)
     if len(payload) > _MAX_FRAME:
         raise TransportError(f"frame too large ({len(payload)} bytes)")
@@ -69,11 +74,16 @@ def send_frame(sock: socket.socket, value: object) -> None:
 
 
 def recv_frame(sock: socket.socket) -> object:
-    header = _recv_exact(sock, _FRAME_HEADER.size)
-    (length,) = _FRAME_HEADER.unpack(header)
-    if length > _MAX_FRAME:
-        raise TransportError(f"oversized frame announced ({length} bytes)")
-    return decode_any(_recv_exact(sock, length))
+    while True:
+        dropped = faults.fire("tcp.recv_frame")  # may raise InjectedFault
+        header = _recv_exact(sock, _FRAME_HEADER.size)
+        (length,) = _FRAME_HEADER.unpack(header)
+        if length > _MAX_FRAME:
+            raise TransportError(f"oversized frame announced ({length} bytes)")
+        payload = _recv_exact(sock, length)
+        if dropped:
+            continue  # injected drop: discard this frame, read the next
+        return decode_any(payload)
 
 
 def _recv_exact(sock: socket.socket, count: int) -> bytes:
@@ -463,11 +473,19 @@ class _Waiter:
 class _DaemonLink:
     """Bus-side connection to one machine daemon."""
 
-    def __init__(self, name: str, profile: MachineProfile, sock: socket.socket, bus):
+    def __init__(
+        self,
+        name: str,
+        profile: MachineProfile,
+        sock: socket.socket,
+        bus,
+        retry: Optional[RetryPolicy] = None,
+    ):
         self.name = name
         self.profile = profile
         self.sock = sock
         self.bus = bus
+        self.retry = retry or RetryPolicy(attempts=3, backoff=0.05)
         self._seq = 0
         self._send_lock = threading.Lock()
         self._lock = threading.Lock()
@@ -480,7 +498,10 @@ class _DaemonLink:
     def _read_loop(self) -> None:
         try:
             while True:
-                frame = recv_frame(self.sock)
+                try:
+                    frame = recv_frame(self.sock)
+                except InjectedFault:
+                    continue  # injected receive fault: frame lost; requests retry
                 kind = frame[0]  # type: ignore[index]
                 if kind in ("rep", "err"):
                     seq = int(frame[1])  # type: ignore[index,arg-type]
@@ -505,29 +526,57 @@ class _DaemonLink:
 
     def send_event(self, command: List[object]) -> None:
         """Fire-and-forget frame (used for message delivery)."""
-        with self._send_lock:
-            send_frame(self.sock, ["evt", 0] + command)
+        try:
+            with self._send_lock:
+                send_frame(self.sock, ["evt", 0] + command)
+        except InjectedFault:
+            pass  # injected fault on a fire-and-forget send == frame lost
 
     def request(self, command: List[object], timeout: float = 30.0) -> object:
-        waiter = _Waiter()
-        with self._lock:
-            self._seq += 1
-            seq = self._seq
-            self._pending[seq] = waiter
-        with self._send_lock:
-            send_frame(self.sock, ["req", seq] + command)
-        if not waiter.event.wait(timeout):
+        """Round-trip a request frame, retrying lost frames with backoff.
+
+        Each attempt gets a fresh sequence number and the full
+        ``timeout``; a reply that never arrives (dropped request or
+        dropped reply frame) is retried up to the policy's budget.  The
+        daemon executes every request frame it receives, so a retry
+        whose *reply* was lost re-executes the command — callers on the
+        retry path must be idempotent or tolerate an "already present"
+        error reply.  ``err`` replies are never retried (the daemon ran
+        the command and it failed).
+        """
+        delays = self.retry.delays()
+        failure: Optional[Exception] = None
+        for attempt in range(self.retry.attempts):
+            waiter = _Waiter()
             with self._lock:
-                self._pending.pop(seq, None)
-            raise TransportError(
-                f"daemon {self.name}: no reply to {command[0]!r} in {timeout}s"
-            )
-        if waiter.kind == "err":
-            message = str(waiter.value)
-            if "ReconfigTimeoutError" in message:
-                raise ReconfigTimeoutError(message)
-            raise BusError(f"daemon {self.name}: {message}")
-        return waiter.value
+                self._seq += 1
+                seq = self._seq
+                self._pending[seq] = waiter
+            try:
+                with self._send_lock:
+                    send_frame(self.sock, ["req", seq] + command)
+            except InjectedFault as exc:
+                with self._lock:
+                    self._pending.pop(seq, None)
+                failure = exc
+            else:
+                if waiter.event.wait(timeout):
+                    if waiter.kind == "err":
+                        message = str(waiter.value)
+                        if "ReconfigTimeoutError" in message:
+                            raise ReconfigTimeoutError(message)
+                        raise BusError(f"daemon {self.name}: {message}")
+                    return waiter.value
+                with self._lock:
+                    self._pending.pop(seq, None)
+                failure = TransportError(
+                    f"daemon {self.name}: no reply to {command[0]!r} "
+                    f"in {timeout}s"
+                )
+            if attempt < len(delays):
+                time.sleep(delays[attempt])
+        assert failure is not None
+        raise failure
 
     def close(self) -> None:
         try:

@@ -180,3 +180,57 @@ class ReconfigTimeoutError(ReconfigError):
 class ScriptError(ReconfigError):
     """A reconfiguration script could not complete; the system was left
     in the state described by the message."""
+
+
+class ReconfigurationAborted(ReconfigError):
+    """A replacement transaction failed and was rolled back.
+
+    Carries the stage the transaction died in, the underlying cause, and
+    the partially-filled :class:`ReconfigurationReport` so callers can
+    see how far the transaction got before aborting.  ``rolled_back`` is
+    False only if the rollback itself failed (the cause then carries the
+    rollback error as ``__context__``).
+    """
+
+    def __init__(
+        self,
+        stage: str,
+        cause: BaseException,
+        report=None,
+        rolled_back: bool = True,
+    ):
+        super().__init__(
+            f"reconfiguration aborted at stage {stage!r}: "
+            f"{type(cause).__name__}: {cause}"
+        )
+        self.stage = stage
+        self.cause = cause
+        self.report = report
+        self.rolled_back = rolled_back
+
+
+class ReconfigurationTimeout(ReconfigurationAborted, ReconfigTimeoutError):
+    """The transaction aborted because a wait deadline expired.
+
+    Inherits :class:`ReconfigTimeoutError` so callers written against
+    the pre-transactional API (``except ReconfigTimeoutError``) still
+    catch timeout-driven aborts.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Fault injection (testing)
+# ---------------------------------------------------------------------------
+
+
+class InjectedFault(ReproError):
+    """A deterministic fault fired at a named injection site.
+
+    Only ever raised while a :class:`repro.runtime.faults.FaultPlan` is
+    installed — production code paths never construct one spontaneously.
+    """
+
+    def __init__(self, site: str, mode: str = "crash"):
+        super().__init__(f"injected {mode} fault at site {site!r}")
+        self.site = site
+        self.mode = mode

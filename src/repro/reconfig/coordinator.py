@@ -5,24 +5,69 @@ prepare bind commands, move state, rebind, start new, remove old — and
 records when each step completed, which is what benchmark D3
 (reconfiguration delay vs. point placement) measures.
 
-Failure semantics: if the old module never reaches a reconfiguration
-point within the deadline, the prepared clone is discarded, the
-reconfiguration signal is withdrawn, and the application continues
-undisturbed in its original configuration — reconfiguration is
-all-or-nothing at the application level.
+Failure semantics: replacement is a *transaction*.  The stages are
+
+========================  ==================================================
+``clone_build``           create ``<instance>.new`` (pre-signal for a new
+                          version, inside the wait window for a move)
+``signal``                deliver the reconfiguration signal to the old
+                          module
+``wait_point``            wait (with deadline) for the old module to reach
+                          a reconfiguration point and divulge its state
+``rebind``                apply the prepared bind batch, moving every
+                          binding and queued message to the clone
+``start_clone``           start the clone's thread of control
+``health_check``          wait until the clone finishes restoring (its
+                          ``end_restore`` ran) — the point of no return
+``commit``                remove the old module, rename the clone
+========================  ==================================================
+
+``clone_build``, ``rebind`` and ``start_clone`` retry transient failures
+(injected faults, transport errors) under a bounded backoff policy.  Any
+stage failing before ``commit`` triggers rollback: the signal is
+withdrawn, applied bind edits are reversed, messages that reached the
+clone's queues are drained back, the clone is torn down, and the old
+module — whose thread exited when it divulged — is *revived* from its
+own captured state packet, so the application keeps executing exactly
+where the capture left it.  Every abort surfaces as a typed
+:class:`~repro.errors.ReconfigurationAborted` carrying the stage and the
+partial :class:`ReconfigurationReport`.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
-from repro.bus.bus import SoftwareBus
+from repro.bus.bus import SoftwareBus, StateMoveStream
+from repro.bus.module import ModuleInstance, ModuleState
 from repro.bus.spec import BindingSpec, ModuleSpec
-from repro.errors import ReconfigError, ReconfigTimeoutError
+from repro.errors import (
+    InjectedFault,
+    ReconfigError,
+    ReconfigTimeoutError,
+    ReconfigurationAborted,
+    ReconfigurationTimeout,
+    TransportError,
+)
 from repro.reconfig.bindcmds import BindBatch
 from repro.reconfig.primitives import ObjectCapability, obj_cap
+from repro.runtime import faults
+from repro.runtime.faults import RetryPolicy
+
+STAGES = (
+    "clone_build",
+    "signal",
+    "wait_point",
+    "rebind",
+    "start_clone",
+    "health_check",
+    "commit",
+)
+
+#: Failures considered transient: worth a bounded retry before aborting.
+_TRANSIENT = (InjectedFault, TransportError)
 
 
 @dataclass
@@ -41,6 +86,12 @@ class ReconfigurationReport:
     t_rebound: float = 0.0
     t_started: float = 0.0
     t_done: float = 0.0
+    # -- transaction bookkeeping --
+    stage: str = "clone_build"  # last stage entered
+    completed: List[str] = field(default_factory=list)
+    retries: int = 0
+    aborted: bool = False
+    rolled_back: bool = False
 
     @property
     def delay_to_point(self) -> float:
@@ -53,6 +104,12 @@ class ReconfigurationReport:
         return self.t_done - self.t_signal
 
     def describe(self) -> str:
+        if self.aborted:
+            return (
+                f"aborted {self.kind} of {self.instance!r} at stage "
+                f"{self.stage!r} (rolled_back={self.rolled_back}, "
+                f"retries={self.retries})"
+            )
         return (
             f"{self.kind} of {self.instance!r}: "
             f"{self.old_machine} -> {self.new_machine}, "
@@ -101,9 +158,124 @@ def prepare_rebind_batch(
 class ReconfigurationCoordinator:
     """Executes replacement-shaped reconfigurations against one bus."""
 
-    def __init__(self, bus: SoftwareBus):
+    def __init__(self, bus: SoftwareBus, retry: Optional[RetryPolicy] = None):
         self.bus = bus
+        self.retry = retry or RetryPolicy()
         self.history: List[ReconfigurationReport] = []
+
+    # -- stage helpers -----------------------------------------------------
+
+    def _attempt(self, report: ReconfigurationReport, op: Callable[[], None]) -> None:
+        """Run one stage operation, retrying transient failures."""
+        delays = self.retry.delays()
+        for attempt in range(self.retry.attempts):
+            try:
+                op()
+                return
+            except _TRANSIENT:
+                report.retries += 1
+                if attempt >= self.retry.attempts - 1:
+                    raise
+                time.sleep(delays[attempt])
+
+    def _await_restored(self, clone: ModuleInstance, timeout: float) -> None:
+        """Health check: block until the clone's ``end_restore`` ran.
+
+        A clone that dies decoding or rebuilding the captured stack is
+        detected here, *before* the old module is removed — a crashed
+        restore aborts the transaction instead of completing it.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            if clone.mh.restored.wait(0.005):
+                return
+            clone.check_alive()  # raises ModuleCrashedError on a dead clone
+            if clone.state in (ModuleState.STOPPED, ModuleState.REMOVED):
+                raise ReconfigError(
+                    f"clone {clone.name!r} exited ({clone.state.value}) "
+                    f"before completing restoration"
+                )
+            if time.monotonic() >= deadline:
+                raise ReconfigTimeoutError(
+                    f"clone {clone.name!r} did not complete restoration "
+                    f"within {timeout}s"
+                )
+
+    # -- rollback ----------------------------------------------------------
+
+    def _rollback(
+        self,
+        report: ReconfigurationReport,
+        stream: StateMoveStream,
+        instance: str,
+        temp_name: str,
+        old_module: ModuleInstance,
+        batch: Optional[BindBatch],
+        packet: Optional[bytes],
+        binding_order: Optional[List[BindingSpec]],
+    ) -> None:
+        """Put the application back on the old module.
+
+        Order matters: withdraw the signal first (new captures stop),
+        reverse the bind edits (new deliveries route to the old module
+        again), then drain whatever reached the clone's queues back to
+        the front of the old module's queues (the clone's queues hold
+        every ``cq``-copied message plus all post-rebind arrivals, so
+        nothing is lost or duplicated), tear the clone down, and finally
+        revive the old module from its captured packet if its thread
+        already exited divulging.
+        """
+        bus = self.bus
+        stream.cancel()
+        if batch is not None and batch.applied:
+            batch.undo(bus)
+            if binding_order is not None:
+                bus.restore_binding_order(binding_order)
+        pkt = packet if packet is not None else old_module.mh.outgoing_packet
+        if bus.has_module(temp_name):
+            clone = bus.get_module(temp_name)
+            for decl in clone.spec.interfaces:
+                if not (clone.has_queue(decl.name) and old_module.has_queue(decl.name)):
+                    continue
+                messages = clone.queue(decl.name).drain()
+                if messages:
+                    old_module.queue(decl.name).prepend(
+                        [
+                            m.transferred(clone.host.profile, old_module.host.profile)
+                            for m in messages
+                        ]
+                    )
+            bus.remove_module(temp_name)
+        if pkt is not None and not (
+            old_module.state is ModuleState.RUNNING
+            and old_module.thread is not None
+            and old_module.thread.is_alive()
+        ):
+            old_module.revive(pkt)
+            bus.trace.append(f"revive {instance} from captured state")
+        report.rolled_back = True
+
+    def _abort(
+        self,
+        report: ReconfigurationReport,
+        cause: BaseException,
+        rolled_back: bool = True,
+    ) -> BaseException:
+        report.aborted = True
+        report.rolled_back = rolled_back
+        report.t_done = time.monotonic()
+        self.history.append(report)
+        self.bus.trace.append(report.describe())
+        cls = (
+            ReconfigurationTimeout
+            if isinstance(cause, ReconfigTimeoutError)
+            else ReconfigurationAborted
+        )
+        return cls(
+            stage=report.stage, cause=cause, report=report, rolled_back=rolled_back
+        )
+
+    # -- the transaction ---------------------------------------------------
 
     def replace(
         self,
@@ -122,6 +294,12 @@ class ReconfigurationCoordinator:
         ``preserve_queues=False`` omits the ``cq`` commands — an ablation
         showing why Figure 5 copies queues (messages queued at the old
         module would otherwise be lost).
+
+        All-or-nothing: any failure before the clone proves healthy
+        aborts the transaction, rolls the bus back, and raises
+        :class:`ReconfigurationAborted`; validation failures of a *new*
+        version (a rejected upgrade) are detected before any signal goes
+        out and keep their original exception type.
         """
         old = obj_cap(self.bus, instance)
         if not old.spec.is_reconfigurable:
@@ -142,6 +320,12 @@ class ReconfigurationCoordinator:
         )
         temp_name = f"{instance}.new"
 
+        def build_clone() -> None:
+            faults.fire_hard("coordinator.clone_build")
+            self.bus.add_module(
+                spec, instance=temp_name, machine=target_machine, status="clone"
+            )
+
         # A *new* version can be rejected by the transformer, and the
         # paper's all-or-nothing rule says a bad version must leave the
         # application untouched — so it is loaded before any signal goes
@@ -151,50 +335,92 @@ class ReconfigurationCoordinator:
         # otherwise is pure dead time (the dominant delay_to_point term).
         clone_built = False
         if new_spec is not None:
-            self.bus.add_module(
-                spec, instance=temp_name, machine=target_machine, status="clone"
-            )
+            report.stage = "clone_build"
+            try:
+                self._attempt(report, build_clone)
+            except _TRANSIENT as exc:
+                # Nothing signalled, nothing to roll back.
+                raise self._abort(report, exc) from exc
             clone_built = True
+            report.completed.append("clone_build")
 
+        report.stage = "signal"
         report.t_signal = time.monotonic()
         stream = self.bus.objstate_stream(instance)
+        report.completed.append("signal")
+        old_module = self.bus.get_module(instance)
+
+        batch: Optional[BindBatch] = None
+        packet: Optional[bytes] = None
+        binding_order: Optional[List[BindingSpec]] = None
         try:
             if not clone_built:
-                self.bus.add_module(
-                    spec,
-                    instance=temp_name,
-                    machine=target_machine,
-                    status="clone",
-                )
+                report.stage = "clone_build"
+                self._attempt(report, build_clone)
                 clone_built = True
+                report.completed.append("clone_build")
             stream.attach_target(temp_name)
             batch = prepare_rebind_batch(
                 self.bus, old, temp_name, preserve_queues=preserve_queues
             )
+
+            report.stage = "wait_point"
             packet = stream.wait(timeout)
-        except (ReconfigTimeoutError, Exception):
-            # All-or-nothing: withdraw the signal, discard the clone.
-            stream.cancel()
-            if clone_built:
-                self.bus.remove_module(temp_name)
-            raise
-        report.t_divulged = time.monotonic()
-        report.packet_bytes = len(packet)
+            report.completed.append("wait_point")
+            report.t_divulged = time.monotonic()
+            report.packet_bytes = len(packet)
+            report.queued_copied = {
+                name: count
+                for name, count in old_module.queued_counts().items()
+                if count
+            }
 
-        old_module = self.bus.get_module(instance)
-        report.queued_copied = {
-            name: count
-            for name, count in old_module.queued_counts().items()
-            if count
-        }
-        batch.apply(self.bus)
-        report.t_rebound = time.monotonic()
+            report.stage = "rebind"
+            binding_order = self.bus.bindings()
 
-        self.bus.start_module(temp_name)
-        report.t_started = time.monotonic()
+            def rebind() -> None:
+                faults.fire_hard("coordinator.rebind")
+                batch.apply(self.bus)
 
+            self._attempt(report, rebind)
+            report.completed.append("rebind")
+            report.t_rebound = time.monotonic()
+
+            report.stage = "start_clone"
+
+            def start_clone() -> None:
+                faults.fire_hard("coordinator.start_clone")
+                self.bus.start_module(temp_name)
+
+            self._attempt(report, start_clone)
+            report.completed.append("start_clone")
+            report.t_started = time.monotonic()
+
+            report.stage = "health_check"
+            self._await_restored(self.bus.get_module(temp_name), timeout)
+            report.completed.append("health_check")
+        except Exception as exc:
+            rolled_back = True
+            try:
+                self._rollback(
+                    report,
+                    stream,
+                    instance,
+                    temp_name,
+                    old_module,
+                    batch,
+                    packet,
+                    binding_order,
+                )
+            except Exception:
+                rolled_back = False
+            raise self._abort(report, exc, rolled_back=rolled_back) from exc
+
+        # --- point of no return: the clone restored and holds the state ---
+        report.stage = "commit"
         self.bus.remove_module(instance)
         self.bus.rename_instance(temp_name, instance)
+        report.completed.append("commit")
         report.t_done = time.monotonic()
         # Reporting detail, computed off the critical path: the depth
         # comes from the packet's peekable header — no frame decode.
@@ -216,7 +442,10 @@ class ReconfigurationCoordinator:
 
         One clone takes over the original's name and bindings (the
         original died divulging its state); the second starts alongside
-        it with duplicated bindings, on ``machine`` if given.
+        it with duplicated bindings, on ``machine`` if given.  A failed
+        replace aborts (and rolls back) before the replica is created,
+        so replication inherits the replace transaction's all-or-nothing
+        guarantee.
         """
         old = obj_cap(self.bus, instance)
         original_bindings = self.bus.bindings_of(instance)

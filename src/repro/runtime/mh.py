@@ -41,9 +41,11 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.errors import (
     CaptureError,
     FormatError,
+    InjectedFault,
     RestoreError,
     RuntimeStateError,
 )
+from repro.runtime import faults
 from repro.runtime.events import InterruptibleEvent
 from repro.runtime.files import FileReattachRegistry
 from repro.state.frames import ActivationRecord, ProcessState, StackState
@@ -106,7 +108,20 @@ class MH:
         self.incoming_packet: Optional[bytes] = None
         self.outgoing_packet: Optional[bytes] = None
         self.divulged = threading.Event()
+        self.restored = threading.Event()  # set by end_restore (clone health)
         self._divulge_callback: Optional[Callable[[bytes], None]] = None
+        self._failure_callback: Optional[Callable[[BaseException], None]] = None
+        self._divulge_lock = threading.Lock()
+        # A fault at the capture sites cannot raise through module code
+        # (the capture blocks return unconditionally once entered, the
+        # stack is already unwinding) — it suppresses the divulge instead:
+        # the packet is still built into outgoing_packet so the
+        # coordinator can revive the module from it during rollback.
+        self._suppress_divulge = False
+        self.divulge_failed: Optional[BaseException] = None
+        # Set when a withdrawn reconfiguration abandons an in-flight
+        # divulge; the module's thread self-revives instead of exiting.
+        self._divulge_abandoned = False
 
         # --- module attributes from the MIL spec (read-only config) ---
         self.config: Dict[str, str] = {}
@@ -189,6 +204,12 @@ class MH:
         blocks installed at call edges fire as each frame returns.
         """
         self.reconfig = False
+        try:
+            if faults.fire("mh.capture"):
+                self._suppress_divulge = True  # drop: the divulge is lost
+        except InjectedFault as exc:
+            self._suppress_divulge = True
+            self.divulge_failed = exc
         self.capturestack = True
         self._active_point = point
         self._captured = StackState()
@@ -242,9 +263,26 @@ class MH:
         self.outgoing_packet = packet
         self.stats["packets_encoded"] += 1
         self.capturestack = False
+        suppressed = self._suppress_divulge
+        failure = self.divulge_failed
+        try:
+            if faults.fire("mh.encode"):
+                suppressed = True  # drop: packet built but never divulged
+        except InjectedFault as exc:
+            suppressed, failure = True, exc
+        if suppressed:
+            self._suppress_divulge = False
+            self.divulge_failed = failure
+            with self._divulge_lock:
+                on_failure = self._failure_callback
+            if failure is not None and on_failure is not None:
+                on_failure(failure)
+            return packet
+        with self._divulge_lock:
+            callback = self._divulge_callback
         self.divulged.set()
-        if self._divulge_callback is not None:
-            self._divulge_callback(packet)
+        if callback is not None:
+            callback(packet)
         return packet
 
     def _capture_heap(self) -> HeapImage:
@@ -265,6 +303,8 @@ class MH:
         and statics, and stages the activation-record stack so successive
         :meth:`restore` calls pop frames outermost-first.
         """
+        if faults.fire("mh.decode"):
+            self.incoming_packet = None  # drop: the state packet is lost
         if self.incoming_packet is None:
             raise RestoreError(f"module {self.module!r} is a clone but has no state packet")
         state = ProcessState.from_bytes(self.incoming_packet, self.machine)
@@ -301,6 +341,10 @@ class MH:
         """
         if self._restore_stack is None:
             raise RestoreError("restore() called before decode()")
+        if faults.fire("mh.restore"):
+            # drop: one captured frame is lost; the procedure-name check
+            # below refuses the now-misaligned chain and the clone crashes.
+            self._restore_stack.pop_for_restore()
         record = self._restore_stack.pop_for_restore()
         if record.procedure != procedure:
             raise RestoreError(
@@ -340,6 +384,7 @@ class MH:
             )
         self._restore_stack = None
         self._status = "original"
+        self.restored.set()
 
     # ------------------------------------------------------------------
     # Helpers used by transformer-generated code
@@ -403,16 +448,70 @@ class MH:
         self._port = port
 
     def set_divulge_callback(
-        self, callback: Optional[Callable[[bytes], None]] = None
+        self,
+        callback: Optional[Callable[[bytes], None]] = None,
+        on_failure: Optional[Callable[[BaseException], None]] = None,
     ) -> None:
         """Platform side: where :meth:`encode` delivers the state packet.
 
         The bus's streamed state move installs its delivery hook here so
         the packet reaches the clone on the divulging thread, with no
         coordinator wakeup in between; ``None`` detaches the hook (used
-        when a timed-out reconfiguration is withdrawn).
+        when a timed-out reconfiguration is withdrawn).  ``on_failure``
+        is invoked instead of the callback when the divulge fails on the
+        module's thread, so the waiter aborts without burning its full
+        deadline.
         """
-        self._divulge_callback = callback
+        with self._divulge_lock:
+            self._divulge_callback = callback
+            self._failure_callback = on_failure
+            if callback is not None:
+                self._divulge_abandoned = False
+
+    def abandon_divulge(self) -> None:
+        """Withdraw an in-flight streamed move (rollback path).
+
+        After this, a capture that already raced past the signal check
+        divulges to nobody — the module's thread detects the abandoned
+        packet via :meth:`reclaim_abandoned_divulge` and resumes from it
+        instead of exiting.
+        """
+        with self._divulge_lock:
+            self._divulge_abandoned = True
+            self._divulge_callback = None
+            self._failure_callback = None
+
+    def reclaim_abandoned_divulge(self) -> Optional[bytes]:
+        """Module-thread side of :meth:`abandon_divulge` (one-shot)."""
+        with self._divulge_lock:
+            if self._divulge_abandoned and self.outgoing_packet is not None:
+                self._divulge_abandoned = False
+                return self.outgoing_packet
+            return None
+
+    def prepare_revival(self, packet: bytes) -> None:
+        """Reset the reconfiguration machinery to restore from ``packet``.
+
+        Used when an aborted replacement resumes the old module from its
+        own captured state: the module restarts exactly like a clone,
+        but in place, with its queues and bindings untouched.
+        """
+        with self._divulge_lock:
+            self.incoming_packet = packet
+            self.outgoing_packet = None
+            self._status = "clone"
+            self.reconfig = False
+            self.capturestack = False
+            self.restoring = False
+            self._captured = StackState()
+            self._restore_stack = None
+            self.divulged.clear()
+            self.restored.clear()
+            self._suppress_divulge = False
+            self.divulge_failed = None
+            self._divulge_abandoned = False
+            self._divulge_callback = None
+            self._failure_callback = None
 
     def init(self, *_args) -> None:
         """The paper's ``mh_init``: kept for source-level fidelity (no-op)."""

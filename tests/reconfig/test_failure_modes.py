@@ -1,18 +1,18 @@
 """Failure modes of replacement: what happens when the clone is bad.
 
-The platform's failure contract: a clone that cannot restore crashes
-*visibly* (CRASHED state, surfaced by check_health) rather than running
-with corrupt state; a reconfiguration that cannot start stays rolled
-back.
+The platform's failure contract: replacement is transactional.  A clone
+that cannot restore is caught by the coordinator's health check *before*
+the old module is removed — the transaction aborts with the clone's
+crash as cause, the bus rolls back, and the application keeps running on
+the old module; a reconfiguration that cannot start stays rolled back.
 """
 
 import pytest
 
 from repro.bus.module import ModuleState
-from repro.errors import ModuleCrashedError, TransformError
+from repro.errors import ModuleCrashedError, ReconfigurationAborted, TransformError
 from repro.reconfig.scripts import upgrade_module
 
-from tests.conftest import wait_until
 from tests.reconfig.helpers import launch_monitor, wait_displayed
 
 #: A "new version" whose instrumented frame layout differs from v1's —
@@ -60,17 +60,26 @@ def monitor():
 
 
 class TestIncompatibleUpgrade:
-    def test_layout_mismatch_crashes_clone_visibly(self, monitor):
+    def test_layout_mismatch_aborts_before_commit(self, monitor):
         wait_displayed(monitor, 2)
-        upgrade_module(monitor, "compute", INCOMPATIBLE_V2, timeout=15)
+        before = monitor.snapshot_configuration().describe()
         # The clone starts, tries to restore main's frame with an extra
-        # slot, and dies on the frame-format cross-check.
-        wait_until(
-            lambda: monitor.get_module("compute").state is ModuleState.CRASHED,
-            timeout=10,
-        )
-        with pytest.raises(ModuleCrashedError, match="format"):
-            monitor.check_health()
+        # slot, and dies on the frame-format cross-check — which the
+        # health check catches while the old module is still on the bus.
+        with pytest.raises(ReconfigurationAborted) as excinfo:
+            upgrade_module(monitor, "compute", INCOMPATIBLE_V2, timeout=15)
+        assert excinfo.value.stage == "health_check"
+        assert excinfo.value.rolled_back
+        assert isinstance(excinfo.value.cause, ModuleCrashedError)
+        assert "format" in str(excinfo.value.cause)
+        # Rolled back: same topology, no clone left behind, and the old
+        # module revived from its own captured state keeps serving.
+        assert monitor.snapshot_configuration().describe() == before
+        assert not monitor.has_module("compute.new")
+        assert monitor.get_module("compute").state is ModuleState.RUNNING
+        monitor.check_health()
+        count = len(wait_displayed(monitor, 2))
+        assert len(wait_displayed(monitor, count + 2)) >= count + 2
 
     def test_pointless_new_version_rejected_before_any_damage(self, monitor):
         wait_displayed(monitor, 2)
