@@ -31,7 +31,7 @@ from repro.errors import (
     ReconfigTimeoutError,
     UnknownModuleError,
 )
-from repro.runtime import faults
+from repro.runtime import faults, telemetry
 from repro.runtime.mh import SleepPolicy
 from repro.state.machine import MachineProfile
 
@@ -48,7 +48,7 @@ class _RouteEntry:
     broadcast can skip the wire round-trip without consulting profiles).
     """
 
-    __slots__ = ("sender_profile", "deliveries", "local_puts", "by_dest")
+    __slots__ = ("sender_profile", "deliveries", "local_puts", "by_dest", "_wiring")
 
     def __init__(self, sender_profile: Optional[MachineProfile]):
         self.sender_profile = sender_profile
@@ -58,6 +58,9 @@ class _RouteEntry:
         self.local_puts: Optional[List] = None
         # destination instance -> (queue.put, receiver_profile | None)
         self.by_dest: Dict[str, Tuple] = {}
+        # (destination instance, queue) per delivery; only consumed by
+        # telemetry instrumentation at rebuild time.
+        self._wiring: List[Tuple] = []
 
     def add(self, peer: ModuleInstance, peer_if: str) -> None:
         receiver = peer.host.profile
@@ -69,13 +72,69 @@ class _RouteEntry:
             or sender.name == receiver.name
         ):
             receiver = None  # identity transfer
-        delivery = (peer.queue(peer_if).put, receiver)
+        queue = peer.queue(peer_if)
+        delivery = (queue.put, receiver)
         self.deliveries.append(delivery)
         self.by_dest.setdefault(peer.name, delivery)
+        self._wiring.append((peer.name, queue))
 
     def finalize(self) -> None:
         if all(profile is None for _, profile in self.deliveries):
             self.local_puts = [put for put, _ in self.deliveries]
+
+    def instrument(self, rec, endpoint: str) -> None:
+        """Recompile deliveries with telemetry counters baked in.
+
+        Called only at rebuild time, and only while a recorder is
+        installed — so the *disabled* per-message path carries zero
+        added instructions (not even a flag test; see
+        docs/telemetry.md).  Per delivered message the wrapper counts
+        ``bus.delivered`` and samples the receiving queue's depth
+        high-water mark; the first delivery of the fan-out additionally
+        counts ``bus.routed`` (one per send).  An unbound endpoint gets
+        a counting stub so silent drops become visible.
+        """
+        if not self.deliveries:
+            def drop(message, _rec=rec, _key=endpoint):
+                _rec.count("bus.dropped", key=_key)
+
+            self.local_puts = [drop]
+            return
+        wrapped: List[Tuple] = []
+        by_dest: Dict[str, Tuple] = {}
+        first = True
+        for (put, profile), (dest, queue) in zip(self.deliveries, self._wiring):
+            def counting(
+                message,
+                _put=put,
+                _queue=queue,
+                _rec=rec,
+                _key=endpoint,
+                _routed=first,
+            ):
+                if _routed:
+                    _rec.count("bus.routed", key=_key)
+                _put(message)
+                _rec.count("bus.delivered", key=_key)
+                _rec.gauge_max("queue.hwm", len(_queue), key=_queue.name)
+
+            wrapped.append((counting, profile))
+            first = False
+
+            if dest not in by_dest:
+                def directed(
+                    message, _put=put, _queue=queue, _rec=rec, _key=endpoint
+                ):
+                    _rec.count("bus.directed", key=_key)
+                    _put(message)
+                    _rec.count("bus.delivered", key=_key)
+                    _rec.gauge_max("queue.hwm", len(_queue), key=_queue.name)
+
+                by_dest[dest] = (directed, profile)
+        self.deliveries = wrapped
+        self.by_dest = by_dest
+        if self.local_puts is not None:
+            self.local_puts = [put for put, _ in wrapped]
 
 
 class SoftwareBus:
@@ -341,6 +400,14 @@ class SoftwareBus:
             for by_interface in table.values():
                 for entry in by_interface.values():
                     entry.finalize()
+            rec = telemetry.recorder
+            if rec is not None:
+                # Routing-cache miss counter: every rebuild *is* a miss
+                # (hits = bus.routed - bus.routing_rebuild).
+                rec.count("bus.routing_rebuild")
+                for name, by_interface in table.items():
+                    for ifname, entry in by_interface.items():
+                        entry.instrument(rec, f"{name}.{ifname}")
             self._routing_table = table
             return table
 
@@ -598,6 +665,7 @@ class StateMoveStream:
         # loses the hand-off and the waiter times out.
         try:
             if faults.fire("bus.stream_divulge"):
+                telemetry.event("bus.divulge_dropped", instance=self.old)
                 return
         except InjectedFault as exc:
             self._on_failure(exc)
@@ -607,6 +675,9 @@ class StateMoveStream:
             if self._target is not None:
                 self._target.mh.incoming_packet = packet
         self._delivered.set()
+        telemetry.event(
+            "bus.stream_divulge", instance=self.old, bytes=len(packet)
+        )
 
     def _on_failure(self, failure: BaseException) -> None:
         # Fast abort: the divulge failed on the module's thread; wake the
@@ -614,6 +685,11 @@ class StateMoveStream:
         with self._lock:
             self._failure = failure
         self._delivered.set()
+        telemetry.event(
+            "bus.divulge_failed",
+            instance=self.old,
+            cause=type(failure).__name__,
+        )
 
     def attach_target(self, new: str) -> None:
         """Name the clone that receives the state.

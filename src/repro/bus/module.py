@@ -32,7 +32,7 @@ from repro.errors import (
     TransportError,
     UnknownInterfaceError,
 )
-from repro.runtime import faults
+from repro.runtime import faults, telemetry
 from repro.runtime.mh import MH, ModuleStop, SleepPolicy
 from repro.runtime.refs import Ref
 
@@ -202,29 +202,34 @@ class ModuleInstance:
         if self.state not in (ModuleState.CREATED,):
             raise ModuleLifecycleError(f"{self.name}: cannot load in {self.state}")
         faults.fire_hard("module.load")
-        source = self.spec.inline_source
-        if not source:
-            if not self.spec.source:
-                raise ModuleLifecycleError(
-                    f"{self.name}: module spec has neither inline source nor "
-                    f"a source path"
+        with telemetry.span(
+            "module.load", instance=self.name, module=self.spec.name
+        ):
+            source = self.spec.inline_source
+            if not source:
+                if not self.spec.source:
+                    raise ModuleLifecycleError(
+                        f"{self.name}: module spec has neither inline source nor "
+                        f"a source path"
+                    )
+                with open(self.spec.source, "r", encoding="utf-8") as handle:
+                    source = handle.read()
+            if self.spec.is_reconfigurable:
+                prune = self.spec.attributes.get(
+                    "prune_dead_captures", ""
+                ).lower() in (
+                    "true",
+                    "yes",
+                    "1",
                 )
-            with open(self.spec.source, "r", encoding="utf-8") as handle:
-                source = handle.read()
-        if self.spec.is_reconfigurable:
-            prune = self.spec.attributes.get("prune_dead_captures", "").lower() in (
-                "true",
-                "yes",
-                "1",
-            )
-            self.transform = _prepare_module_cached(
-                source,
-                self.spec.name,
-                tuple(self.spec.reconfig_points),
-                prune,
-            )
-            source = self.transform.source
-        self.executable_source = source
+                self.transform = _prepare_module_cached(
+                    source,
+                    self.spec.name,
+                    tuple(self.spec.reconfig_points),
+                    prune,
+                )
+                source = self.transform.source
+            self.executable_source = source
         self.state = ModuleState.LOADED
 
     def start(self) -> None:
@@ -262,10 +267,16 @@ class ModuleInstance:
                     return
                 self.crash = TransportError(traceback.format_exc())
                 self.state = ModuleState.CRASHED
+                telemetry.event(
+                    "module.crash", instance=self.name, cause="TransportError"
+                )
                 return
             except BaseException as exc:  # noqa: BLE001 - report, don't die silently
                 self.crash = exc
                 self.state = ModuleState.CRASHED
+                telemetry.event(
+                    "module.crash", instance=self.name, cause=type(exc).__name__
+                )
                 return
             # A withdrawn reconfiguration can race the capture: the module
             # divulges (or suppresses) after the coordinator cancelled the
@@ -320,6 +331,7 @@ class ModuleInstance:
         self.mh.prepare_revival(pkt)
         self.crash = None
         self.state = ModuleState.RUNNING
+        telemetry.event("module.revive", instance=self.name, bytes=len(pkt))
         self.thread = threading.Thread(
             target=self._run, name=f"module-{self.name}", daemon=True
         )

@@ -25,6 +25,7 @@ from typing import Deque, List, Optional
 
 from repro.bus.message import Message
 from repro.errors import TransportError
+from repro.runtime import telemetry
 
 
 class MessageQueue:
@@ -110,14 +111,22 @@ class MessageQueue:
         with self._lock:
             items = list(self._items)
             self._items.clear()
-            return items
+        rec = telemetry.recorder
+        if rec is not None and items:
+            rec.count("queue.drained", n=len(items), key=self.name)
+        return items
 
     def extend(self, messages: List[Message]) -> None:
         """Append copied messages at the back."""
         with self._lock:
             self._items.extend(messages)
+            depth = len(self._items)
             if self._waiters:
                 self._not_empty.notify_all()
+        rec = telemetry.recorder
+        if rec is not None and messages:
+            rec.count("queue.copied_in", n=len(messages), key=self.name)
+            rec.gauge_max("queue.hwm", depth, key=self.name)
 
     def prepend(self, messages: List[Message]) -> None:
         """Insert copied messages at the *front*, preserving their order.
@@ -128,8 +137,13 @@ class MessageQueue:
         """
         with self._lock:
             self._items.extendleft(reversed(messages))
+            depth = len(self._items)
             if self._waiters:
                 self._not_empty.notify_all()
+        rec = telemetry.recorder
+        if rec is not None and messages:
+            rec.count("queue.copied_in", n=len(messages), key=self.name)
+            rec.gauge_max("queue.hwm", depth, key=self.name)
 
     def close(self) -> None:
         with self._lock:

@@ -46,7 +46,7 @@ from repro.errors import (
     TransportError,
     UnknownModuleError,
 )
-from repro.runtime import faults
+from repro.runtime import faults, telemetry
 from repro.runtime.faults import RetryPolicy
 from repro.runtime.mh import SleepPolicy
 from repro.state.encoding import decode_any, encode_any
@@ -63,14 +63,19 @@ _MAX_FRAME = 64 * 1024 * 1024
 
 def send_frame(sock: socket.socket, value: object) -> None:
     if faults.fire("tcp.send_frame"):
+        telemetry.count("tcp.frames_dropped")
         return  # injected drop: the frame is lost on the wire
-    payload = encode_any(value)
-    if len(payload) > _MAX_FRAME:
-        raise TransportError(f"frame too large ({len(payload)} bytes)")
-    try:
-        sock.sendall(_FRAME_HEADER.pack(len(payload)) + payload)
-    except OSError as exc:
-        raise TransportError(f"send failed: {exc}") from exc
+    with telemetry.span("tcp.send_frame") as span:
+        payload = encode_any(value)
+        if len(payload) > _MAX_FRAME:
+            raise TransportError(f"frame too large ({len(payload)} bytes)")
+        span.set(bytes=len(payload))
+        try:
+            sock.sendall(_FRAME_HEADER.pack(len(payload)) + payload)
+        except OSError as exc:
+            raise TransportError(f"send failed: {exc}") from exc
+    telemetry.count("tcp.frames_sent")
+    telemetry.count("tcp.bytes_sent", n=len(payload))
 
 
 def recv_frame(sock: socket.socket) -> object:
@@ -80,10 +85,17 @@ def recv_frame(sock: socket.socket) -> object:
         (length,) = _FRAME_HEADER.unpack(header)
         if length > _MAX_FRAME:
             raise TransportError(f"oversized frame announced ({length} bytes)")
-        payload = _recv_exact(sock, length)
-        if dropped:
-            continue  # injected drop: discard this frame, read the next
-        return decode_any(payload)
+        # The span covers payload read + decode, not the idle wait for
+        # the header — a listener parked between frames is not "receiving".
+        with telemetry.span("tcp.recv_frame", bytes=length):
+            payload = _recv_exact(sock, length)
+            if dropped:
+                telemetry.count("tcp.frames_dropped")
+                continue  # injected drop: discard this frame, read the next
+            value = decode_any(payload)
+        telemetry.count("tcp.frames_received")
+        telemetry.count("tcp.bytes_received", n=length)
+        return value
 
 
 def _recv_exact(sock: socket.socket, count: int) -> bytes:

@@ -190,6 +190,12 @@ class ReconfigurationAborted(ReconfigError):
     see how far the transaction got before aborting.  ``rolled_back`` is
     False only if the rollback itself failed (the cause then carries the
     rollback error as ``__context__``).
+
+    ``args`` is ``(message, recon_id, attempts)``: the reconfiguration
+    id (keys the telemetry event log) and the attempt count of the
+    failing stage travel with the exception, so an abort can be
+    correlated with its retry history and its trace dump without
+    reaching into the report object.
     """
 
     def __init__(
@@ -198,15 +204,27 @@ class ReconfigurationAborted(ReconfigError):
         cause: BaseException,
         report=None,
         rolled_back: bool = True,
+        recon_id: str = "",
+        attempts: int = 1,
     ):
-        super().__init__(
+        message = (
             f"reconfiguration aborted at stage {stage!r}: "
             f"{type(cause).__name__}: {cause}"
         )
+        if recon_id:
+            message += f" [{recon_id}, attempt {attempts}]"
+        super().__init__(message, recon_id, attempts)
         self.stage = stage
         self.cause = cause
         self.report = report
         self.rolled_back = rolled_back
+        self.recon_id = recon_id
+        self.attempts = attempts
+
+    def __str__(self) -> str:
+        # With recon_id/attempts in args, the default multi-arg
+        # Exception.__str__ would render the whole tuple.
+        return str(self.args[0]) if self.args else ""
 
 
 class ReconfigurationTimeout(ReconfigurationAborted, ReconfigTimeoutError):

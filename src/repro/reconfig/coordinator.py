@@ -53,7 +53,7 @@ from repro.errors import (
 )
 from repro.reconfig.bindcmds import BindBatch
 from repro.reconfig.primitives import ObjectCapability, obj_cap
-from repro.runtime import faults
+from repro.runtime import faults, telemetry
 from repro.runtime.faults import RetryPolicy
 
 STAGES = (
@@ -87,9 +87,11 @@ class ReconfigurationReport:
     t_started: float = 0.0
     t_done: float = 0.0
     # -- transaction bookkeeping --
+    recon_id: str = ""  # process-unique id; keys telemetry spans/events
     stage: str = "clone_build"  # last stage entered
     completed: List[str] = field(default_factory=list)
     retries: int = 0
+    stage_attempts: Dict[str, int] = field(default_factory=dict)
     aborted: bool = False
     rolled_back: bool = False
 
@@ -106,7 +108,8 @@ class ReconfigurationReport:
     def describe(self) -> str:
         if self.aborted:
             return (
-                f"aborted {self.kind} of {self.instance!r} at stage "
+                f"aborted {self.kind} of {self.instance!r} "
+                f"[{self.recon_id or '-'}] at stage "
                 f"{self.stage!r} (rolled_back={self.rolled_back}, "
                 f"retries={self.retries})"
             )
@@ -165,15 +168,27 @@ class ReconfigurationCoordinator:
 
     # -- stage helpers -----------------------------------------------------
 
-    def _attempt(self, report: ReconfigurationReport, op: Callable[[], None]) -> None:
-        """Run one stage operation, retrying transient failures."""
+    def _attempt(
+        self, report: ReconfigurationReport, stage: str, op: Callable[[], None]
+    ) -> None:
+        """Run one stage operation, retrying transient failures.
+
+        Each attempt gets its own telemetry span (attribute ``attempt``),
+        and the per-stage attempt count lands in
+        ``report.stage_attempts`` so an abort can say how hard it tried.
+        """
         delays = self.retry.delays()
         for attempt in range(self.retry.attempts):
+            report.stage_attempts[stage] = attempt + 1
             try:
-                op()
+                with telemetry.span(
+                    f"stage.{stage}", instance=report.instance, attempt=attempt + 1
+                ):
+                    op()
                 return
             except _TRANSIENT:
                 report.retries += 1
+                telemetry.count("reconfig.retries", key=stage)
                 if attempt >= self.retry.attempts - 1:
                     raise
                 time.sleep(delays[attempt])
@@ -266,13 +281,28 @@ class ReconfigurationCoordinator:
         report.t_done = time.monotonic()
         self.history.append(report)
         self.bus.trace.append(report.describe())
+        attempts = report.stage_attempts.get(report.stage, 1)
+        telemetry.count("reconfig.aborts")
+        telemetry.event(
+            "reconfig.abort",
+            recon=report.recon_id or None,
+            stage=report.stage,
+            cause=type(cause).__name__,
+            rolled_back=rolled_back,
+            attempts=attempts,
+        )
         cls = (
             ReconfigurationTimeout
             if isinstance(cause, ReconfigTimeoutError)
             else ReconfigurationAborted
         )
         return cls(
-            stage=report.stage, cause=cause, report=report, rolled_back=rolled_back
+            stage=report.stage,
+            cause=cause,
+            report=report,
+            rolled_back=rolled_back,
+            recon_id=report.recon_id,
+            attempts=attempts,
         )
 
     # -- the transaction ---------------------------------------------------
@@ -317,8 +347,44 @@ class ReconfigurationCoordinator:
             kind=kind,
             old_machine=old.machine,
             new_machine=target_machine,
+            recon_id=telemetry.next_reconfiguration_id(),
         )
         temp_name = f"{instance}.new"
+        # The root span is "ambient": spans opened by other threads with
+        # no local parent — the old module's capture/encode, the clone's
+        # decode/restore — attach under it, so the whole replacement
+        # renders as one tree keyed by report.recon_id.
+        with telemetry.span(
+            "reconfig.replace",
+            recon=report.recon_id,
+            ambient=True,
+            instance=instance,
+            kind=kind,
+            old_machine=old.machine,
+            new_machine=target_machine,
+        ) as root:
+            self._replace_txn(
+                old, spec, report, temp_name, new_spec, timeout, preserve_queues
+            )
+            root.set(
+                packet_bytes=report.packet_bytes,
+                stack_depth=report.stack_depth,
+                retries=report.retries,
+            )
+        return report
+
+    def _replace_txn(
+        self,
+        old: ObjectCapability,
+        spec: ModuleSpec,
+        report: ReconfigurationReport,
+        temp_name: str,
+        new_spec: Optional[ModuleSpec],
+        timeout: float,
+        preserve_queues: bool,
+    ) -> None:
+        instance = report.instance
+        target_machine = report.new_machine
 
         def build_clone() -> None:
             faults.fire_hard("coordinator.clone_build")
@@ -337,7 +403,7 @@ class ReconfigurationCoordinator:
         if new_spec is not None:
             report.stage = "clone_build"
             try:
-                self._attempt(report, build_clone)
+                self._attempt(report, "clone_build", build_clone)
             except _TRANSIENT as exc:
                 # Nothing signalled, nothing to roll back.
                 raise self._abort(report, exc) from exc
@@ -345,8 +411,10 @@ class ReconfigurationCoordinator:
             report.completed.append("clone_build")
 
         report.stage = "signal"
+        report.stage_attempts["signal"] = 1
         report.t_signal = time.monotonic()
-        stream = self.bus.objstate_stream(instance)
+        with telemetry.span("stage.signal", instance=instance):
+            stream = self.bus.objstate_stream(instance)
         report.completed.append("signal")
         old_module = self.bus.get_module(instance)
 
@@ -356,7 +424,7 @@ class ReconfigurationCoordinator:
         try:
             if not clone_built:
                 report.stage = "clone_build"
-                self._attempt(report, build_clone)
+                self._attempt(report, "clone_build", build_clone)
                 clone_built = True
                 report.completed.append("clone_build")
             stream.attach_target(temp_name)
@@ -365,7 +433,10 @@ class ReconfigurationCoordinator:
             )
 
             report.stage = "wait_point"
-            packet = stream.wait(timeout)
+            report.stage_attempts["wait_point"] = 1
+            with telemetry.span("stage.wait_point", instance=instance) as wait_span:
+                packet = stream.wait(timeout)
+                wait_span.set(packet_bytes=len(packet))
             report.completed.append("wait_point")
             report.t_divulged = time.monotonic()
             report.packet_bytes = len(packet)
@@ -382,7 +453,7 @@ class ReconfigurationCoordinator:
                 faults.fire_hard("coordinator.rebind")
                 batch.apply(self.bus)
 
-            self._attempt(report, rebind)
+            self._attempt(report, "rebind", rebind)
             report.completed.append("rebind")
             report.t_rebound = time.monotonic()
 
@@ -392,36 +463,43 @@ class ReconfigurationCoordinator:
                 faults.fire_hard("coordinator.start_clone")
                 self.bus.start_module(temp_name)
 
-            self._attempt(report, start_clone)
+            self._attempt(report, "start_clone", start_clone)
             report.completed.append("start_clone")
             report.t_started = time.monotonic()
 
             report.stage = "health_check"
-            self._await_restored(self.bus.get_module(temp_name), timeout)
+            report.stage_attempts["health_check"] = 1
+            with telemetry.span("stage.health_check", instance=temp_name):
+                self._await_restored(self.bus.get_module(temp_name), timeout)
             report.completed.append("health_check")
         except Exception as exc:
             rolled_back = True
             try:
-                self._rollback(
-                    report,
-                    stream,
-                    instance,
-                    temp_name,
-                    old_module,
-                    batch,
-                    packet,
-                    binding_order,
-                )
+                with telemetry.span("stage.rollback", instance=instance):
+                    self._rollback(
+                        report,
+                        stream,
+                        instance,
+                        temp_name,
+                        old_module,
+                        batch,
+                        packet,
+                        binding_order,
+                    )
+                telemetry.count("reconfig.rollbacks")
             except Exception:
                 rolled_back = False
             raise self._abort(report, exc, rolled_back=rolled_back) from exc
 
         # --- point of no return: the clone restored and holds the state ---
         report.stage = "commit"
-        self.bus.remove_module(instance)
-        self.bus.rename_instance(temp_name, instance)
+        report.stage_attempts["commit"] = 1
+        with telemetry.span("stage.commit", instance=instance):
+            self.bus.remove_module(instance)
+            self.bus.rename_instance(temp_name, instance)
         report.completed.append("commit")
         report.t_done = time.monotonic()
+        telemetry.count("reconfig.commits")
         # Reporting detail, computed off the critical path: the depth
         # comes from the packet's peekable header — no frame decode.
         from repro.state.frames import peek_state_header
@@ -429,7 +507,6 @@ class ReconfigurationCoordinator:
         report.stack_depth = peek_state_header(packet).depth
         self.history.append(report)
         self.bus.trace.append(report.describe())
-        return report
 
     def replicate(
         self,
@@ -453,6 +530,9 @@ class ReconfigurationCoordinator:
         report = self.replace(instance, timeout=timeout, kind="replicate")
 
         replica_machine = machine or old.machine
+        replica_span = telemetry.span(
+            "reconfig.replicate", recon=report.recon_id, instance=replica_instance
+        )
         spec = old.spec.with_attributes(machine=replica_machine, status="clone")
         replica = self.bus.add_module(
             spec,
@@ -477,4 +557,5 @@ class ReconfigurationCoordinator:
                 )
             )
         self.bus.start_module(replica_instance)
+        replica_span.close()
         return report, replica_instance

@@ -30,6 +30,7 @@ replay the failure with the same seed.
 from __future__ import annotations
 
 import json
+import os
 import random
 import threading
 import time
@@ -38,6 +39,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import InjectedFault
+from repro.runtime import telemetry
 
 MODES = ("crash", "delay", "drop")
 
@@ -84,12 +86,27 @@ class FaultAction:
         }
 
 
+def _ambient_seed() -> Optional[int]:
+    """The chaos seed of the surrounding run (``REPRO_CHAOS_SEED``).
+
+    Plans built from an explicit schedule used to dump ``seed: null``,
+    which made their artifacts non-replayable when the schedule itself
+    was derived from seeded randomness (hypothesis, the chaos matrix).
+    Recording the ambient seed keeps every dumped artifact replayable.
+    """
+    raw = os.environ.get("REPRO_CHAOS_SEED", "")
+    try:
+        return int(raw) if raw else None
+    except ValueError:
+        return None
+
+
 class FaultPlan:
     """A deterministic schedule of faults over the injection sites."""
 
     def __init__(self, name: str = "faultplan", seed: Optional[int] = None):
         self.name = name
-        self.seed = seed
+        self.seed = seed if seed is not None else _ambient_seed()
         self._actions: List[FaultAction] = []
         self._hits: Dict[str, int] = {}
         self._lock = threading.Lock()
@@ -170,6 +187,8 @@ class FaultPlan:
                 }
             )
             mode, delay = action.mode, action.delay
+        telemetry.count("faults.fired", key=site)
+        telemetry.event("fault.fired", site=site, mode=mode, hit=hit)
         if mode == "crash":
             raise InjectedFault(site, "crash")
         if mode == "delay":

@@ -45,7 +45,7 @@ from repro.errors import (
     RestoreError,
     RuntimeStateError,
 )
-from repro.runtime import faults
+from repro.runtime import faults, telemetry
 from repro.runtime.events import InterruptibleEvent
 from repro.runtime.files import FileReattachRegistry
 from repro.state.frames import ActivationRecord, ProcessState, StackState
@@ -122,6 +122,11 @@ class MH:
         # Set when a withdrawn reconfiguration abandons an in-flight
         # divulge; the module's thread self-revives instead of exiting.
         self._divulge_abandoned = False
+        # Telemetry spans held across calls on the same module thread:
+        # capture opens at begin_reconfig_capture and closes in encode;
+        # restore opens at the end of decode and closes in end_restore.
+        self._capture_span = telemetry.NOOP_SPAN
+        self._restore_span = telemetry.NOOP_SPAN
 
         # --- module attributes from the MIL spec (read-only config) ---
         self.config: Dict[str, str] = {}
@@ -213,6 +218,9 @@ class MH:
         self.capturestack = True
         self._active_point = point
         self._captured = StackState()
+        self._capture_span = telemetry.span(
+            "mh.capture", module=self.module, point=point
+        )
 
     def capture(self, procedure: str, fmt: str, *values: object) -> None:
         """The paper's ``mh_capture(fmt, location, vars...)``.
@@ -246,22 +254,29 @@ class MH:
         """
         if not self.capturestack:
             raise CaptureError("encode() called outside a capture sequence")
-        heap_image = self._capture_heap()
-        state = ProcessState(
-            module=self.module,
-            stack=self._captured,
-            statics=dict(self.statics),
-            heap={
-                "image": heap_image.to_abstract(),
-                "files": self.files.capture(),
-            },
-            reconfig_point=self._active_point,
-            source_machine=self.machine.name if self.machine else "",
-            status="clone",
-        )
-        packet = state.to_bytes(self.machine)
+        with telemetry.span("mh.encode", module=self.module) as enc_span:
+            heap_image = self._capture_heap()
+            state = ProcessState(
+                module=self.module,
+                stack=self._captured,
+                statics=dict(self.statics),
+                heap={
+                    "image": heap_image.to_abstract(),
+                    "files": self.files.capture(),
+                },
+                reconfig_point=self._active_point,
+                source_machine=self.machine.name if self.machine else "",
+                status="clone",
+            )
+            packet = state.to_bytes(self.machine)
+            enc_span.set(bytes=len(packet), frames=len(self._captured))
+        self._capture_span.set(
+            bytes=len(packet), frames=len(self._captured)
+        ).close()
+        self._capture_span = telemetry.NOOP_SPAN
         self.outgoing_packet = packet
         self.stats["packets_encoded"] += 1
+        telemetry.count("mh.packets_encoded", key=self.module)
         self.capturestack = False
         suppressed = self._suppress_divulge
         failure = self.divulge_failed
@@ -273,6 +288,11 @@ class MH:
         if suppressed:
             self._suppress_divulge = False
             self.divulge_failed = failure
+            telemetry.event(
+                "mh.divulge_suppressed",
+                module=self.module,
+                cause=type(failure).__name__ if failure is not None else "drop",
+            )
             with self._divulge_lock:
                 on_failure = self._failure_callback
             if failure is not None and on_failure is not None:
@@ -307,28 +327,33 @@ class MH:
             self.incoming_packet = None  # drop: the state packet is lost
         if self.incoming_packet is None:
             raise RestoreError(f"module {self.module!r} is a clone but has no state packet")
-        state = ProcessState.from_bytes(self.incoming_packet, self.machine)
-        if state.module != self.module:
-            raise RestoreError(
-                f"state packet is for module {state.module!r}, this is {self.module!r}"
-            )
-        # Frames parse lazily; force them through the target-machine check
-        # here, before any state is installed, so an unrepresentable value
-        # refuses the whole packet with nothing half-restored.
-        state.stack.materialize()
-        self._restore_stack = state.stack
-        self._active_point = state.reconfig_point
-        self.statics.update(state.statics)
-        heap_blob = state.heap
-        image_raw = heap_blob.get("image") if isinstance(heap_blob, dict) else None
-        if image_raw is not None:
-            restored = self._heap_codec.restore(HeapImage.from_abstract(image_raw))
-            for name, value in restored.items():
-                hook = self._heap_hooks.get(name)
-                self.heap[name] = hook[1](value) if hook else value
-        files_raw = heap_blob.get("files") if isinstance(heap_blob, dict) else None
-        if files_raw:
-            self.files.restore(list(files_raw))
+        with telemetry.span(
+            "mh.decode", module=self.module, bytes=len(self.incoming_packet)
+        ):
+            state = ProcessState.from_bytes(self.incoming_packet, self.machine)
+            if state.module != self.module:
+                raise RestoreError(
+                    f"state packet is for module {state.module!r}, this is {self.module!r}"
+                )
+            # Frames parse lazily; force them through the target-machine check
+            # here, before any state is installed, so an unrepresentable value
+            # refuses the whole packet with nothing half-restored.
+            state.stack.materialize()
+            self._restore_stack = state.stack
+            self._active_point = state.reconfig_point
+            self.statics.update(state.statics)
+            heap_blob = state.heap
+            image_raw = heap_blob.get("image") if isinstance(heap_blob, dict) else None
+            if image_raw is not None:
+                restored = self._heap_codec.restore(HeapImage.from_abstract(image_raw))
+                for name, value in restored.items():
+                    hook = self._heap_hooks.get(name)
+                    self.heap[name] = hook[1](value) if hook else value
+            files_raw = heap_blob.get("files") if isinstance(heap_blob, dict) else None
+            if files_raw:
+                self.files.restore(list(files_raw))
+        telemetry.count("mh.packets_decoded", key=self.module)
+        self._restore_span = telemetry.span("mh.restore", module=self.module)
         self.restoring = True
 
     def restore(self, procedure: str) -> List[object]:
@@ -377,7 +402,10 @@ class MH:
         clone is from this instant an ordinary reconfigurable module.
         """
         self.restoring = False
+        span = self._restore_span
+        self._restore_span = telemetry.NOOP_SPAN
         if self._restore_stack is not None and len(self._restore_stack):
+            span.set(error="RestoreError").close()
             raise RestoreError(
                 f"{len(self._restore_stack)} frame(s) left unrestored — the "
                 f"rebuilt call chain is shallower than the captured stack"
@@ -385,6 +413,7 @@ class MH:
         self._restore_stack = None
         self._status = "original"
         self.restored.set()
+        span.set(frames=self.stats["frames_restored"]).close()
 
     # ------------------------------------------------------------------
     # Helpers used by transformer-generated code
@@ -512,6 +541,12 @@ class MH:
             self._divulge_abandoned = False
             self._divulge_callback = None
             self._failure_callback = None
+        # Spans from the interrupted capture/restore must not leak into
+        # the revival's restore sequence.
+        self._capture_span.close()
+        self._capture_span = telemetry.NOOP_SPAN
+        self._restore_span.close()
+        self._restore_span = telemetry.NOOP_SPAN
 
     def init(self, *_args) -> None:
         """The paper's ``mh_init``: kept for source-level fidelity (no-op)."""

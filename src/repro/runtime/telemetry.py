@@ -1,0 +1,432 @@
+"""Flight recorder for reconfiguration: spans, counters, and an event log.
+
+The paper's economic argument is that *preparing* a module for
+replacement costs almost nothing at steady state ("the run-time cost is
+merely that of periodically testing the flags") while reconfiguration
+itself is a short, bounded interruption.  This module makes both halves
+of that claim observable:
+
+- **Trace spans.**  Every coordinator stage (``clone_build``,
+  ``signal``, ``wait_point``, ``rebind``, ``start_clone``,
+  ``health_check``, ``commit``/``rollback``), every MH
+  capture/encode/decode/restore, every TCP frame, and every module load
+  opens a :class:`Span` with monotonic timestamps and a parent link, so
+  a whole ``replace()`` renders as one tree (``python -m
+  repro.tools.stats trace.jsonl --tree``).
+- **Counters and gauges.**  Bus messages routed/delivered/dropped per
+  binding, queue-depth high-water marks, routing-cache rebuilds
+  (= cache misses), fault-injection fires, retries, rollbacks.
+- **A bounded ring-buffer event log** (completed spans + point events)
+  with JSON-lines export keyed by a reconfiguration id, so a failed
+  chaos run dumps the exact interleaving that killed it next to the
+  ``FaultPlan`` schedule.
+
+Overhead discipline
+-------------------
+
+The recorder is a single module-global, ``recorder``, which is ``None``
+when telemetry is disabled (the default).  Hot code guards every
+instrumentation site with::
+
+    rec = telemetry.recorder
+    if rec is not None:
+        rec.count("bus.delivered", key=endpoint)
+
+so the disabled cost is one attribute load plus one branch — the same
+idiom as :mod:`repro.runtime.faults`.  The bus goes one step further:
+its per-message counters are compiled into the routing table at rebuild
+time (see ``SoftwareBus._rebuild_routing``), so the disabled ``route()``
+fast path carries **zero** added instructions.  Consequence: enable
+telemetry *before* launching an application (or touch the topology
+afterwards) for bus counters to appear.  ``bench_o1_telemetry_overhead``
+proves the disabled-mode overhead bound.
+
+Threading model
+---------------
+
+Span parenting is thread-local (nested spans on one thread form a
+chain), with one escape hatch: a span opened with ``ambient=True``
+advertises itself process-globally as the current reconfiguration root,
+so spans opened by *other* threads with no local parent — the old
+module's capture/encode, the clone's decode/restore, TCP frame
+handlers — attach to the in-flight ``replace()`` tree and inherit its
+reconfiguration id.  One reconfiguration at a time is in flight per
+coordinator, matching the paper's sequential scripts.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from collections import deque
+from typing import IO, Any, Deque, Dict, List, Optional, Tuple, Union
+
+__all__ = [
+    "FlightRecorder",
+    "Span",
+    "NOOP_SPAN",
+    "recorder",
+    "enable",
+    "disable",
+    "enabled",
+    "span",
+    "count",
+    "gauge_max",
+    "event",
+    "next_reconfiguration_id",
+]
+
+#: Reconfiguration ids are process-unique and independent of whether a
+#: recorder is installed: ``ReconfigurationAborted`` carries one even
+#: when telemetry is off.
+_recon_ids = itertools.count(1)
+
+
+def next_reconfiguration_id() -> str:
+    return "rc-%04d" % next(_recon_ids)
+
+
+class Span:
+    """A started span.  Closing it appends a record to the event log.
+
+    Usable as a context manager (the common case) or held and closed
+    manually (``mh.capture`` opens at ``begin_reconfig_capture`` and
+    closes inside ``encode``, on the same module thread).
+    """
+
+    __slots__ = (
+        "_recorder",
+        "sid",
+        "parent",
+        "name",
+        "recon",
+        "attrs",
+        "thread",
+        "t0",
+        "t1",
+        "_ambient_prev",
+        "_restore_ambient",
+    )
+
+    def __init__(
+        self,
+        recorder: "FlightRecorder",
+        name: str,
+        *,
+        recon: Optional[str] = None,
+        parent: Optional[int] = None,
+        ambient: bool = False,
+        attrs: Optional[Dict[str, Any]] = None,
+    ):
+        self._recorder = recorder
+        self.sid = next(recorder._ids)
+        self.name = name
+        self.attrs: Dict[str, Any] = attrs or {}
+        self.thread = threading.current_thread().name
+        self.t1: Optional[float] = None
+
+        stack = recorder._stack()
+        if parent is not None:
+            self.parent: Optional[int] = parent
+        elif stack:
+            self.parent = stack[-1].sid
+        else:
+            current = recorder._ambient
+            self.parent = current[1] if current is not None else None
+
+        if recon is not None:
+            self.recon: Optional[str] = recon
+        elif stack:
+            self.recon = stack[-1].recon
+        else:
+            current = recorder._ambient
+            self.recon = current[0] if current is not None else None
+
+        self._restore_ambient = ambient
+        if ambient:
+            self._ambient_prev = recorder._ambient
+            recorder._ambient = (self.recon, self.sid)
+        else:
+            self._ambient_prev = None
+        stack.append(self)
+        self.t0 = time.monotonic()
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes mid-flight; returns self for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    def close(self) -> None:
+        if self.t1 is not None:  # idempotent
+            return
+        self.t1 = time.monotonic()
+        rec = self._recorder
+        stack = rec._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        elif self in stack:  # closed out of order; be forgiving
+            stack.remove(self)
+        if self._restore_ambient:
+            rec._ambient = self._ambient_prev
+        rec._events.append(
+            {
+                "type": "span",
+                "sid": self.sid,
+                "parent": self.parent,
+                "name": self.name,
+                "recon": self.recon,
+                "thread": self.thread,
+                "t0": self.t0,
+                "t1": self.t1,
+                "ms": (self.t1 - self.t0) * 1000.0,
+                "attrs": self.attrs,
+            }
+        )
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self.close()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "open" if self.t1 is None else "closed"
+        return f"<Span {self.name!r} sid={self.sid} parent={self.parent} {state}>"
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while telemetry is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NoopSpan":
+        return self
+
+    def close(self) -> None:
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<NoopSpan>"
+
+
+NOOP_SPAN = _NoopSpan()
+
+_CounterKey = Tuple[str, Optional[str]]
+
+
+class FlightRecorder:
+    """Process-global trace-span + counter + event-log sink.
+
+    The event log is a bounded ring (``capacity`` most recent records):
+    old traffic falls off the back, the reconfiguration that just failed
+    stays in.  Counters and gauges are unbounded but tiny (one slot per
+    name/key pair) and survive ring overflow.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        self.capacity = capacity
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._events: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+        self._counters: Dict[_CounterKey, int] = {}
+        self._gauges: Dict[_CounterKey, float] = {}
+        self._tls = threading.local()
+        #: (recon_id, root span id) of the in-flight reconfiguration.
+        self._ambient: Optional[Tuple[Optional[str], int]] = None
+
+    # -- spans ---------------------------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def span(
+        self,
+        name: str,
+        *,
+        recon: Optional[str] = None,
+        parent: Optional[int] = None,
+        ambient: bool = False,
+        **attrs: Any,
+    ) -> Span:
+        """Open (and start) a span.  Close it to record it."""
+        return Span(self, name, recon=recon, parent=parent, ambient=ambient, attrs=attrs)
+
+    # -- counters / gauges ---------------------------------------------
+
+    def count(self, name: str, n: int = 1, key: Optional[str] = None) -> None:
+        k = (name, key)
+        with self._lock:
+            self._counters[k] = self._counters.get(k, 0) + n
+
+    def gauge_max(self, name: str, value: float, key: Optional[str] = None) -> None:
+        """High-water-mark gauge: keeps the maximum value ever seen."""
+        k = (name, key)
+        with self._lock:
+            if value > self._gauges.get(k, float("-inf")):
+                self._gauges[k] = value
+
+    def counters(self) -> Dict[_CounterKey, int]:
+        with self._lock:
+            return dict(self._counters)
+
+    def gauges(self) -> Dict[_CounterKey, float]:
+        with self._lock:
+            return dict(self._gauges)
+
+    def counter(self, name: str, key: Optional[str] = None) -> int:
+        with self._lock:
+            return self._counters.get((name, key), 0)
+
+    def counter_total(self, name: str) -> int:
+        """Sum of a counter across all keys."""
+        with self._lock:
+            return sum(v for (n, _), v in self._counters.items() if n == name)
+
+    # -- events --------------------------------------------------------
+
+    def event(self, kind: str, *, recon: Optional[str] = None, **fields: Any) -> None:
+        """Record a point event (fault fired, abort, crash, ...)."""
+        if recon is None:
+            stack = self._stack()
+            if stack:
+                recon = stack[-1].recon
+            else:
+                current = self._ambient
+                recon = current[0] if current is not None else None
+        self._events.append(
+            {
+                "type": "event",
+                "kind": kind,
+                "recon": recon,
+                "thread": threading.current_thread().name,
+                "t": time.monotonic(),
+                "attrs": fields,
+            }
+        )
+
+    def events(self, recon: Optional[str] = None) -> List[Dict[str, Any]]:
+        records = list(self._events)
+        if recon is not None:
+            records = [r for r in records if r.get("recon") == recon]
+        return records
+
+    def spans(self, recon: Optional[str] = None, name: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Completed span records, optionally filtered."""
+        records = [r for r in self.events(recon) if r["type"] == "span"]
+        if name is not None:
+            records = [r for r in records if r["name"] == name]
+        return records
+
+    # -- export --------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Counters + gauges with ``name{key}``-style string keys."""
+
+        def flatten(table: Dict[_CounterKey, Any]) -> Dict[str, Any]:
+            out: Dict[str, Any] = {}
+            for (name, key), value in sorted(table.items(), key=lambda kv: (kv[0][0], kv[0][1] or "")):
+                out[name if key is None else f"{name}{{{key}}}"] = value
+            return out
+
+        return {"counters": flatten(self.counters()), "gauges": flatten(self.gauges())}
+
+    def export_jsonl(
+        self, target: Union[str, "IO[str]"], recon: Optional[str] = None
+    ) -> int:
+        """Dump the event log (oldest first) as JSON lines.
+
+        Ends with one ``{"type": "counters", ...}`` record holding the
+        counter/gauge snapshot.  Returns the number of lines written.
+        ``target`` is a path or an open text file.
+        """
+        records = self.events(recon)
+        records.append({"type": "counters", **self.snapshot()})
+        if hasattr(target, "write"):
+            out = target
+            close = False
+        else:
+            out = open(target, "w", encoding="utf-8")
+            close = True
+        try:
+            for record in records:
+                out.write(json.dumps(record, default=repr) + "\n")
+        finally:
+            if close:
+                out.close()
+        return len(records)
+
+
+#: THE flight recorder, or ``None`` when telemetry is disabled.  Hot
+#: paths read this exactly once per site: one attribute load + branch.
+recorder: Optional[FlightRecorder] = None
+
+
+def enable(capacity: int = 4096) -> FlightRecorder:
+    """Install (and return) a fresh recorder, replacing any current one.
+
+    Enable *before* launching a bus so that per-message bus counters are
+    compiled into its routing table (see module docstring).
+    """
+    global recorder
+    recorder = FlightRecorder(capacity=capacity)
+    return recorder
+
+
+def disable() -> Optional[FlightRecorder]:
+    """Uninstall the recorder; returns it so callers can still export."""
+    global recorder
+    current, recorder = recorder, None
+    return current
+
+
+def enabled() -> bool:
+    return recorder is not None
+
+
+# -- module-level conveniences (each is a no-op when disabled) ---------
+
+
+def span(
+    name: str,
+    *,
+    recon: Optional[str] = None,
+    parent: Optional[int] = None,
+    ambient: bool = False,
+    **attrs: Any,
+) -> Union[Span, _NoopSpan]:
+    rec = recorder
+    if rec is None:
+        return NOOP_SPAN
+    return Span(rec, name, recon=recon, parent=parent, ambient=ambient, attrs=attrs)
+
+
+def count(name: str, n: int = 1, key: Optional[str] = None) -> None:
+    rec = recorder
+    if rec is not None:
+        rec.count(name, n, key=key)
+
+
+def gauge_max(name: str, value: float, key: Optional[str] = None) -> None:
+    rec = recorder
+    if rec is not None:
+        rec.gauge_max(name, value, key=key)
+
+
+def event(kind: str, *, recon: Optional[str] = None, **fields: Any) -> None:
+    rec = recorder
+    if rec is not None:
+        rec.event(kind, recon=recon, **fields)

@@ -5,10 +5,14 @@ Usage::
     python -m repro.tools.runapp CONFIG.mil [--sources DIR]
         [--hosts alpha:sparc-like beta:vax-like]
         [--move INSTANCE:MACHINE:AFTER_SECONDS] [--run-for SECONDS]
+        [--stats] [--trace-out trace.jsonl]
 
 Module specs whose ``source`` is a relative path are loaded from
 ``--sources`` (default: the configuration file's directory).  The bus
-trace is printed on exit.
+trace is printed on exit.  ``--stats`` enables the telemetry flight
+recorder for the run and prints the counter snapshot on exit
+(Prometheus text exposition); ``--trace-out`` additionally dumps the
+event log as JSON lines for ``python -m repro.tools.stats``.
 """
 
 from __future__ import annotations
@@ -22,7 +26,9 @@ from repro.bus.bus import SoftwareBus
 from repro.bus.mil import parse_mil
 from repro.errors import ReproError
 from repro.reconfig.scripts import move_module
+from repro.runtime import telemetry
 from repro.state.machine import MACHINES
+from repro.tools.stats import prometheus_text
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -46,11 +52,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--run-for", type=float, default=5.0)
     parser.add_argument("--sleep-scale", type=float, default=1.0)
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="enable the telemetry flight recorder; print the counter "
+        "snapshot on exit",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="with --stats: dump the telemetry event log (JSON lines) "
+        "to this path on exit",
+    )
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    recorder = telemetry.enable() if args.stats or args.trace_out else None
     with open(args.config, "r", encoding="utf-8") as handle:
         text = handle.read()
     sources_dir = args.sources or os.path.dirname(os.path.abspath(args.config))
@@ -94,6 +113,14 @@ def main(argv=None) -> int:
         print("trace:")
         for line in bus.trace:
             print(f"  {line}")
+        if recorder is not None:
+            telemetry.disable()
+            if args.trace_out:
+                recorder.export_jsonl(args.trace_out)
+                print(f"telemetry event log written to {args.trace_out}")
+            print("telemetry counters:")
+            for line in prometheus_text(recorder.snapshot()).splitlines():
+                print(f"  {line}")
     return 0
 
 

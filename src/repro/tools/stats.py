@@ -1,0 +1,188 @@
+"""Render a telemetry event-log dump (``telemetry.export_jsonl``).
+
+::
+
+    python -m repro.tools.stats trace.jsonl            # table + counters
+    python -m repro.tools.stats trace.jsonl --tree     # + span trees
+    python -m repro.tools.stats trace.jsonl --recon rc-0001
+
+Prints a per-stage latency breakdown (aggregated over span names), the
+point events, and a Prometheus-style text exposition of the counter and
+gauge snapshot the dump ends with.  ``--tree`` additionally renders each
+reconfiguration's span tree with indentation, which is the fastest way
+to see where the milliseconds of a ``replace()`` went.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from typing import Any, Dict, List, Optional, Tuple
+
+_METRIC_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def load_records(path: str) -> List[Dict[str, Any]]:
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from exc
+    return records
+
+
+def split_records(
+    records: List[Dict[str, Any]], recon: Optional[str] = None
+) -> Tuple[List[Dict[str, Any]], List[Dict[str, Any]], Dict[str, Any]]:
+    """-> (spans, events, last counters record)."""
+    spans: List[Dict[str, Any]] = []
+    events: List[Dict[str, Any]] = []
+    counters: Dict[str, Any] = {}
+    for record in records:
+        kind = record.get("type")
+        if kind == "counters":
+            counters = record
+            continue
+        if recon is not None and record.get("recon") != recon:
+            continue
+        if kind == "span":
+            spans.append(record)
+        elif kind == "event":
+            events.append(record)
+    return spans, events, counters
+
+
+def latency_table(spans: List[Dict[str, Any]]) -> str:
+    """Per-span-name latency breakdown, widest total first."""
+    by_name: Dict[str, List[float]] = {}
+    for span in spans:
+        by_name.setdefault(span["name"], []).append(float(span["ms"]))
+    if not by_name:
+        return "(no spans)"
+    rows = sorted(
+        ((name, ms) for name, ms in by_name.items()),
+        key=lambda item: -sum(item[1]),
+    )
+    width = max(len("span"), max(len(name) for name in by_name))
+    lines = [
+        f"{'span':<{width}}  {'count':>5}  {'total_ms':>9}  "
+        f"{'mean_ms':>8}  {'max_ms':>8}"
+    ]
+    for name, samples in rows:
+        total = sum(samples)
+        lines.append(
+            f"{name:<{width}}  {len(samples):>5}  {total:>9.3f}  "
+            f"{total / len(samples):>8.3f}  {max(samples):>8.3f}"
+        )
+    return "\n".join(lines)
+
+
+def render_tree(spans: List[Dict[str, Any]]) -> str:
+    """Indented span trees (one per root), children in start order."""
+    children: Dict[Optional[int], List[Dict[str, Any]]] = {}
+    sids = {span["sid"] for span in spans}
+    for span in spans:
+        parent = span.get("parent")
+        if parent not in sids:
+            parent = None  # parent fell off the ring; promote to root
+        children.setdefault(parent, []).append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda s: s["t0"])
+
+    lines: List[str] = []
+
+    def walk(span: Dict[str, Any], depth: int) -> None:
+        attrs = span.get("attrs") or {}
+        detail = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+        recon = span.get("recon")
+        tag = f" [{recon}]" if depth == 0 and recon else ""
+        lines.append(
+            f"{'  ' * depth}{span['name']}{tag}  {span['ms']:.3f}ms"
+            f"  ({span['thread']}){('  ' + detail) if detail else ''}"
+        )
+        for child in children.get(span["sid"], []):
+            walk(child, depth + 1)
+
+    for root in children.get(None, []):
+        walk(root, 0)
+    return "\n".join(lines) if lines else "(no spans)"
+
+
+def render_events(events: List[Dict[str, Any]]) -> str:
+    lines: List[str] = []
+    for record in events:
+        attrs = record.get("attrs") or {}
+        detail = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+        recon = record.get("recon")
+        lines.append(
+            f"{record['kind']:<24} {recon or '-':<8} "
+            f"({record['thread']}){('  ' + detail) if detail else ''}"
+        )
+    return "\n".join(lines) if lines else "(no events)"
+
+
+def _metric_name(flat_key: str, suffix: str) -> str:
+    """``bus.delivered{sensor.out}`` -> ``repro_bus_delivered_total{key="sensor.out"}``."""
+    if "{" in flat_key:
+        name, _, label = flat_key.partition("{")
+        label = label.rstrip("}")
+        return f"repro_{_METRIC_RE.sub('_', name)}{suffix}{{key=\"{label}\"}}"
+    return f"repro_{_METRIC_RE.sub('_', flat_key)}{suffix}"
+
+
+def prometheus_text(snapshot: Dict[str, Any]) -> str:
+    """Prometheus text exposition of a ``FlightRecorder.snapshot()``."""
+    lines: List[str] = []
+    for flat_key, value in snapshot.get("counters", {}).items():
+        lines.append(f"{_metric_name(flat_key, '_total')} {value}")
+    for flat_key, value in snapshot.get("gauges", {}).items():
+        lines.append(f"{_metric_name(flat_key, '')} {value}")
+    return "\n".join(lines) if lines else "(no counters)"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.stats",
+        description="Per-stage latency table + Prometheus-style counters "
+        "from a telemetry JSON-lines dump.",
+    )
+    parser.add_argument("trace", help="path to a telemetry .jsonl dump")
+    parser.add_argument(
+        "--recon", help="only spans/events of this reconfiguration id"
+    )
+    parser.add_argument(
+        "--tree", action="store_true", help="also render the span tree(s)"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        records = load_records(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    spans, events, counters = split_records(records, recon=args.recon)
+    print(f"# span latency breakdown ({args.trace})")
+    print(latency_table(spans))
+    if args.tree:
+        print()
+        print("# span tree")
+        print(render_tree(spans))
+    print()
+    print("# events")
+    print(render_events(events))
+    print()
+    print("# counters")
+    print(prometheus_text(counters))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

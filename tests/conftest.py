@@ -6,7 +6,16 @@ import time
 
 import pytest
 
+from repro.runtime import telemetry
 from repro.state.machine import MACHINES
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_isolation():
+    """Never let one test's flight recorder leak into the next."""
+    yield
+    if telemetry.recorder is not None:
+        telemetry.disable()
 
 
 def wait_until(predicate, timeout: float = 10.0, interval: float = 0.005):

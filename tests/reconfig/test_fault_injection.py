@@ -37,6 +37,7 @@ from repro.errors import (
     ReconfigurationTimeout,
 )
 from repro.reconfig.scripts import move_module
+from repro.runtime import telemetry
 from repro.runtime.faults import FaultPlan, RetryPolicy, fault_plan
 from repro.state.machine import MACHINES
 
@@ -70,14 +71,30 @@ CLONE_SIDE = ("mh.decode", "mh.restore")
 IN_PROCESS_SITES = tuple(RETRYABLE) + DIVULGE_SIDE + CLONE_SIDE
 
 
+@pytest.fixture(autouse=True)
+def flight_recorder():
+    """Record every chaos transaction so a red run ships its event log.
+
+    Installed before the bus launches (the ``kv`` fixture runs later),
+    so per-message bus counters are compiled into the routing table too.
+    """
+    recorder = telemetry.enable(capacity=8192)
+    yield recorder
+    telemetry.disable()
+
+
 @contextmanager
 def artifact_on_failure(plan: FaultPlan, name: str):
-    """Dump the plan's schedule + firing log if the block fails."""
+    """Dump the plan's schedule + firing log (and the telemetry event
+    log, when a recorder is installed) if the block fails."""
     try:
         yield
     except BaseException:
         ARTIFACTS.mkdir(parents=True, exist_ok=True)
         plan.dump(str(ARTIFACTS / f"{name}.json"))
+        recorder = telemetry.recorder
+        if recorder is not None:
+            recorder.export_jsonl(str(ARTIFACTS / f"{name}.events.jsonl"))
         raise
 
 

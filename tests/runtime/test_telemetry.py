@@ -1,0 +1,193 @@
+"""Unit tests for the telemetry flight recorder itself.
+
+Span parenting (thread-local and ambient), counters/gauges, the bounded
+ring, JSON-lines export, and — most importantly — the disabled-mode
+contract: module-level helpers must be no-ops that allocate nothing.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import tracemalloc
+
+import pytest
+
+from repro.runtime import telemetry
+
+
+@pytest.fixture
+def recorder():
+    rec = telemetry.enable(capacity=64)
+    yield rec
+    telemetry.disable()
+
+
+class TestSpans:
+    def test_nested_spans_parent_on_one_thread(self, recorder):
+        with telemetry.span("outer") as outer:
+            with telemetry.span("inner") as inner:
+                assert inner.parent == outer.sid
+        spans = {s["name"]: s for s in recorder.spans()}
+        assert spans["inner"]["parent"] == spans["outer"]["sid"]
+        assert spans["outer"]["parent"] is None
+        # inner closed first: the log is ordered by completion
+        assert [s["name"] for s in recorder.spans()] == ["inner", "outer"]
+
+    def test_span_records_duration_and_attrs(self, recorder):
+        span = telemetry.span("work", module="compute")
+        span.set(bytes=128).close()
+        span.close()  # idempotent
+        (record,) = recorder.spans(name="work")
+        assert record["attrs"] == {"module": "compute", "bytes": 128}
+        assert record["ms"] >= 0.0
+        assert record["t1"] >= record["t0"]
+        assert len(recorder.spans()) == 1
+
+    def test_exception_marks_span_with_error(self, recorder):
+        with pytest.raises(ValueError):
+            with telemetry.span("doomed"):
+                raise ValueError("boom")
+        (record,) = recorder.spans(name="doomed")
+        assert record["attrs"]["error"] == "ValueError"
+
+    def test_ambient_root_adopts_other_threads(self, recorder):
+        """Spans on foreign threads parent to the in-flight replace root."""
+        seen = {}
+
+        def worker():
+            with telemetry.span("mh.capture") as span:
+                seen["parent"] = span.parent
+                seen["recon"] = span.recon
+
+        with telemetry.span("reconfig.replace", recon="rc-9999", ambient=True) as root:
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["parent"] == root.sid
+        assert seen["recon"] == "rc-9999"
+        # the ambient slot is restored once the root closes
+        with telemetry.span("later") as orphan:
+            assert orphan.parent is None
+            assert orphan.recon is None
+
+    def test_events_inherit_recon_from_ambient(self, recorder):
+        with telemetry.span("reconfig.replace", recon="rc-0042", ambient=True):
+            telemetry.event("fault.fired", site="mh.encode")
+        records = recorder.events(recon="rc-0042")
+        (record,) = [r for r in records if r["type"] == "event"]
+        assert record["kind"] == "fault.fired"
+        assert record["attrs"] == {"site": "mh.encode"}
+
+
+class TestCounters:
+    def test_counters_by_key_and_total(self, recorder):
+        telemetry.count("bus.delivered", key="sensor.out")
+        telemetry.count("bus.delivered", n=4, key="sensor.out")
+        telemetry.count("bus.delivered", key="compute.avg")
+        assert recorder.counter("bus.delivered", key="sensor.out") == 5
+        assert recorder.counter("bus.delivered", key="compute.avg") == 1
+        assert recorder.counter_total("bus.delivered") == 6
+        assert recorder.counter("bus.delivered") == 0  # key=None is distinct
+
+    def test_gauge_keeps_high_water_mark(self, recorder):
+        telemetry.gauge_max("queue.hwm", 3, key="q")
+        telemetry.gauge_max("queue.hwm", 9, key="q")
+        telemetry.gauge_max("queue.hwm", 4, key="q")
+        assert recorder.gauges()[("queue.hwm", "q")] == 9
+
+    def test_snapshot_flattens_keys(self, recorder):
+        telemetry.count("reconfig.commits")
+        telemetry.count("bus.routed", n=2, key="sensor.out")
+        telemetry.gauge_max("queue.hwm", 7, key="display.inp")
+        snapshot = recorder.snapshot()
+        assert snapshot["counters"] == {
+            "bus.routed{sensor.out}": 2,
+            "reconfig.commits": 1,
+        }
+        assert snapshot["gauges"] == {"queue.hwm{display.inp}": 7}
+
+    def test_counters_survive_ring_overflow(self, recorder):
+        for i in range(recorder.capacity * 2):
+            telemetry.count("spam")
+            telemetry.event("tick", i=i)
+        assert len(recorder.events()) == recorder.capacity
+        assert recorder.counter("spam") == recorder.capacity * 2
+        # ring keeps the *newest* records
+        assert recorder.events()[-1]["attrs"]["i"] == recorder.capacity * 2 - 1
+
+
+class TestExport:
+    def test_jsonl_round_trip_with_trailing_counters(self, recorder, tmp_path):
+        with telemetry.span("stage.commit", recon="rc-0001"):
+            pass
+        telemetry.event("reconfig.abort", recon="rc-0002", stage="rebind")
+        telemetry.count("reconfig.commits")
+        path = tmp_path / "trace.jsonl"
+        lines_written = recorder.export_jsonl(str(path))
+        lines = path.read_text().splitlines()
+        assert len(lines) == lines_written == 3
+        records = [json.loads(line) for line in lines]
+        assert [r["type"] for r in records] == ["span", "event", "counters"]
+        assert records[-1]["counters"] == {"reconfig.commits": 1}
+
+    def test_jsonl_recon_filter_and_file_target(self, recorder):
+        with telemetry.span("stage.commit", recon="rc-0001"):
+            pass
+        with telemetry.span("stage.rollback", recon="rc-0002"):
+            pass
+        out = io.StringIO()
+        recorder.export_jsonl(out, recon="rc-0002")
+        records = [json.loads(line) for line in out.getvalue().splitlines()]
+        assert [r.get("name") for r in records[:-1]] == ["stage.rollback"]
+
+    def test_unjsonable_attrs_fall_back_to_repr(self, recorder):
+        telemetry.event("odd", obj=object())
+        out = io.StringIO()
+        recorder.export_jsonl(out)
+        assert "object object" in out.getvalue()
+
+
+class TestDisabled:
+    def test_helpers_are_noops(self):
+        assert telemetry.recorder is None
+        assert not telemetry.enabled()
+        assert telemetry.span("anything", key="value") is telemetry.NOOP_SPAN
+        telemetry.count("bus.delivered", key="x")  # must not raise
+        telemetry.gauge_max("queue.hwm", 5)
+        telemetry.event("fault.fired", site="mh.encode")
+        with telemetry.span("nested") as span:
+            assert span.set(a=1) is telemetry.NOOP_SPAN
+            span.close()
+
+    def test_disabled_guard_allocates_nothing(self):
+        """The hot-site idiom must not allocate when telemetry is off."""
+        assert telemetry.recorder is None
+
+        def guarded_site():
+            rec = telemetry.recorder
+            if rec is not None:
+                rec.count("never")
+
+        guarded_site()  # warm up
+        tracemalloc.start()
+        try:
+            before = tracemalloc.take_snapshot()
+            for _ in range(1000):
+                guarded_site()
+            after = tracemalloc.take_snapshot()
+        finally:
+            tracemalloc.stop()
+        stats = after.compare_to(before, "lineno")
+        grown = sum(s.size_diff for s in stats if s.size_diff > 0)
+        # tracemalloc itself causes some churn; anything under a couple of
+        # objects' worth across 1000 calls means the guard is allocation-free
+        assert grown < 4096, f"disabled guard allocated {grown} bytes"
+
+    def test_reconfiguration_ids_flow_without_recorder(self):
+        assert telemetry.recorder is None
+        first = telemetry.next_reconfiguration_id()
+        second = telemetry.next_reconfiguration_id()
+        assert first != second
+        assert first.startswith("rc-")

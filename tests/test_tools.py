@@ -6,8 +6,10 @@ import sys
 import pytest
 
 from repro.apps.monitor import COMPUTE_SOURCE, MONITOR_MIL, SENSOR_SOURCE, DISPLAY_SOURCE
+from repro.runtime import telemetry
 from repro.tools.graph import main as graph_main
 from repro.tools.prepare import main as prepare_main
+from repro.tools.stats import main as stats_main
 
 
 @pytest.fixture
@@ -89,6 +91,58 @@ class TestGraphCli:
         assert graph_main([str(path)]) == 1
 
 
+class TestStatsCli:
+    @pytest.fixture
+    def trace(self, tmp_path):
+        """A small two-reconfiguration dump made with the real recorder."""
+        recorder = telemetry.enable(capacity=64)
+        try:
+            with telemetry.span(
+                "reconfig.replace", recon="rc-0001", ambient=True, instance="compute"
+            ):
+                with telemetry.span("stage.commit", instance="compute"):
+                    pass
+                telemetry.event("fault.fired", site="mh.encode", mode="delay")
+            with telemetry.span("reconfig.replace", recon="rc-0002", ambient=True):
+                with telemetry.span("stage.rollback"):
+                    pass
+            telemetry.count("bus.delivered", n=12, key="sensor.out")
+            telemetry.count("reconfig.commits")
+            telemetry.gauge_max("queue.hwm", 5, key="display.inp")
+            path = tmp_path / "trace.jsonl"
+            recorder.export_jsonl(str(path))
+        finally:
+            telemetry.disable()
+        return path
+
+    def test_latency_table_and_counters(self, trace, capsys):
+        assert stats_main([str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "span latency breakdown" in out
+        assert "reconfig.replace" in out and "stage.commit" in out
+        assert "fault.fired" in out
+        assert 'repro_bus_delivered_total{key="sensor.out"} 12' in out
+        assert "repro_reconfig_commits_total 1" in out
+        assert 'repro_queue_hwm{key="display.inp"} 5' in out
+
+    def test_tree_and_recon_filter(self, trace, capsys):
+        assert stats_main([str(trace), "--tree", "--recon", "rc-0001"]) == 0
+        out = capsys.readouterr().out
+        assert "reconfig.replace [rc-0001]" in out
+        assert "  stage.commit" in out
+        assert "rc-0002" not in out.split("# counters")[0]
+
+    def test_missing_file_errors(self, tmp_path, capsys):
+        assert stats_main([str(tmp_path / "nope.jsonl")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_garbage_line_reports_lineno(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "span"}\nnot json\n')
+        assert stats_main([str(path)]) == 1
+        assert "bad.jsonl:2" in capsys.readouterr().err
+
+
 @pytest.mark.slow
 class TestRunAppCli:
     def test_end_to_end_with_move(self, tmp_path):
@@ -120,3 +174,33 @@ class TestRunAppCli:
         assert result.returncode == 0, result.stderr
         assert "move of 'compute'" in result.stdout
         assert "alpha -> beta" in result.stdout
+
+    def test_stats_flag_prints_counters_and_dumps_trace(self, tmp_path):
+        (tmp_path / "compute.py").write_text(COMPUTE_SOURCE)
+        (tmp_path / "sensor.py").write_text(SENSOR_SOURCE)
+        (tmp_path / "display.py").write_text(DISPLAY_SOURCE)
+        (tmp_path / "monitor.mil").write_text(MONITOR_MIL)
+        trace_path = tmp_path / "trace.jsonl"
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.tools.runapp",
+                str(tmp_path / "monitor.mil"),
+                "--run-for",
+                "1.0",
+                "--sleep-scale",
+                "0.05",
+                "--stats",
+                "--trace-out",
+                str(trace_path),
+            ],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "telemetry counters:" in result.stdout
+        assert "repro_bus_delivered_total" in result.stdout
+        assert trace_path.exists()
+        assert stats_main([str(trace_path)]) == 0
