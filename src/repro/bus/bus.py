@@ -24,11 +24,13 @@ from repro.bus.spec import (
     InstanceSpec,
     ModuleSpec,
 )
+from repro.bus.transport import InprocTransport, Transport
 from repro.errors import (
     BindingError,
     BusError,
     InjectedFault,
     ReconfigTimeoutError,
+    TransportError,
     UnknownModuleError,
 )
 from repro.runtime import faults, telemetry
@@ -48,7 +50,14 @@ class _RouteEntry:
     broadcast can skip the wire round-trip without consulting profiles).
     """
 
-    __slots__ = ("sender_profile", "deliveries", "local_puts", "by_dest", "_wiring")
+    __slots__ = (
+        "sender_profile",
+        "deliveries",
+        "local_puts",
+        "by_dest",
+        "peers",
+        "_wiring",
+    )
 
     def __init__(self, sender_profile: Optional[MachineProfile]):
         self.sender_profile = sender_profile
@@ -58,11 +67,27 @@ class _RouteEntry:
         self.local_puts: Optional[List] = None
         # destination instance -> (queue.put, receiver_profile | None)
         self.by_dest: Dict[str, Tuple] = {}
-        # (destination instance, queue) per delivery; only consumed by
-        # telemetry instrumentation at rebuild time.
+        # (peer module-or-handle, peer interface) per delivery; consumed
+        # by the worker route push at rebuild time.
+        self.peers: List[Tuple] = []
+        # (destination instance, queue | None) per delivery; only
+        # consumed by telemetry instrumentation at rebuild time (None
+        # for remote deliveries, whose queue depth lives elsewhere).
         self._wiring: List[Tuple] = []
 
-    def add(self, peer: ModuleInstance, peer_if: str) -> None:
+    def add(self, peer, peer_if: str) -> None:
+        self.peers.append((peer, peer_if))
+        remote_put = getattr(peer, "remote_put", None)
+        if remote_put is not None:
+            # Remote peer: the bound callable encodes with the sender's
+            # profile and ships one transport event per message; the
+            # receiving host decodes under its own profile, so the
+            # delivery is an identity from the fan-out's point of view.
+            delivery = (remote_put(peer_if, self.sender_profile), None)
+            self.deliveries.append(delivery)
+            self.by_dest.setdefault(peer.name, delivery)
+            self._wiring.append((peer.name, None))
+            return
         receiver = peer.host.profile
         sender = self.sender_profile
         if (
@@ -104,31 +129,51 @@ class _RouteEntry:
         by_dest: Dict[str, Tuple] = {}
         first = True
         for (put, profile), (dest, queue) in zip(self.deliveries, self._wiring):
-            def counting(
-                message,
-                _put=put,
-                _queue=queue,
-                _rec=rec,
-                _key=endpoint,
-                _routed=first,
-            ):
-                if _routed:
-                    _rec.count("bus.routed", key=_key)
-                _put(message)
-                _rec.count("bus.delivered", key=_key)
-                _rec.gauge_max("queue.hwm", len(_queue), key=_queue.name)
+            if queue is None:
+                # Remote delivery: count it, but the receiving queue's
+                # depth is only observable in the remote host's own
+                # recorder — no hwm gauge here.
+                def counting(
+                    message, _put=put, _rec=rec, _key=endpoint, _routed=first
+                ):
+                    if _routed:
+                        _rec.count("bus.routed", key=_key)
+                    _put(message)
+                    _rec.count("bus.delivered", key=_key)
+
+            else:
+                def counting(
+                    message,
+                    _put=put,
+                    _queue=queue,
+                    _rec=rec,
+                    _key=endpoint,
+                    _routed=first,
+                ):
+                    if _routed:
+                        _rec.count("bus.routed", key=_key)
+                    _put(message)
+                    _rec.count("bus.delivered", key=_key)
+                    _rec.gauge_max("queue.hwm", len(_queue), key=_queue.name)
 
             wrapped.append((counting, profile))
             first = False
 
             if dest not in by_dest:
-                def directed(
-                    message, _put=put, _queue=queue, _rec=rec, _key=endpoint
-                ):
-                    _rec.count("bus.directed", key=_key)
-                    _put(message)
-                    _rec.count("bus.delivered", key=_key)
-                    _rec.gauge_max("queue.hwm", len(_queue), key=_queue.name)
+                if queue is None:
+                    def directed(message, _put=put, _rec=rec, _key=endpoint):
+                        _rec.count("bus.directed", key=_key)
+                        _put(message)
+                        _rec.count("bus.delivered", key=_key)
+
+                else:
+                    def directed(
+                        message, _put=put, _queue=queue, _rec=rec, _key=endpoint
+                    ):
+                        _rec.count("bus.directed", key=_key)
+                        _put(message)
+                        _rec.count("bus.delivered", key=_key)
+                        _rec.gauge_max("queue.hwm", len(_queue), key=_queue.name)
 
                 by_dest[dest] = (directed, profile)
         self.deliveries = wrapped
@@ -143,9 +188,22 @@ class SoftwareBus:
     ``sleep_scale`` is forwarded to every module's
     :class:`~repro.runtime.mh.SleepPolicy`: examples use 1.0 (the paper's
     wall-clock pacing), tests and benchmarks use 0.0.
+
+    ``workers`` > 0 attaches an owned process worker pool
+    (:class:`~repro.bus.procpool.ProcessTransport`), making
+    ``placement="worker"`` / ``"worker:<i>"`` available on
+    :meth:`add_module`; further transports attach via
+    :meth:`attach_transport`.  Modules placed on a transport appear in
+    the topology as ordinary instances — bindings, replacement, and
+    introspection treat them uniformly through their handles.
     """
 
-    def __init__(self, sleep_scale: float = 1.0):
+    def __init__(
+        self,
+        sleep_scale: float = 1.0,
+        workers: int = 0,
+        worker_architecture: str = "modern-64",
+    ):
         self.hosts = HostRegistry()
         self.module_specs: Dict[str, ModuleSpec] = {}
         self._instances: Dict[str, ModuleInstance] = {}
@@ -158,6 +216,47 @@ class SoftwareBus:
         self._sleep_policy = SleepPolicy(scale=sleep_scale)
         self.application_name = ""
         self.trace: List[str] = []  # reconfiguration/audit log
+        self._transports: Dict[str, Transport] = {}
+        self._owned_transports: List[Transport] = []
+        self._inproc = InprocTransport()
+        self._inproc.attach_bus(self)
+        self._transports[self._inproc.name] = self._inproc
+        if workers:
+            from repro.bus.procpool import ProcessTransport
+
+            self.attach_transport(
+                ProcessTransport(
+                    workers=workers,
+                    architecture=worker_architecture,
+                    sleep_scale=sleep_scale,
+                ),
+                owned=True,
+            )
+
+    def attach_transport(
+        self, transport, name: Optional[str] = None, owned: bool = False
+    ):
+        """Register a transport under ``name`` (default: its own name).
+
+        ``owned`` transports are closed by :meth:`shutdown`; shared ones
+        (one pool serving several buses, as the test suite does) are the
+        caller's to close.
+        """
+        key = name or transport.name
+        with self._lock:
+            if key in self._transports:
+                raise BusError(f"transport {key!r} already attached")
+            transport.attach_bus(self)
+            self._transports[key] = transport
+            if owned:
+                self._owned_transports.append(transport)
+        return transport
+
+    def transport(self, name: str):
+        transport = self._transports.get(name)
+        if transport is None:
+            raise BusError(f"no transport {name!r} attached")
+        return transport
 
     # ------------------------------------------------------------------
     # Hosts and module specifications
@@ -208,35 +307,75 @@ class SoftwareBus:
         state_packet: Optional[bytes] = None,
         start: bool = False,
         attributes: Optional[Dict[str, str]] = None,
-    ) -> ModuleInstance:
+        placement: Optional[str] = None,
+    ):
         """Create a module instance (the ``add`` half of ``mh_chg_obj``).
 
         ``attributes`` are per-*instance* attributes (from the
         application spec's instance line); they merge over the module
         spec's attributes and therefore survive replacement, since
         ``obj_cap`` reads the merged spec back.
+
+        ``placement`` selects where the instance executes:
+        ``None``/``"inproc"`` is today's thread-in-the-bus-process path;
+        ``"<transport>"`` lets the named transport pick a slot
+        (round-robin); ``"<transport>:<slot>"`` pins one (e.g.
+        ``"worker:0"``, ``"tcp:tcphost-1"``).  A ``placement`` attribute
+        on the (merged) spec supplies the default, so MIL instance lines
+        can place modules declaratively.
         """
         name = instance or spec.name
         if attributes:
             spec = spec.with_attributes(**attributes)
-        with self._lock:
-            if name in self._instances:
-                raise BusError(f"instance {name!r} already exists")
-            host = self.hosts.ensure(machine)
-            module = ModuleInstance(
-                name=name,
-                spec=spec,
-                host=host,
-                bus=self,
-                status=status,
-                sleep_policy=self._sleep_policy,
+        if placement is None:
+            placement = spec.attributes.get("placement") or None
+        if placement in (None, "", "inproc"):
+            with self._lock:
+                if name in self._instances:
+                    raise BusError(f"instance {name!r} already exists")
+                host = self.hosts.ensure(machine)
+                module = self._inproc.add_module(
+                    spec, name, host, status, state_packet, self._sleep_policy
+                )
+                self._instances[name] = module
+                self._invalidate_routing_locked()
+            self.trace.append(
+                f"add module {name} on {machine} (status={status})"
             )
-            if state_packet is not None:
-                module.mh.incoming_packet = state_packet
-            module.load()
-            self._instances[name] = module
-            self._routing_table = None
-        self.trace.append(f"add module {name} on {machine} (status={status})")
+        else:
+            tname, _, slot = placement.partition(":")
+            transport = self.transport(tname)
+            if transport is self._inproc:
+                raise BusError(
+                    f"placement {placement!r}: inproc takes no slot"
+                )
+            with self._lock:
+                if name in self._instances:
+                    raise BusError(f"instance {name!r} already exists")
+            # The placement round-trip runs outside the bus lock: it can
+            # block on a worker spawn, and tunneled deliveries from other
+            # remote modules must keep routing meanwhile.
+            module = transport.add_module(
+                spec,
+                instance=name,
+                status=status,
+                state_packet=state_packet,
+                slot=slot or None,
+            )
+            with self._lock:
+                if name in self._instances:
+                    try:
+                        module.discard()
+                    except (BusError, TransportError):
+                        pass
+                    raise BusError(f"instance {name!r} already exists")
+                self.hosts.adopt(module.host)
+                self._instances[name] = module
+                self._invalidate_routing_locked()
+            self.trace.append(
+                f"add module {name} on {module.host.name} "
+                f"via {tname} (status={status})"
+            )
         if start:
             self.start_module(name)
         return module
@@ -259,7 +398,11 @@ class SoftwareBus:
         with self._lock:
             module.state = ModuleState.REMOVED
             del self._instances[instance]
-            self._routing_table = None
+            self._invalidate_routing_locked()
+        if getattr(module, "is_remote", False):
+            # Free the slot on the remote host; the instance is already
+            # unrouted, so late tunneled frames for it fall harmlessly.
+            module.discard()
         self.trace.append(f"remove module {instance}")
 
     def rename_instance(self, old_name: str, new_name: str) -> None:
@@ -272,8 +415,18 @@ class SoftwareBus:
             module = self.get_module(old_name)
             if new_name in self._instances:
                 raise BusError(f"instance {new_name!r} already exists")
+        if getattr(module, "is_remote", False):
+            # Round-trip to the remote host outside the bus lock; the
+            # handle's name flips with it.
+            module.transport.rename(module, new_name)
+        with self._lock:
+            if self._instances.get(old_name) is not module:
+                raise BusError(
+                    f"instance {old_name!r} changed during rename"
+                )
             del self._instances[old_name]
-            module.name = new_name
+            if not getattr(module, "is_remote", False):
+                module.rename(new_name)
             self._instances[new_name] = module
 
             def rewrite(binding: BindingSpec) -> BindingSpec:
@@ -289,7 +442,7 @@ class SoftwareBus:
                 )
 
             self._bindings = [rewrite(b) for b in self._bindings]
-            self._routing_table = None
+            self._invalidate_routing_locked()
         self.trace.append(f"rename {old_name} -> {new_name}")
 
     def get_module(self, instance: str) -> ModuleInstance:
@@ -325,7 +478,7 @@ class SoftwareBus:
             if binding in self._bindings:
                 raise BindingError(f"{binding.describe()}: already bound")
             self._bindings.append(binding)
-            self._routing_table = None
+            self._invalidate_routing_locked()
         self.trace.append(binding.describe())
 
     def remove_binding(self, binding: BindingSpec) -> None:
@@ -339,7 +492,7 @@ class SoftwareBus:
                     and existing.to_interface == binding.from_interface
                 ):
                     self._bindings.remove(existing)
-                    self._routing_table = None
+                    self._invalidate_routing_locked()
                     self.trace.append(f"unbind {existing.describe()[5:]}")
                     return
             raise BindingError(f"{binding.describe()}: no such binding")
@@ -369,6 +522,99 @@ class SoftwareBus:
     # ------------------------------------------------------------------
     # Message routing
     # ------------------------------------------------------------------
+
+    def _invalidate_routing_locked(self) -> None:
+        """Drop the routing snapshot and every host-local route with it.
+
+        Caller holds the bus lock.  The ``clear_routes`` broadcast is an
+        event (non-blocking send), so issuing it under the lock is safe;
+        per-link FIFO guarantees a remote host stops using its local
+        routes before it sees any post-change command — which is what
+        makes queue snapshots during a rebind exact.
+        """
+        self._routing_table = None
+        for transport in self._transports.values():
+            links = getattr(transport, "links", None)
+            if links is None:
+                continue
+            for link in links():
+                link.send_event(["clear_routes"])
+
+    def _push_worker_routes(
+        self, table: Dict[str, Dict[str, _RouteEntry]]
+    ) -> None:
+        """Ship host-local routes to each remote host.
+
+        An endpoint qualifies when *all* its destinations live on the
+        sender's own link: the host then delivers those writes directly
+        (same-process queue put, no encoding, no bus hop) — the fast
+        path that lets pinned producer/consumer pairs scale with cores.
+        Skipped entirely while bus-side telemetry records, so the flight
+        recorder keeps seeing every delivery.
+        """
+        routes_by_link: Dict[object, List[List[object]]] = {}
+        for name, by_interface in table.items():
+            sender = self._instances.get(name)
+            link = getattr(sender, "link", None)
+            if link is None:
+                continue
+            for ifname, entry in by_interface.items():
+                if not entry.peers:
+                    continue
+                if all(
+                    getattr(peer, "link", None) is link
+                    for peer, _ in entry.peers
+                ):
+                    routes_by_link.setdefault(link, []).append(
+                        [
+                            name,
+                            ifname,
+                            [[peer.name, peer_if] for peer, peer_if in entry.peers],
+                        ]
+                    )
+        for transport in self._transports.values():
+            links = getattr(transport, "links", None)
+            if links is None:
+                continue
+            for link in links():
+                link.send_event(["set_routes", routes_by_link.get(link, [])])
+
+    def _on_transport_write(
+        self,
+        instance: str,
+        interface: str,
+        wire: bytes,
+        profile: MachineProfile,
+    ) -> None:
+        """A remotely hosted module wrote on an endpoint without a
+        host-local route: decode under the sender host's profile and fan
+        out through the ordinary routing table."""
+        self.route(instance, interface, Message.from_wire(wire, profile))
+
+    def _on_transport_write_to(
+        self,
+        instance: str,
+        interface: str,
+        destination: str,
+        wire: bytes,
+        profile: MachineProfile,
+    ) -> None:
+        message = Message.from_wire(wire, profile)
+        try:
+            self.route_to(instance, interface, destination, message)
+        except (BindingError, UnknownModuleError) as exc:
+            # Inproc raises into the writer; across a process boundary
+            # there is no writer stack to raise into, so the error is
+            # recorded instead (the DistributedBus drop semantics).
+            self.trace.append(
+                f"drop directed {instance}.{interface} -> {destination}: {exc}"
+            )
+            telemetry.event(
+                "bus.directed_drop",
+                instance=instance,
+                interface=interface,
+                destination=destination,
+            )
 
     def _rebuild_routing(self) -> Dict[str, Dict[str, _RouteEntry]]:
         """Build a fresh routing snapshot from the current topology.
@@ -408,6 +654,10 @@ class SoftwareBus:
                 for name, by_interface in table.items():
                     for ifname, entry in by_interface.items():
                         entry.instrument(rec, f"{name}.{ifname}")
+            else:
+                # Only when nothing records bus-side: endpoints whose
+                # whole fan-out is host-local bypass the bus entirely.
+                self._push_worker_routes(table)
             self._routing_table = table
             return table
 
@@ -619,10 +869,26 @@ class SoftwareBus:
             module.mh.stop()
         for module in modules:
             module.join(timeout)
+        for module in modules:
+            if getattr(module, "is_remote", False):
+                # Leave shared transports reusable: every handle this bus
+                # placed is removed from its remote host.
+                try:
+                    module.discard()
+                except (BusError, TransportError):
+                    pass  # host already gone
         with self._lock:
             self._instances.clear()
             self._bindings.clear()
-            self._routing_table = None
+            self._invalidate_routing_locked()
+            owned = self._owned_transports
+            self._owned_transports = []
+            for transport in owned:
+                for key, value in list(self._transports.items()):
+                    if value is transport:
+                        del self._transports[key]
+        for transport in owned:
+            transport.close()
 
     def check_health(self) -> None:
         """Raise the first crash found among running modules."""
@@ -630,6 +896,15 @@ class SoftwareBus:
             modules = list(self._instances.values())
         for module in modules:
             module.check_alive()
+
+    def statics_of(self, instance: str) -> Dict[str, object]:
+        """A snapshot of an instance's statics, wherever it runs.
+
+        For inproc modules this is a plain dict copy; for remote ones a
+        live round-trip to the hosting process.  The convenience for
+        tests and benchmarks that read results out of module state.
+        """
+        return dict(self.get_module(instance).mh.statics)
 
 
 class StateMoveStream:

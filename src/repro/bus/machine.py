@@ -63,6 +63,16 @@ class HostRegistry:
             ) from None
         return self.add(name, profile)
 
+    def adopt(self, host: Host) -> Host:
+        """Register a pre-built host (a transport's worker slot or machine
+        daemon), idempotently: placing two modules on the same slot must
+        not trip the duplicate-registration guard."""
+        existing = self._hosts.get(host.name)
+        if existing is not None:
+            return existing
+        self._hosts[host.name] = host
+        return host
+
     def get(self, name: str) -> Host:
         try:
             return self._hosts[name]

@@ -15,6 +15,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.errors import EncodingError, FormatError
 from repro.state.encoding import decode_values, encode_values
 from repro.state.format import check_arity
 from repro.state.machine import MachineProfile
@@ -52,18 +53,34 @@ class Message:
     # -- wire form ------------------------------------------------------------
 
     def to_wire(self, machine: Optional[MachineProfile]) -> bytes:
-        """Canonical encoding as produced on the *sender's* machine."""
-        header = encode_values(
-            "ssl",
-            [self.source_instance, self.source_interface, self.seq],
-            machine,
-        )
-        if self.fmt:
-            body = encode_values(self.fmt, self.values, machine)
-        else:
-            body = encode_values(
-                "a" * len(self.values), self.values, machine
+        """Canonical encoding as produced on the *sender's* machine.
+
+        Every value must be canonically encodable: a message that only
+        ever crossed same-process queues could carry arbitrary objects,
+        but the moment it is routed to another process (worker pool, TCP
+        daemon) it must survive the wire.  Encoder failures are rewrapped
+        with the sending endpoint so the offending write is findable.
+        """
+        try:
+            header = encode_values(
+                "ssl",
+                [self.source_instance, self.source_interface, self.seq],
+                machine,
             )
+            if self.fmt:
+                body = encode_values(self.fmt, self.values, machine)
+            else:
+                body = encode_values(
+                    "a" * len(self.values), self.values, machine
+                )
+        except (EncodingError, FormatError) as exc:
+            # FormatError covers values whose type cannot even be
+            # inferred (locks, sockets, ...) on format-less messages.
+            raise EncodingError(
+                f"message from {self.source_instance or '?'}."
+                f"{self.source_interface or '?'} is not wire-encodable "
+                f"(required for cross-process delivery): {exc}"
+            ) from exc
         return header + body
 
     @classmethod

@@ -19,7 +19,7 @@ import enum
 import threading
 import traceback
 from functools import lru_cache
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.bus.machine import Host
 from repro.bus.message import Message
@@ -136,6 +136,43 @@ def _prepare_module_cached(
     )
 
 
+def resolve_source(spec: ModuleSpec) -> str:
+    """The module's raw source text (inline takes precedence over path)."""
+    source = spec.inline_source
+    if not source:
+        if not spec.source:
+            raise ModuleLifecycleError(
+                f"{spec.name}: module spec has neither inline source nor "
+                f"a source path"
+            )
+        with open(spec.source, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    return source
+
+
+def prepared_source_for(spec: ModuleSpec) -> str:
+    """Executable (transformed if reconfigurable) source for ``spec``.
+
+    The bus-side half of remote placement: a module hosted in a worker
+    process or machine daemon is prepared *here*, ahead of shipping, so
+    remote hosts never run the transformer (the paper prepares modules
+    "when the original program is compiled").  Shares the memoized
+    transform cache with :meth:`ModuleInstance.load`, so placing the
+    same module both inproc and in a worker costs one transformation.
+    """
+    source = resolve_source(spec)
+    if spec.is_reconfigurable:
+        prune = spec.attributes.get("prune_dead_captures", "").lower() in (
+            "true",
+            "yes",
+            "1",
+        )
+        return _prepare_module_cached(
+            source, spec.name, tuple(spec.reconfig_points), prune
+        ).source
+    return source
+
+
 class ModuleInstance:
     """One executing (or executable) module on a host."""
 
@@ -165,6 +202,11 @@ class ModuleInstance:
         self.namespace: Dict[str, object] = {}
         self.thread: Optional[threading.Thread] = None
         self.crash: Optional[BaseException] = None
+        # Called (with this instance) whenever the run loop reaches a
+        # terminal state; remote hosts hook it to push lifecycle events
+        # back to the bus process so crash detection works across the
+        # process boundary without polling.
+        self.lifecycle_hook: Optional[Callable[["ModuleInstance"], None]] = None
         self._queues: Dict[str, MessageQueue] = {}
         for decl in spec.interfaces:
             if decl.direction.can_receive:
@@ -205,15 +247,7 @@ class ModuleInstance:
         with telemetry.span(
             "module.load", instance=self.name, module=self.spec.name
         ):
-            source = self.spec.inline_source
-            if not source:
-                if not self.spec.source:
-                    raise ModuleLifecycleError(
-                        f"{self.name}: module spec has neither inline source nor "
-                        f"a source path"
-                    )
-                with open(self.spec.source, "r", encoding="utf-8") as handle:
-                    source = handle.read()
+            source = resolve_source(self.spec)
             if self.spec.is_reconfigurable:
                 prune = self.spec.attributes.get(
                     "prune_dead_captures", ""
@@ -253,44 +287,52 @@ class ModuleInstance:
         self.thread.start()
 
     def _run(self) -> None:
-        while True:
-            try:
-                self.namespace["main"]()
-            except ModuleStop:
-                self.state = ModuleState.STOPPED
-                return
-            except TransportError:
-                # A read interrupted by stop surfaces as TransportError when
-                # the module swallowed ModuleStop; treat as a clean stop.
-                if not self.mh.running:
+        try:
+            while True:
+                try:
+                    self.namespace["main"]()
+                except ModuleStop:
                     self.state = ModuleState.STOPPED
                     return
-                self.crash = TransportError(traceback.format_exc())
-                self.state = ModuleState.CRASHED
-                telemetry.event(
-                    "module.crash", instance=self.name, cause="TransportError"
-                )
+                except TransportError:
+                    # A read interrupted by stop surfaces as TransportError when
+                    # the module swallowed ModuleStop; treat as a clean stop.
+                    if not self.mh.running:
+                        self.state = ModuleState.STOPPED
+                        return
+                    self.crash = TransportError(traceback.format_exc())
+                    self.state = ModuleState.CRASHED
+                    telemetry.event(
+                        "module.crash", instance=self.name, cause="TransportError"
+                    )
+                    return
+                except BaseException as exc:  # noqa: BLE001 - report, don't die silently
+                    self.crash = exc
+                    self.state = ModuleState.CRASHED
+                    telemetry.event(
+                        "module.crash", instance=self.name, cause=type(exc).__name__
+                    )
+                    return
+                # A withdrawn reconfiguration can race the capture: the module
+                # divulges (or suppresses) after the coordinator cancelled the
+                # move.  Nobody will consume the packet, so resume from it —
+                # the module restores in place and keeps serving.
+                abandoned = self.mh.reclaim_abandoned_divulge()
+                if abandoned is not None:
+                    self.mh.prepare_revival(abandoned)
+                    continue
+                if self.mh.divulged.is_set():
+                    self.state = ModuleState.DIVULGED
+                else:
+                    self.state = ModuleState.STOPPED
                 return
-            except BaseException as exc:  # noqa: BLE001 - report, don't die silently
-                self.crash = exc
-                self.state = ModuleState.CRASHED
-                telemetry.event(
-                    "module.crash", instance=self.name, cause=type(exc).__name__
-                )
-                return
-            # A withdrawn reconfiguration can race the capture: the module
-            # divulges (or suppresses) after the coordinator cancelled the
-            # move.  Nobody will consume the packet, so resume from it —
-            # the module restores in place and keeps serving.
-            abandoned = self.mh.reclaim_abandoned_divulge()
-            if abandoned is not None:
-                self.mh.prepare_revival(abandoned)
-                continue
-            if self.mh.divulged.is_set():
-                self.state = ModuleState.DIVULGED
-            else:
-                self.state = ModuleState.STOPPED
-            return
+        finally:
+            hook = self.lifecycle_hook
+            if hook is not None:
+                try:
+                    hook(self)
+                except Exception:  # noqa: BLE001 - hooks must not kill the thread
+                    pass
 
     def stop(self, timeout: float = 5.0) -> None:
         """Ask the thread of control to exit and wait for it."""
@@ -336,6 +378,12 @@ class ModuleInstance:
             target=self._run, name=f"module-{self.name}", daemon=True
         )
         self.thread.start()
+
+    def rename(self, new_name: str) -> None:
+        """Adopt a new instance name, rebranding the per-interface queues."""
+        self.name = new_name
+        for ifname, queue in self._queues.items():
+            queue.rename(f"{new_name}.{ifname}")
 
     def check_alive(self) -> None:
         """Raise the module's crash, if it crashed."""

@@ -1,0 +1,293 @@
+"""Process worker pool: modules in long-lived worker processes.
+
+The GIL caps a single bus process at roughly one core of module work no
+matter how many module threads it hosts.  :class:`ProcessTransport`
+breaks that ceiling with a pool of long-lived worker processes fed over
+``multiprocessing`` pipes: each worker runs a
+:class:`~repro.bus.transport.ModuleHost` serving the same frame protocol
+as the TCP machine daemons, with the canonical self-described encoding
+(:func:`~repro.state.encoding.encode_any` — the PR 2 compiled codecs) as
+the wire format.  No sockets, no framing headers: a frame is one
+``send_bytes`` on the pipe.
+
+Placement is ``placement="worker"`` (round-robin over the pool) or
+``placement="worker:<index>"`` (pinned to one slot).  Workers spawn
+lazily on first placement, so buses that never leave the process pay
+nothing.  The pool uses the ``spawn`` start method by default — the bus
+process is full of threads holding locks, which ``fork`` would duplicate
+mid-flight; override with ``start_method=`` or ``REPRO_WORKER_START``
+where fork semantics are wanted deliberately.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.bus.machine import Host
+from repro.bus.transport import Link, ModuleHost, RemoteTransport
+from repro.errors import BusError, TransportError
+from repro.runtime.faults import FaultPlan
+from repro.runtime.mh import SleepPolicy
+from repro.state.encoding import decode_any, encode_any
+from repro.state.machine import MACHINES, MachineProfile, profile_from_abstract
+
+
+class PipeChannel:
+    """A ``multiprocessing`` pipe as a frame channel.
+
+    Pipes are loss-free and ordered, so links over them run without a
+    retry policy; a failed pipe operation means the peer process died,
+    which surfaces as :class:`TransportError`.
+    """
+
+    __slots__ = ("_conn",)
+
+    def __init__(self, conn):
+        self._conn = conn
+
+    def send(self, value) -> None:
+        try:
+            self._conn.send_bytes(encode_any(value))
+        except (OSError, ValueError, EOFError) as exc:
+            raise TransportError(f"pipe send failed: {exc}") from exc
+
+    def recv(self):
+        try:
+            data = self._conn.recv_bytes()
+        except (OSError, EOFError) as exc:
+            raise TransportError(f"pipe closed: {exc}") from exc
+        return decode_any(data)
+
+    def close(self) -> None:
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+
+
+def _send(channel: PipeChannel, send_lock: threading.Lock, frame: List[object]) -> None:
+    try:
+        with send_lock:
+            channel.send(frame)
+    except TransportError:
+        pass  # bus side went away; the serve loop will notice on recv
+
+
+def _serve(
+    core: ModuleHost,
+    channel: PipeChannel,
+    send_lock: threading.Lock,
+    seq: int,
+    command: str,
+    args: List[object],
+) -> None:
+    """Execute one request on its own thread and ship the reply.
+
+    Requests run off the serve loop because several of them block on
+    module progress (``wait_divulged``, ``stop``) while events — message
+    deliveries — must keep flowing.
+    """
+    try:
+        result = core.handle(command, args)
+        reply: List[object] = ["rep", seq, result]
+    except Exception as exc:  # noqa: BLE001 - every failure becomes an err reply
+        reply = ["err", seq, f"{type(exc).__name__}: {exc}"]
+    _send(channel, send_lock, reply)
+
+
+def worker_main(conn, name: str, profile_raw: Dict[str, object], sleep_scale: float) -> None:
+    """Entry point of one worker process (must stay module-level: spawn
+    pickles it by qualified name)."""
+    channel = PipeChannel(conn)
+    send_lock = threading.Lock()
+
+    def send_event(command: List[object]) -> None:
+        _send(channel, send_lock, ["evt", 0] + list(command))
+
+    host = Host(name=name, profile=profile_from_abstract(profile_raw))
+    core = ModuleHost(
+        name, host, SleepPolicy(scale=float(sleep_scale)), send_event
+    )
+    try:
+        while True:
+            try:
+                frame = channel.recv()
+            except TransportError:
+                break  # bus process closed the pipe
+            kind = str(frame[0])
+            if kind == "evt":
+                # Events are handled inline: per-link FIFO is what makes
+                # queue snapshots exact w.r.t. prior deliveries.
+                try:
+                    core.handle(str(frame[2]), list(frame[3:]))
+                except Exception:  # noqa: BLE001 - a bad event must not kill the worker
+                    pass
+            elif kind == "req":
+                seq = int(frame[1])
+                command = str(frame[2])
+                if command == "shutdown":
+                    _send(channel, send_lock, ["rep", seq, True])
+                    break
+                threading.Thread(
+                    target=_serve,
+                    args=(core, channel, send_lock, seq, command, list(frame[3:])),
+                    name=f"serve-{command}",
+                    daemon=True,
+                ).start()
+    finally:
+        core.stop_all()
+
+
+class _WorkerSlot:
+    __slots__ = ("name", "link", "host", "process")
+
+    def __init__(self, name: str, link: Link, host: Host, process):
+        self.name = name
+        self.link = link
+        self.host = host
+        self.process = process
+
+
+class ProcessTransport(RemoteTransport):
+    """A fixed-size pool of worker processes as a bus transport."""
+
+    name = "worker"
+
+    def __init__(
+        self,
+        workers: int = 2,
+        architecture: str = "modern-64",
+        sleep_scale: float = 0.0,
+        start_method: Optional[str] = None,
+        host_prefix: str = "worker-",
+    ):
+        super().__init__()
+        if workers < 1:
+            raise BusError("worker pool needs at least one slot")
+        method = start_method or os.environ.get("REPRO_WORKER_START", "spawn")
+        self._ctx = multiprocessing.get_context(method)
+        self._architecture = architecture
+        self._sleep_scale = sleep_scale
+        self._host_prefix = host_prefix
+        self._slots: List[Optional[_WorkerSlot]] = [None] * workers
+        self._slots_lock = threading.Lock()
+        self._rr = 0
+
+    @property
+    def workers(self) -> int:
+        return len(self._slots)
+
+    def links(self) -> List[Link]:
+        with self._slots_lock:
+            return [slot.link for slot in self._slots if slot is not None]
+
+    # -- pool management -------------------------------------------------------
+
+    def _ensure_slot(self, index: int) -> _WorkerSlot:
+        with self._slots_lock:
+            slot = self._slots[index]
+            if slot is not None:
+                return slot
+            name = f"{self._host_prefix}{index}"
+            base = MACHINES[self._architecture]
+            profile = MachineProfile(
+                name=name,
+                endianness=base.endianness,
+                int_bits=base.int_bits,
+                long_bits=base.long_bits,
+                float_bits=base.float_bits,
+            )
+            parent_conn, child_conn = self._ctx.Pipe()
+            process = self._ctx.Process(
+                target=worker_main,
+                args=(child_conn, name, profile.to_abstract(), self._sleep_scale),
+                name=f"repro-{name}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            link = Link(name, profile, PipeChannel(parent_conn))
+            link.on_event = self._make_on_event(link)
+            # Spawn handshake: the first reply proves the interpreter is
+            # up and the repro imports completed (slow on cold caches).
+            link.request(["ping"], timeout=60.0)
+            slot = _WorkerSlot(
+                name=name,
+                link=link,
+                host=Host(name=name, profile=profile),
+                process=process,
+            )
+            self._slots[index] = slot
+            return slot
+
+    def _place(self, slot: Optional[str]) -> Tuple[Link, Host, str]:
+        if not slot:
+            with self._slots_lock:
+                index = self._rr % len(self._slots)
+                self._rr += 1
+        else:
+            try:
+                index = int(slot)
+            except ValueError:
+                raise BusError(
+                    f"worker placement slot must be an index, got {slot!r}"
+                ) from None
+            if not 0 <= index < len(self._slots):
+                raise BusError(
+                    f"worker slot {index} out of range "
+                    f"(pool has {len(self._slots)})"
+                )
+        worker = self._ensure_slot(index)
+        return worker.link, worker.host, f"{self.name}:{index}"
+
+    # -- chaos / telemetry parity ----------------------------------------------
+
+    def _live_slots(self) -> List[_WorkerSlot]:
+        with self._slots_lock:
+            return [slot for slot in self._slots if slot is not None]
+
+    def install_fault_plan(self, plan: FaultPlan) -> None:
+        """Arm the same schedule in every live worker (fresh firing state)."""
+        for slot in self._live_slots():
+            slot.link.request(["install_faults", plan.to_abstract()])
+
+    def clear_fault_plan(self) -> None:
+        for slot in self._live_slots():
+            slot.link.request(["clear_faults"])
+
+    def enable_telemetry(self) -> None:
+        for slot in self._live_slots():
+            slot.link.request(["telemetry_enable"])
+
+    def disable_telemetry(self) -> None:
+        for slot in self._live_slots():
+            slot.link.request(["telemetry_disable"])
+
+    def telemetry_counters(self) -> Dict[str, Dict[str, int]]:
+        """Per-worker counter snapshots, keyed by worker host name."""
+        out: Dict[str, Dict[str, int]] = {}
+        for slot in self._live_slots():
+            raw = slot.link.request(["telemetry_counters"])
+            out[slot.name] = {str(k): int(v) for k, v in dict(raw).items()}  # type: ignore[call-overload]
+        return out
+
+    # -- teardown ---------------------------------------------------------------
+
+    def close(self) -> None:
+        with self._slots_lock:
+            slots = [slot for slot in self._slots if slot is not None]
+            self._slots = [None] * len(self._slots)
+        for slot in slots:
+            try:
+                slot.link.request(["shutdown"], timeout=5)
+            except (BusError, TransportError):
+                pass
+            slot.link.close()
+        for slot in slots:
+            slot.process.join(timeout=5)
+            if slot.process.is_alive():
+                slot.process.terminate()
+                slot.process.join(timeout=5)

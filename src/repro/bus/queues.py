@@ -101,6 +101,16 @@ class MessageQueue:
     def peek_count(self) -> int:
         return len(self)
 
+    def rename(self, name: str) -> None:
+        """Rebrand the queue when its owning instance is renamed.
+
+        Replacement commits rename the clone to the replaced module's
+        instance name; without this the queue kept reporting the
+        temporary ``<instance>.new.<interface>`` name in errors and in
+        the ``queue.hwm`` telemetry key.
+        """
+        self.name = name
+
     def snapshot(self) -> List[Message]:
         """Atomic copy of the queued messages (the ``cq`` command)."""
         with self._lock:

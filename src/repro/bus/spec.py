@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
-from repro.bus.interfaces import InterfaceDecl, find_interface
+from repro.bus.interfaces import InterfaceDecl, Role, find_interface
 from repro.errors import SpecError
 
 
@@ -59,6 +59,40 @@ class ModuleSpec:
             attributes=merged,
         )
 
+    def to_abstract(self, prepared_source: str) -> Dict[str, object]:
+        """Plain-value form shipped to a remote module host.
+
+        ``prepared_source`` is the already-transformed source text — the
+        paper prepares modules "when the original program is compiled",
+        so remote hosts (worker processes, machine daemons) never run the
+        transformer; reconfiguration points therefore do not travel.
+        Attribute values are validated here: a spec is the one bus object
+        that user code builds freely, so a thread handle or closure
+        smuggled into ``attributes`` must fail loudly at the process
+        boundary, not as an opaque encoder error in a worker.
+        """
+        for key, value in self.attributes.items():
+            if not isinstance(key, str) or not isinstance(value, str):
+                raise SpecError(
+                    f"module {self.name!r}: attribute {key!r} must map a "
+                    f"string to a string to cross a process boundary "
+                    f"(got {type(value).__name__})"
+                )
+        return {
+            "name": self.name,
+            "source": prepared_source,
+            "interfaces": [
+                {
+                    "name": decl.name,
+                    "role": decl.role.value,
+                    "pattern": decl.pattern,
+                    "returns": decl.returns,
+                }
+                for decl in self.interfaces
+            ],
+            "attributes": dict(self.attributes),
+        }
+
     def describe(self) -> str:
         lines = [f"module {self.name} {{"]
         if self.source:
@@ -73,6 +107,33 @@ class ModuleSpec:
             lines.append(f'  {key} = "{value}"')
         lines.append("}")
         return "\n".join(lines)
+
+
+def spec_from_abstract(value: Dict[str, object]) -> ModuleSpec:
+    """Rebuild a spec from :meth:`ModuleSpec.to_abstract` output.
+
+    The rebuilt spec carries the prepared source inline and no
+    reconfiguration points (preparation happened bus-side).
+    """
+    interfaces = [
+        InterfaceDecl(
+            name=str(item["name"]),
+            role=Role(str(item["role"])),
+            pattern=str(item["pattern"]),
+            returns=str(item["returns"]),
+        )
+        for item in value["interfaces"]  # type: ignore[union-attr]
+    ]
+    return ModuleSpec(
+        name=str(value["name"]),
+        inline_source=str(value["source"]),
+        interfaces=interfaces,
+        reconfig_points=[],  # source arrives already prepared
+        attributes={
+            str(k): str(v)
+            for k, v in dict(value["attributes"]).items()  # type: ignore[call-overload]
+        },
+    )
 
 
 @dataclass(frozen=True)

@@ -33,11 +33,14 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.bus.interfaces import InterfaceDecl, Role
 from repro.bus.machine import Host
-from repro.bus.message import Message
-from repro.bus.module import ModuleInstance, ModuleState
-from repro.bus.spec import BindingSpec, Configuration, ModuleSpec
+from repro.bus.spec import (
+    BindingSpec,
+    Configuration,
+    ModuleSpec,
+    spec_from_abstract,
+)
+from repro.bus.transport import ModuleHost
 from repro.core.transformer import prepare_module
 from repro.errors import (
     BusError,
@@ -50,7 +53,20 @@ from repro.runtime import faults, telemetry
 from repro.runtime.faults import RetryPolicy
 from repro.runtime.mh import SleepPolicy
 from repro.state.encoding import decode_any, encode_any
-from repro.state.machine import MACHINES, Endianness, MachineProfile
+from repro.state.machine import MACHINES, MachineProfile, profile_from_abstract
+
+__all__ = [
+    "DistributedBus",
+    "MachineDaemon",
+    "SocketChannel",
+    "daemon_entry",
+    "recv_frame",
+    "send_frame",
+    "spec_from_abstract",
+    "spec_to_abstract",
+    "profile_from_abstract",
+    "profile_to_abstract",
+]
 
 _FRAME_HEADER = struct.Struct(">I")
 _MAX_FRAME = 64 * 1024 * 1024
@@ -70,8 +86,15 @@ def send_frame(sock: socket.socket, value: object) -> None:
         if len(payload) > _MAX_FRAME:
             raise TransportError(f"frame too large ({len(payload)} bytes)")
         span.set(bytes=len(payload))
+        header = _FRAME_HEADER.pack(len(payload))
         try:
-            sock.sendall(_FRAME_HEADER.pack(len(payload)) + payload)
+            # Gather write: header and payload leave in one syscall with
+            # no concatenation copy of the payload (frames carry whole
+            # state packets, so the copy was O(packet) per send).
+            sent = sock.sendmsg([header, payload])
+            total = len(header) + len(payload)
+            if sent < total:  # pragma: no cover - tiny socket buffers only
+                sock.sendall(memoryview(header + payload)[sent:])
         except OSError as exc:
             raise TransportError(f"send failed: {exc}") from exc
     telemetry.count("tcp.frames_sent")
@@ -113,65 +136,45 @@ def _recv_exact(sock: socket.socket, count: int) -> bytes:
     return b"".join(chunks)
 
 
+class SocketChannel:
+    """A connected socket as a frame channel.
+
+    Adapts the length-prefixed framing above to the channel protocol
+    consumed by :class:`~repro.bus.transport.Link` (``send``/``recv``/
+    ``close``), so TCP machine daemons and pipe workers speak to the bus
+    through the same link machinery.
+    """
+
+    __slots__ = ("sock",)
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+
+    def send(self, value: object) -> None:
+        send_frame(self.sock, value)
+
+    def recv(self) -> object:
+        return recv_frame(self.sock)
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
 # ---------------------------------------------------------------------------
-# Spec serialization
+# Spec serialization (canonical forms live with the types; these aliases
+# keep the historical tcp.py import surface working)
 # ---------------------------------------------------------------------------
 
 
 def spec_to_abstract(spec: ModuleSpec, prepared_source: str) -> dict:
-    return {
-        "name": spec.name,
-        "source": prepared_source,
-        "interfaces": [
-            {
-                "name": decl.name,
-                "role": decl.role.value,
-                "pattern": decl.pattern,
-                "returns": decl.returns,
-            }
-            for decl in spec.interfaces
-        ],
-        "attributes": dict(spec.attributes),
-    }
-
-
-def spec_from_abstract(value: dict) -> ModuleSpec:
-    interfaces = [
-        InterfaceDecl(
-            name=str(item["name"]),
-            role=Role(str(item["role"])),
-            pattern=str(item["pattern"]),
-            returns=str(item["returns"]),
-        )
-        for item in value["interfaces"]
-    ]
-    return ModuleSpec(
-        name=str(value["name"]),
-        inline_source=str(value["source"]),
-        interfaces=interfaces,
-        reconfig_points=[],  # source arrives already prepared
-        attributes={str(k): str(v) for k, v in dict(value["attributes"]).items()},
-    )
+    return spec.to_abstract(prepared_source)
 
 
 def profile_to_abstract(profile: MachineProfile) -> dict:
-    return {
-        "name": profile.name,
-        "endianness": profile.endianness.value,
-        "int_bits": profile.int_bits,
-        "long_bits": profile.long_bits,
-        "float_bits": profile.float_bits,
-    }
-
-
-def profile_from_abstract(value: dict) -> MachineProfile:
-    return MachineProfile(
-        name=str(value["name"]),
-        endianness=Endianness(str(value["endianness"])),
-        int_bits=int(value["int_bits"]),  # type: ignore[call-overload]
-        long_bits=int(value["long_bits"]),  # type: ignore[call-overload]
-        float_bits=int(value["float_bits"]),  # type: ignore[call-overload]
-    )
+    return profile.to_abstract()
 
 
 # ---------------------------------------------------------------------------
@@ -179,26 +182,14 @@ def profile_from_abstract(value: dict) -> MachineProfile:
 # ---------------------------------------------------------------------------
 
 
-class _DaemonBusShim:
-    """What daemon-side ModuleInstances see as 'the bus': writes tunnel
-    to the central bus as ``evt write`` frames, already canonical."""
-
-    def __init__(self, daemon: "MachineDaemon"):
-        self.daemon = daemon
-
-    def route(self, instance: str, interface: str, message: Message) -> None:
-        wire = message.to_wire(self.daemon.profile)
-        self.daemon.send_event(["write", instance, interface, wire])
-
-    def route_to(
-        self, instance: str, interface: str, destination: str, message: Message
-    ) -> None:
-        wire = message.to_wire(self.daemon.profile)
-        self.daemon.send_event(["write_to", instance, interface, destination, wire])
-
-
 class MachineDaemon:
-    """One simulated machine as a real process hosting module threads."""
+    """One simulated machine as a real process hosting module threads.
+
+    All module hosting — lifecycle, delivery, divulge push, host-local
+    routes — lives in the shared :class:`~repro.bus.transport.ModuleHost`
+    core; this class only owns the socket plumbing around it.  Pipe
+    workers (:mod:`repro.bus.procpool`) wrap the very same core, so the
+    two remote placements cannot drift apart."""
 
     def __init__(
         self,
@@ -211,15 +202,13 @@ class MachineDaemon:
         self.profile = profile
         self.bus_address = bus_address
         self.sleep_policy = SleepPolicy(scale=sleep_scale)
-        self.modules: Dict[str, ModuleInstance] = {}
-        # Guards modules-dict mutations against concurrent deliveries
-        # (deliver events run inline in the reader loop while commands
-        # like swap run on their own threads).
-        self._modules_lock = threading.Lock()
         self.host = Host(name=machine_name, profile=profile)
         self._sock: Optional[socket.socket] = None
         self._send_lock = threading.Lock()
-        self._shim = _DaemonBusShim(self)
+        self.core = ModuleHost(
+            machine_name, self.host, self.sleep_policy, self.send_event
+        )
+        self.modules = self.core.modules  # shared dict (legacy attribute)
 
     # -- plumbing ---------------------------------------------------------------
 
@@ -243,6 +232,9 @@ class MachineDaemon:
     def run(self) -> None:
         self._sock = socket.create_connection(self.bus_address, timeout=30)
         self._sock.settimeout(None)
+        # Frames are small and latency-bound (request/reply round-trips
+        # gate every reconfiguration stage): never wait for Nagle.
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self.send_event(["hello", self.machine_name, profile_to_abstract(self.profile)])
         try:
             while True:
@@ -276,8 +268,7 @@ class MachineDaemon:
         except TransportError:
             pass  # bus went away; daemon exits
         finally:
-            for module in self.modules.values():
-                module.mh.stop()
+            self.core.stop_all()
             if self._sock is not None:
                 self._sock.close()
 
@@ -292,127 +283,7 @@ class MachineDaemon:
             self._reply(seq, result)
 
     def _handle(self, command: str, args: List[object]) -> object:
-        handler = getattr(self, f"_cmd_{command}", None)
-        if handler is None:
-            raise BusError(f"daemon: unknown command {command!r}")
-        return handler(*args)
-
-    def _module(self, instance: str) -> ModuleInstance:
-        try:
-            return self.modules[str(instance)]
-        except KeyError:
-            raise UnknownModuleError(
-                f"daemon {self.machine_name}: no instance {instance!r}"
-            ) from None
-
-    def _cmd_add(self, instance, spec_raw, status, packet) -> bool:
-        spec = spec_from_abstract(dict(spec_raw))
-        module = ModuleInstance(
-            name=str(instance),
-            spec=spec,
-            host=self.host,
-            bus=self._shim,
-            status=str(status),
-            sleep_policy=self.sleep_policy,
-        )
-        if packet is not None:
-            module.mh.incoming_packet = bytes(packet)
-        module.load()
-        with self._modules_lock:
-            if str(instance) in self.modules:
-                raise BusError(
-                    f"daemon {self.machine_name}: instance {instance!r} "
-                    f"already present"
-                )
-            self.modules[str(instance)] = module
-        return True
-
-    def _cmd_swap(self, instance, temp) -> bool:
-        """Atomically let the clone ``temp`` take over ``instance``.
-
-        Used for same-daemon replacement: the old module's queued
-        messages move to the front of the clone's queues, and the name
-        mapping flips in one step, so no delivery lands in a gap.
-        """
-        with self._modules_lock:
-            old = self.modules.pop(str(instance))
-            clone = self.modules.pop(str(temp))
-            for decl in old.spec.interfaces:
-                if old.has_queue(decl.name) and clone.has_queue(decl.name):
-                    clone.queue(decl.name).prepend(old.queue(decl.name).drain())
-            clone.name = str(instance)
-            self.modules[str(instance)] = clone
-        old.stop()
-        return True
-
-    def _cmd_start(self, instance) -> bool:
-        self._module(instance).start()
-        return True
-
-    def _cmd_signal(self, instance) -> bool:
-        self._module(instance).mh.request_reconfig()
-        return True
-
-    def _cmd_wait_divulged(self, instance, timeout) -> bytes:
-        return self._module(instance).wait_divulged(float(timeout))
-
-    def _cmd_deliver(self, instance, interface, wire) -> bool:
-        message = Message.from_wire(bytes(wire), self.profile)
-        with self._modules_lock:
-            module = self._module(instance)
-            module.deliver(str(interface), message)
-        return True
-
-    def _cmd_deliver_front(self, instance, interface, wires) -> bool:
-        """Prepend a batch of (older) messages — the ``cq`` transfer."""
-        messages = [Message.from_wire(bytes(w), self.profile) for w in wires]
-        with self._modules_lock:
-            self._module(instance).queue(str(interface)).prepend(messages)
-        return True
-
-    def _cmd_counts(self, instance) -> Dict[str, int]:
-        return self._module(instance).queued_counts()
-
-    def _cmd_drain_queues(self, instance) -> Dict[str, List[bytes]]:
-        module = self._module(instance)
-        result: Dict[str, List[bytes]] = {}
-        for decl in module.spec.interfaces:
-            if module.has_queue(decl.name):
-                drained = module.queue(decl.name).drain()
-                result[decl.name] = [m.to_wire(self.profile) for m in drained]
-        return result
-
-    def _cmd_statics(self, instance) -> Dict[str, object]:
-        # Test/debug introspection: only canonical-encodable statics travel.
-        statics = self._module(instance).mh.statics
-        return {k: v for k, v in statics.items()}
-
-    def _cmd_state(self, instance) -> str:
-        return self._module(instance).state.value
-
-    def _cmd_crash_info(self, instance) -> str:
-        crash = self._module(instance).crash
-        return repr(crash) if crash is not None else ""
-
-    def _cmd_stop(self, instance) -> bool:
-        self._module(instance).stop()
-        return True
-
-    def _cmd_remove(self, instance) -> bool:
-        with self._modules_lock:
-            module = self.modules.pop(str(instance))
-        module.stop()
-        module.state = ModuleState.REMOVED
-        return True
-
-    def _cmd_rename(self, old_name, new_name) -> bool:
-        module = self.modules.pop(str(old_name))
-        module.name = str(new_name)
-        self.modules[str(new_name)] = module
-        return True
-
-    def _cmd_ping(self) -> str:
-        return self.machine_name
+        return self.core.handle(command, list(args))
 
 
 def daemon_entry(
@@ -638,6 +509,7 @@ class DistributedBus:
         self._processes.append(process)
         self._listener.settimeout(30)
         sock, _addr = self._listener.accept()
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         hello = recv_frame(sock)
         if not (isinstance(hello, list) and hello[2] == "hello"):
             raise TransportError(f"unexpected first frame {hello!r}")

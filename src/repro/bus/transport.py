@@ -1,0 +1,1208 @@
+"""Pluggable transports: *where* a module executes, behind one interface.
+
+POLYLITH's central claim is that composition is independent of where
+code actually executes — the bus hides module location behind interface
+bindings.  Until this layer existed, our reproduction only partially
+honoured that: every module was a thread inside the bus process (GIL
+bound), with the TCP machine daemons living off to the side as a
+separate, incompatible API.  A :class:`Transport` now answers "where
+does this instance run, and how do messages reach it" for three
+placements:
+
+``inproc``
+    today's path — modules are threads in the bus process, delivery is
+    a direct deque put with no encoding (kept allocation-free);
+``worker`` (:mod:`repro.bus.procpool`)
+    a pool of long-lived worker processes fed over ``multiprocessing``
+    pipes, the wire format being the same canonical self-described
+    encoding as state packets (the PR 2 compiled codecs);
+``tcp``
+    the existing machine-daemon processes rehomed behind the same
+    interface (:class:`TcpTransport`).
+
+The pieces shared by every out-of-process placement live here:
+
+:class:`Link`
+    the bus-side end of a remote host's control/data channel — seq'd
+    request/reply with a pump thread, plus fire-and-forget events.
+    Events are dispatched from a *separate* thread so a request issued
+    while holding the bus lock can always see its reply (the pump never
+    blocks on bus internals).
+:class:`ModuleHost`
+    the remote-side core hosting real :class:`ModuleInstance` threads
+    and serving the command protocol; used verbatim by pipe workers and
+    by the TCP machine daemon.
+:class:`RemoteModuleHandle`
+    the bus-side stand-in for a remotely hosted module.  It duck-types
+    the slice of :class:`ModuleInstance` the bus, the coordinator, and
+    the Figure-5 primitives consume — including a proxy ``mh`` whose
+    divulge/restore events are pushed by the remote host, so ``replace()``
+    works unchanged when old module and clone live in different
+    processes (the state packet simply travels over the transport).
+
+Worker-local fan-out: the bus pushes per-host route tables to each link
+(``set_routes``) covering endpoints whose *every* destination lives on
+that same host; such writes are delivered host-locally without touching
+the bus process at all, which is what lets pinned producer/consumer
+pairs scale with cores.  Any topology change broadcasts ``clear_routes``
+first (per-link FIFO makes subsequent queue snapshots/drains exact), and
+route pushes are suppressed while bus-side telemetry is recording so the
+flight recorder keeps seeing every delivery.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from queue import SimpleQueue
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.bus.machine import Host
+from repro.bus.message import Message
+from repro.bus.module import ModuleInstance, ModuleState, prepared_source_for
+from repro.bus.queues import MessageQueue
+from repro.bus.spec import ModuleSpec, spec_from_abstract
+from repro.errors import (
+    BindingError,
+    BusError,
+    InjectedFault,
+    ModuleCrashedError,
+    ModuleLifecycleError,
+    ReconfigTimeoutError,
+    TransportError,
+    UnknownInterfaceError,
+    UnknownModuleError,
+)
+from repro.runtime import faults, telemetry
+from repro.runtime.faults import FaultPlan, RetryPolicy
+from repro.runtime.mh import SleepPolicy
+from repro.state.machine import MachineProfile, profile_from_abstract
+
+
+class Transport:
+    """Where a set of module instances executes.
+
+    A transport is attached to one :class:`~repro.bus.bus.SoftwareBus`
+    under a name; ``placement="<name>[:slot]"`` on ``add_module`` selects
+    it.  ``close`` tears down whatever processes it owns.
+    """
+
+    name = "transport"
+
+    def attach_bus(self, bus) -> None:
+        self._bus = bus
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+
+class InprocTransport(Transport):
+    """Today's path: modules are threads in the bus process.
+
+    Delivery stays the direct ``deque.append`` behind a precompiled
+    routing entry — attaching other transports adds nothing to this hot
+    path (remote deliveries compile into the routing table exactly like
+    local ones, as bound callables).
+    """
+
+    name = "inproc"
+
+    def __init__(self):
+        self._bus = None
+
+    def add_module(
+        self,
+        spec: ModuleSpec,
+        instance: str,
+        host: Host,
+        status: str,
+        state_packet: Optional[bytes],
+        sleep_policy: SleepPolicy,
+    ) -> ModuleInstance:
+        module = ModuleInstance(
+            name=instance,
+            spec=spec,
+            host=host,
+            bus=self._bus,
+            status=status,
+            sleep_policy=sleep_policy,
+        )
+        if state_packet is not None:
+            module.mh.incoming_packet = state_packet
+        module.load()
+        return module
+
+
+# ---------------------------------------------------------------------------
+# Bus-side link plumbing
+# ---------------------------------------------------------------------------
+
+
+class _Waiter:
+    """One pending request awaiting its reply frame."""
+
+    __slots__ = ("event", "kind", "value")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.kind = ""
+        self.value: object = None
+
+    def complete(self, kind: str, value: object) -> None:
+        self.kind = kind
+        self.value = value
+        self.event.set()
+
+
+def _error_from(link_name: str, message: str) -> BusError:
+    """Rehydrate a remote ``err`` reply into a useful exception type."""
+    if "ReconfigTimeoutError" in message:
+        return ReconfigTimeoutError(message)
+    if "UnknownModuleError" in message:
+        return UnknownModuleError(f"{link_name}: {message}")
+    if "TransportError" in message or message == "link closed":
+        return TransportError(f"{link_name}: {message}")
+    return BusError(f"{link_name}: {message}")
+
+
+class Link:
+    """Bus-side end of one remote module host's channel.
+
+    The frame protocol is the machine-daemon one: ``[kind, seq,
+    command, args...]`` with ``kind`` in ``req``/``rep``/``err``/``evt``.
+    The *pump* thread only ever completes request waiters and enqueues
+    events; events are handled on a dedicated dispatcher thread.  That
+    split is load-bearing: the rebind batch issues queue-transfer
+    requests while holding the bus lock, and an event handler may block
+    on that same lock (tunneled writes route through the bus) — with a
+    single thread the reply behind a blocked event could never be read.
+
+    ``retry`` enables the lossy-channel request policy (used over TCP,
+    where the chaos suite drops frames); pipes are loss-free and run
+    single-attempt.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        profile: MachineProfile,
+        channel,
+        on_event: Optional[Callable[[str, List[object]], None]] = None,
+        retry: Optional[RetryPolicy] = None,
+    ):
+        self.name = name
+        self.profile = profile
+        self.channel = channel
+        self.on_event = on_event
+        self.retry = retry
+        self.closed = threading.Event()
+        self._seq = 0
+        self._lock = threading.Lock()
+        self._send_lock = threading.Lock()
+        self._pending: Dict[int, _Waiter] = {}
+        self._events: SimpleQueue = SimpleQueue()
+        self._pump = threading.Thread(
+            target=self._read_loop, name=f"link-pump-{name}", daemon=True
+        )
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name=f"link-evt-{name}", daemon=True
+        )
+        self._pump.start()
+        self._dispatcher.start()
+
+    def _read_loop(self) -> None:
+        try:
+            while True:
+                try:
+                    frame = self.channel.recv()
+                except InjectedFault:
+                    continue  # injected receive fault: frame lost; requests retry
+                kind = frame[0]
+                if kind in ("rep", "err"):
+                    seq = int(frame[1])
+                    with self._lock:
+                        waiter = self._pending.pop(seq, None)
+                    if waiter is not None:
+                        waiter.complete(str(kind), frame[2])
+                elif kind == "evt":
+                    self._events.put((str(frame[2]), frame[3:]))
+        except (TransportError, OSError, EOFError):
+            pass
+        finally:
+            self.closed.set()
+            with self._lock:
+                pending = list(self._pending.values())
+                self._pending.clear()
+            for waiter in pending:
+                waiter.complete("err", "link closed")
+            self._events.put(None)
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            item = self._events.get()
+            if item is None:
+                return
+            handler = self.on_event
+            if handler is None:
+                continue
+            try:
+                handler(item[0], list(item[1]))
+            except Exception:  # noqa: BLE001 - a bad event must not kill the link
+                pass
+
+    def send_event(self, command: List[object]) -> None:
+        """Fire-and-forget frame (message delivery, route pushes)."""
+        try:
+            with self._send_lock:
+                self.channel.send(["evt", 0] + list(command))
+        except (InjectedFault, TransportError, OSError):
+            pass  # a lost event is a lost frame; the host notices via FIFO gaps
+
+    def request(self, command: List[object], timeout: float = 30.0) -> object:
+        """Round-trip one request frame.
+
+        With a retry policy, lost frames are retried with fresh sequence
+        numbers (the daemon-link semantics: ``err`` replies never retry,
+        re-executed commands must be idempotent).  Without one — pipes —
+        a single attempt either answers or raises ``TransportError``.
+        """
+        attempts = self.retry.attempts if self.retry is not None else 1
+        delays = self.retry.delays() if self.retry is not None else []
+        failure: Optional[Exception] = None
+        for attempt in range(attempts):
+            if self.closed.is_set():
+                raise TransportError(f"link {self.name}: closed")
+            waiter = _Waiter()
+            with self._lock:
+                self._seq += 1
+                seq = self._seq
+                self._pending[seq] = waiter
+            try:
+                with self._send_lock:
+                    self.channel.send(["req", seq] + list(command))
+            except InjectedFault as exc:
+                with self._lock:
+                    self._pending.pop(seq, None)
+                failure = exc
+            except (TransportError, OSError) as exc:
+                with self._lock:
+                    self._pending.pop(seq, None)
+                raise TransportError(
+                    f"link {self.name}: send failed: {exc}"
+                ) from exc
+            else:
+                if waiter.event.wait(timeout):
+                    if waiter.kind == "err":
+                        raise _error_from(self.name, str(waiter.value))
+                    return waiter.value
+                with self._lock:
+                    self._pending.pop(seq, None)
+                failure = TransportError(
+                    f"link {self.name}: no reply to {command[0]!r} in {timeout}s"
+                )
+            if attempt < len(delays):
+                time.sleep(delays[attempt])
+        assert failure is not None
+        raise failure
+
+    def close(self) -> None:
+        try:
+            self.channel.close()
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Remote-side core (shared by pipe workers and TCP machine daemons)
+# ---------------------------------------------------------------------------
+
+
+class _HostBusShim:
+    """What remotely hosted ModuleInstances see as 'the bus'.
+
+    Writes on endpoints with a pushed host-local route are delivered
+    directly into the destination queue — same-process identity, no
+    encoding, no bus involvement (this is the multi-core fast path).
+    Everything else tunnels to the bus as a canonical ``write`` event.
+    """
+
+    __slots__ = ("core",)
+
+    def __init__(self, core: "ModuleHost"):
+        self.core = core
+
+    def route(self, instance: str, interface: str, message: Message) -> None:
+        core = self.core
+        entry = core.routes.get((instance, interface))
+        if entry is None:
+            core.send_event(
+                ["write", instance, interface, message.to_wire(core.profile)]
+            )
+            return
+        modules = core.modules
+        for dest, dest_if in entry:
+            module = modules.get(dest)
+            if module is not None:
+                module.queue(dest_if).put(message)
+
+    def route_to(
+        self, instance: str, interface: str, destination: str, message: Message
+    ) -> None:
+        core = self.core
+        entry = core.routes.get((instance, interface))
+        if entry is None:
+            core.send_event(
+                [
+                    "write_to",
+                    instance,
+                    interface,
+                    destination,
+                    message.to_wire(core.profile),
+                ]
+            )
+            return
+        for dest, dest_if in entry:
+            if dest == destination:
+                module = core.modules.get(dest)
+                if module is not None:
+                    module.queue(dest_if).put(message)
+                return
+        raise BindingError(
+            f"directed send from {instance}.{interface} to "
+            f"{destination!r}: no such binding"
+        )
+
+
+class ModuleHost:
+    """Hosts real module threads inside a remote process.
+
+    One instance per worker process / machine daemon.  The surrounding
+    serve loop feeds frames in; :meth:`handle` executes commands; pushes
+    back to the bus go through the injected ``send_event`` callable.
+    Lifecycle, divulge, and restore transitions are *pushed* as events,
+    so the bus-side handles mirror them without polling.
+    """
+
+    def __init__(
+        self,
+        machine_name: str,
+        host: Host,
+        sleep_policy: SleepPolicy,
+        send_event: Callable[[List[object]], None],
+    ):
+        self.machine_name = machine_name
+        self.host = host
+        self.profile = host.profile
+        self.sleep_policy = sleep_policy
+        self.send_event = send_event
+        self.modules: Dict[str, ModuleInstance] = {}
+        # Guards modules-dict mutations against concurrent deliveries
+        # (events run inline in the serve loop while commands like swap
+        # run on their own threads).
+        self.modules_lock = threading.Lock()
+        # (instance, interface) -> ((dest, dest_if), ...) for endpoints
+        # whose whole fan-out lives on this host.  Replaced atomically.
+        self.routes: Dict[Tuple[str, str], Tuple] = {}
+        self.shim = _HostBusShim(self)
+
+    # -- plumbing ----------------------------------------------------------
+
+    def handle(self, command: str, args: List[object]) -> object:
+        handler = getattr(self, f"_cmd_{command}", None)
+        if handler is None:
+            raise BusError(f"host {self.machine_name}: unknown command {command!r}")
+        return handler(*args)
+
+    def stop_all(self) -> None:
+        """Serve-loop teardown: ask every hosted module thread to exit."""
+        with self.modules_lock:
+            modules = list(self.modules.values())
+        for module in modules:
+            module.mh.stop()
+
+    def _module(self, instance) -> ModuleInstance:
+        try:
+            return self.modules[str(instance)]
+        except KeyError:
+            raise UnknownModuleError(
+                f"host {self.machine_name}: no instance {instance!r}"
+            ) from None
+
+    def _arm(self, module: ModuleInstance) -> None:
+        """Point the module's divulge at the bus (push, don't poll)."""
+        module.mh.set_divulge_callback(
+            lambda packet, m=module: self.send_event(["divulged", m.name, packet]),
+            lambda failure, m=module: self.send_event(
+                ["divulge_failed", m.name, f"{type(failure).__name__}: {failure}"]
+            ),
+        )
+
+    def _watch(self, module: ModuleInstance) -> None:
+        module.lifecycle_hook = self._push_lifecycle
+        module.mh.on_restored = lambda m=module: self.send_event(
+            ["restored", m.name]
+        )
+
+    def _push_lifecycle(self, module: ModuleInstance) -> None:
+        crash = module.crash
+        self.send_event(
+            [
+                "lifecycle",
+                module.name,
+                module.state.value,
+                repr(crash) if crash is not None else "",
+            ]
+        )
+
+    # -- module lifecycle commands -----------------------------------------
+
+    def _cmd_add(self, instance, spec_raw, status, packet) -> bool:
+        spec = spec_from_abstract(dict(spec_raw))
+        module = ModuleInstance(
+            name=str(instance),
+            spec=spec,
+            host=self.host,
+            bus=self.shim,
+            status=str(status),
+            sleep_policy=self.sleep_policy,
+        )
+        if packet is not None:
+            module.mh.incoming_packet = bytes(packet)
+        module.load()
+        self._watch(module)
+        with self.modules_lock:
+            if str(instance) in self.modules:
+                raise BusError(
+                    f"host {self.machine_name}: instance {instance!r} "
+                    f"already present"
+                )
+            self.modules[str(instance)] = module
+        return True
+
+    def _cmd_swap(self, instance, temp) -> bool:
+        """Atomically let the clone ``temp`` take over ``instance``.
+
+        Used for same-host replacement: the old module's queued messages
+        move to the front of the clone's queues, and the name mapping
+        flips in one step, so no delivery lands in a gap.
+        """
+        with self.modules_lock:
+            old = self.modules.pop(str(instance))
+            clone = self.modules.pop(str(temp))
+            for decl in old.spec.interfaces:
+                if old.has_queue(decl.name) and clone.has_queue(decl.name):
+                    clone.queue(decl.name).prepend(old.queue(decl.name).drain())
+            clone.rename(str(instance))
+            self.modules[str(instance)] = clone
+        old.stop()
+        return True
+
+    def _cmd_start(self, instance) -> bool:
+        self._module(instance).start()
+        return True
+
+    def _cmd_signal(self, instance) -> bool:
+        module = self._module(instance)
+        self._arm(module)
+        module.mh.request_reconfig()
+        return True
+
+    def _cmd_wait_divulged(self, instance, timeout) -> bytes:
+        return self._module(instance).wait_divulged(float(timeout))
+
+    def _cmd_stop(self, instance) -> str:
+        module = self._module(instance)
+        module.stop()
+        return module.state.value
+
+    def _cmd_remove(self, instance) -> bool:
+        with self.modules_lock:
+            module = self.modules.pop(str(instance))
+        module.stop()
+        module.state = ModuleState.REMOVED
+        return True
+
+    def _cmd_rename(self, old_name, new_name) -> bool:
+        with self.modules_lock:
+            module = self.modules.pop(str(old_name))
+            module.rename(str(new_name))
+            self.modules[str(new_name)] = module
+        return True
+
+    def _cmd_revive(self, instance, packet) -> str:
+        module = self._module(instance)
+        module.revive(bytes(packet))
+        # revive() reset the divulge machinery; future captures must
+        # push to the bus again.
+        self._arm(module)
+        return module.state.value
+
+    # -- state move commands -----------------------------------------------
+
+    def _cmd_install_packet(self, instance, packet) -> bool:
+        self._module(instance).mh.incoming_packet = bytes(packet)
+        return True
+
+    def _cmd_abandon(self, instance) -> bool:
+        self._module(instance).mh.abandon_divulge()
+        return True
+
+    def _cmd_clear_reconfig(self, instance) -> bool:
+        self._module(instance).mh.reconfig = False
+        return True
+
+    # -- message delivery and queue transfer ---------------------------------
+
+    def _cmd_deliver(self, instance, interface, wire) -> bool:
+        message = Message.from_wire(bytes(wire), self.profile)
+        with self.modules_lock:
+            module = self._module(instance)
+            module.deliver(str(interface), message)
+        return True
+
+    def _cmd_deliver_front(self, instance, interface, wires) -> bool:
+        """Prepend a batch of (older) messages — the ``cq`` transfer."""
+        messages = [Message.from_wire(bytes(w), self.profile) for w in wires]
+        with self.modules_lock:
+            self._module(instance).queue(str(interface)).prepend(messages)
+        return True
+
+    def _cmd_counts(self, instance) -> Dict[str, int]:
+        return self._module(instance).queued_counts()
+
+    def _cmd_snapshot_queue(self, instance, interface) -> List[bytes]:
+        messages = self._module(instance).queue(str(interface)).snapshot()
+        return [m.to_wire(self.profile) for m in messages]
+
+    def _cmd_drain_queue(self, instance, interface) -> List[bytes]:
+        messages = self._module(instance).queue(str(interface)).drain()
+        return [m.to_wire(self.profile) for m in messages]
+
+    def _cmd_drain_queues(self, instance) -> Dict[str, List[bytes]]:
+        module = self._module(instance)
+        result: Dict[str, List[bytes]] = {}
+        for decl in module.spec.interfaces:
+            if module.has_queue(decl.name):
+                drained = module.queue(decl.name).drain()
+                result[decl.name] = [m.to_wire(self.profile) for m in drained]
+        return result
+
+    # -- host-local routing ---------------------------------------------------
+
+    def _cmd_set_routes(self, routes_raw) -> bool:
+        table: Dict[Tuple[str, str], Tuple] = {}
+        for entry in routes_raw:
+            instance, interface, pairs = entry[0], entry[1], entry[2]
+            table[(str(instance), str(interface))] = tuple(
+                (str(dest), str(dest_if)) for dest, dest_if in pairs
+            )
+        self.routes = table
+        return True
+
+    def _cmd_clear_routes(self) -> bool:
+        self.routes = {}
+        return True
+
+    # -- introspection ---------------------------------------------------------
+
+    def _cmd_statics(self, instance) -> Dict[str, object]:
+        # Test/debug introspection: only canonical-encodable statics travel.
+        statics = self._module(instance).mh.statics
+        return {k: v for k, v in statics.items()}
+
+    def _cmd_state(self, instance) -> str:
+        return self._module(instance).state.value
+
+    def _cmd_crash_info(self, instance) -> str:
+        crash = self._module(instance).crash
+        return repr(crash) if crash is not None else ""
+
+    def _cmd_ping(self) -> str:
+        return self.machine_name
+
+    # -- chaos / telemetry parity across the boundary --------------------------
+
+    def _cmd_install_faults(self, plan_raw) -> bool:
+        faults.uninstall()  # retried installs must not trip the nesting guard
+        faults.install(FaultPlan.from_abstract(dict(plan_raw)))
+        return True
+
+    def _cmd_clear_faults(self) -> bool:
+        faults.uninstall()
+        return True
+
+    def _cmd_telemetry_enable(self) -> bool:
+        if telemetry.recorder is None:
+            telemetry.enable()
+        return True
+
+    def _cmd_telemetry_disable(self) -> bool:
+        if telemetry.recorder is not None:
+            telemetry.disable()
+        return True
+
+    def _cmd_telemetry_counters(self) -> Dict[str, int]:
+        rec = telemetry.recorder
+        if rec is None:
+            return {}
+        return {
+            f"{name}|{key or ''}": int(value)
+            for (name, key), value in rec.counters().items()
+        }
+
+
+# ---------------------------------------------------------------------------
+# Bus-side stand-ins for remotely hosted modules
+# ---------------------------------------------------------------------------
+
+
+class ProxyQueue:
+    """Bus-side view of a remote module's per-interface queue.
+
+    Hot-path delivery never passes through here (routing entries bind a
+    direct wire-put); this covers the reconfiguration-time queue
+    operations — ``cq``/``rmq`` snapshots, drains, and prepends — which
+    travel as requests so their effects are ordered against prior
+    deliveries by per-link FIFO.
+    """
+
+    __slots__ = ("_handle", "interface")
+
+    def __init__(self, handle: "RemoteModuleHandle", interface: str):
+        self._handle = handle
+        self.interface = interface
+
+    @property
+    def name(self) -> str:
+        return f"{self._handle.name}.{self.interface}"
+
+    def put(self, message: Message) -> None:
+        handle = self._handle
+        handle.link.send_event(
+            [
+                "deliver",
+                handle.name,
+                self.interface,
+                message.to_wire(handle.host.profile),
+            ]
+        )
+
+    def peek_count(self) -> int:
+        return int(self._handle.queued_counts().get(self.interface, 0))
+
+    def __len__(self) -> int:
+        return self.peek_count()
+
+    def snapshot(self) -> List[Message]:
+        wires = self._handle.link.request(
+            ["snapshot_queue", self._handle.name, self.interface]
+        )
+        profile = self._handle.host.profile
+        return [Message.from_wire(bytes(w), profile) for w in wires]  # type: ignore[union-attr]
+
+    def drain(self) -> List[Message]:
+        wires = self._handle.link.request(
+            ["drain_queue", self._handle.name, self.interface]
+        )
+        profile = self._handle.host.profile
+        return [Message.from_wire(bytes(w), profile) for w in wires]  # type: ignore[union-attr]
+
+    def prepend(self, messages: List[Message]) -> None:
+        profile = self._handle.host.profile
+        self._handle.link.request(
+            [
+                "deliver_front",
+                self._handle.name,
+                self.interface,
+                [m.to_wire(profile) for m in messages],
+            ]
+        )
+
+    def extend(self, messages: List[Message]) -> None:
+        for message in messages:  # FIFO events append behind prior deliveries
+            self.put(message)
+
+
+class _ProxyMH:
+    """The platform-facing slice of a remote module's ``mh``.
+
+    The real MH lives in the remote process; this proxy mirrors the
+    divulge/restore events the host pushes and forwards the platform's
+    control calls as requests.  Only the platform-side API is covered —
+    module code never sees this object.
+    """
+
+    def __init__(self, handle: "RemoteModuleHandle"):
+        self._handle = handle
+        self.module = handle.spec.name
+        self.machine = handle.host.profile
+        self.divulged = threading.Event()
+        self.restored = threading.Event()
+        self.outgoing_packet: Optional[bytes] = None
+        self.divulge_failed: Optional[BaseException] = None
+        self._incoming: Optional[bytes] = None
+        self._reconfig_mirror = False
+        self._divulge_callback: Optional[Callable[[bytes], None]] = None
+        self._failure_callback: Optional[Callable[[BaseException], None]] = None
+        self._cb_lock = threading.Lock()
+
+    # -- status -------------------------------------------------------------
+
+    def getstatus(self) -> str:
+        return self._handle.status
+
+    @property
+    def statics(self) -> Dict[str, object]:
+        """Live snapshot of the remote module's statics (one request)."""
+        return dict(
+            self._handle.link.request(["statics", self._handle.name])  # type: ignore[call-overload]
+        )
+
+    def stop(self) -> None:
+        self._handle.stop()
+
+    # -- state packet hand-off ------------------------------------------------
+
+    @property
+    def incoming_packet(self) -> Optional[bytes]:
+        return self._incoming
+
+    @incoming_packet.setter
+    def incoming_packet(self, packet: Optional[bytes]) -> None:
+        # Fire-and-forget: per-link FIFO guarantees the packet is
+        # installed before any subsequent "start" request is served.
+        self._incoming = packet
+        if packet is not None:
+            self._handle.link.send_event(
+                ["install_packet", self._handle.name, packet]
+            )
+
+    def set_divulge_callback(
+        self,
+        callback: Optional[Callable[[bytes], None]] = None,
+        on_failure: Optional[Callable[[BaseException], None]] = None,
+    ) -> None:
+        # Stored bus-side only; the remote host always pushes, and the
+        # "divulged" event fans into whatever is registered here.
+        with self._cb_lock:
+            self._divulge_callback = callback
+            self._failure_callback = on_failure
+
+    def request_reconfig(self) -> None:
+        self._handle.link.request(["signal", self._handle.name])
+        self._reconfig_mirror = True
+
+    def abandon_divulge(self) -> None:
+        with self._cb_lock:
+            self._divulge_callback = None
+            self._failure_callback = None
+        self._handle.link.request(["abandon", self._handle.name])
+
+    @property
+    def reconfig(self) -> bool:
+        return self._reconfig_mirror
+
+    @reconfig.setter
+    def reconfig(self, value: bool) -> None:
+        self._reconfig_mirror = bool(value)
+        command = "signal" if value else "clear_reconfig"
+        self._handle.link.request([command, self._handle.name])
+
+    # -- event sinks (called from the link dispatcher thread) -------------------
+
+    def _on_divulged(self, packet: bytes) -> None:
+        self.outgoing_packet = packet
+        with self._cb_lock:
+            callback = self._divulge_callback
+        self.divulged.set()  # same order as MH.encode: event, then callback
+        if callback is not None:
+            callback(packet)
+
+    def _on_divulge_failed(self, text: str) -> None:
+        failure = TransportError(text)
+        self.divulge_failed = failure
+        with self._cb_lock:
+            on_failure = self._failure_callback
+        if on_failure is not None:
+            on_failure(failure)
+
+
+class RemoteModuleHandle:
+    """Bus-side stand-in for a module hosted by a remote transport.
+
+    Duck-types the platform-facing surface of
+    :class:`~repro.bus.module.ModuleInstance`: the routing rebuild, the
+    coordinator, the Figure-5 primitives, and the health checks all
+    operate on it unchanged.  ``thread`` is always ``None`` (the real
+    thread lives remotely); liveness is mirrored from pushed lifecycle
+    events instead.
+    """
+
+    is_remote = True
+
+    def __init__(
+        self,
+        name: str,
+        spec: ModuleSpec,
+        host: Host,
+        link: Link,
+        transport: "RemoteTransport",
+        placement: str,
+        status: str = "original",
+    ):
+        self.name = name
+        self.spec = spec
+        self.host = host
+        self.link = link
+        self.transport = transport
+        self.placement = placement
+        self.status = status
+        self.state = ModuleState.LOADED
+        self.crash: Optional[BaseException] = None
+        self.thread = None
+        self.mh = _ProxyMH(self)
+        self._queues: Dict[str, ProxyQueue] = {
+            decl.name: ProxyQueue(self, decl.name)
+            for decl in spec.interfaces
+            if decl.direction.can_receive
+        }
+
+    # -- queues --------------------------------------------------------------
+
+    def queue(self, interface: str) -> ProxyQueue:
+        try:
+            return self._queues[interface]
+        except KeyError:
+            decl = self.spec.interface(interface)  # raises if undeclared
+            raise UnknownInterfaceError(
+                f"{self.name}: interface {interface!r} ({decl.role.value}) "
+                f"has no receive queue"
+            ) from None
+
+    def has_queue(self, interface: str) -> bool:
+        return interface in self._queues
+
+    def deliver(self, interface: str, message: Message) -> None:
+        self.queue(interface).put(message)
+
+    def queued_counts(self) -> Dict[str, int]:
+        raw = self.link.request(["counts", self.name])
+        return {str(k): int(v) for k, v in dict(raw).items()}  # type: ignore[call-overload]
+
+    def remote_put(self, interface: str, sender_profile: Optional[MachineProfile]):
+        """A bound delivery callable for the routing table.
+
+        Compiled once per topology change, like a local ``queue.put``:
+        per message it encodes with the *sender's* profile and ships a
+        ``deliver`` event; the remote host decodes with its own profile —
+        the same canonical-encoding contract as any cross-host delivery.
+        """
+
+        def put(
+            message: Message,
+            _link=self.link,
+            _name=self.name,
+            _interface=interface,
+            _profile=sender_profile,
+        ) -> None:
+            _link.send_event(
+                ["deliver", _name, _interface, message.to_wire(_profile)]
+            )
+
+        return put
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def load(self) -> None:
+        pass  # loaded remotely at add time
+
+    def start(self) -> None:
+        self.link.request(["start", self.name])
+        self.state = ModuleState.RUNNING
+
+    def stop(self, timeout: float = 5.0) -> None:
+        value = self.link.request(["stop", self.name], timeout=timeout + 30.0)
+        self.state = ModuleState(str(value))
+
+    def join(self, timeout: float = 5.0) -> None:
+        pass  # remote stop is synchronous; nothing to join here
+
+    def revive(self, packet: Optional[bytes] = None, timeout: float = 5.0) -> None:
+        pkt = packet if packet is not None else self.mh.outgoing_packet
+        if pkt is None:
+            raise ModuleLifecycleError(
+                f"{self.name}: no captured state to revive from"
+            )
+        self.mh.divulged.clear()
+        self.mh.restored.clear()
+        self.mh.outgoing_packet = None
+        value = self.link.request(
+            ["revive", self.name, pkt], timeout=timeout + 30.0
+        )
+        self.crash = None
+        self.state = ModuleState(str(value))
+
+    def check_alive(self) -> None:
+        if self.state is ModuleState.CRASHED and self.crash is not None:
+            raise ModuleCrashedError(self.name, self.crash)
+
+    def wait_divulged(self, timeout: float) -> bytes:
+        if not self.mh.divulged.wait(timeout):
+            self.check_alive()
+            raise ReconfigTimeoutError(
+                f"{self.name}: no reconfiguration point reached within "
+                f"{timeout}s"
+            )
+        packet = self.mh.outgoing_packet
+        if packet is None:  # pragma: no cover - divulged implies packet
+            raise ModuleLifecycleError(f"{self.name}: divulged without packet")
+        return packet
+
+    def discard(self) -> None:
+        """Remove the module from its remote host (bus-side bookkeeping too)."""
+        self.transport._forget(self.name)
+        self.link.request(["remove", self.name])
+        self.state = ModuleState.REMOVED
+
+    # -- event sink -----------------------------------------------------------
+
+    def _on_lifecycle(self, state_value: str, crash_text: str) -> None:
+        if crash_text:
+            self.crash = BusError(crash_text)
+        self.state = ModuleState(state_value)
+
+    def describe(self) -> str:
+        return (
+            f"{self.name} [{self.spec.name}] on {self.host.name} "
+            f"({self.state.value}, placement={self.placement})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Remote transports
+# ---------------------------------------------------------------------------
+
+
+class RemoteTransport(Transport):
+    """Shared bus-side logic for transports hosting modules out of process."""
+
+    def __init__(self):
+        self._bus = None
+        self._handles: Dict[str, RemoteModuleHandle] = {}
+        self._handles_lock = threading.Lock()
+
+    def attach_bus(self, bus) -> None:
+        self._bus = bus
+
+    def links(self) -> List[Link]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _place(self, slot: Optional[str]) -> Tuple[Link, Host, str]:
+        raise NotImplementedError
+
+    # -- handle bookkeeping ----------------------------------------------------
+
+    def _register(self, handle: RemoteModuleHandle) -> None:
+        with self._handles_lock:
+            self._handles[handle.name] = handle
+
+    def _forget(self, name: str) -> None:
+        with self._handles_lock:
+            self._handles.pop(name, None)
+
+    def rename(self, handle: RemoteModuleHandle, new_name: str) -> None:
+        handle.link.request(["rename", handle.name, new_name])
+        with self._handles_lock:
+            self._handles.pop(handle.name, None)
+            handle.name = new_name
+            self._handles[new_name] = handle
+
+    # -- module placement ------------------------------------------------------
+
+    def add_module(
+        self,
+        spec: ModuleSpec,
+        instance: str,
+        status: str = "original",
+        state_packet: Optional[bytes] = None,
+        slot: Optional[str] = None,
+    ) -> RemoteModuleHandle:
+        link, host, placement = self._place(slot)
+        prepared = prepared_source_for(spec)
+        link.request(
+            ["add", instance, spec.to_abstract(prepared), status, state_packet]
+        )
+        handle = RemoteModuleHandle(
+            name=instance,
+            spec=spec,
+            host=host,
+            link=link,
+            transport=self,
+            placement=placement,
+            status=status,
+        )
+        if state_packet is not None:
+            handle.mh._incoming = state_packet
+        self._register(handle)
+        return handle
+
+    # -- event dispatch --------------------------------------------------------
+
+    def _make_on_event(self, link: Link) -> Callable[[str, List[object]], None]:
+        def on_event(command: str, args: List[object]) -> None:
+            if command == "write":
+                bus = self._bus
+                if bus is not None:
+                    bus._on_transport_write(
+                        str(args[0]), str(args[1]), bytes(args[2]), link.profile  # type: ignore[arg-type]
+                    )
+            elif command == "write_to":
+                bus = self._bus
+                if bus is not None:
+                    bus._on_transport_write_to(
+                        str(args[0]),
+                        str(args[1]),
+                        str(args[2]),
+                        bytes(args[3]),  # type: ignore[arg-type]
+                        link.profile,
+                    )
+            elif command == "divulged":
+                handle = self._handles.get(str(args[0]))
+                if handle is not None:
+                    handle.mh._on_divulged(bytes(args[1]))  # type: ignore[arg-type]
+            elif command == "divulge_failed":
+                handle = self._handles.get(str(args[0]))
+                if handle is not None:
+                    handle.mh._on_divulge_failed(str(args[1]))
+            elif command == "restored":
+                handle = self._handles.get(str(args[0]))
+                if handle is not None:
+                    handle.mh.restored.set()
+            elif command == "lifecycle":
+                handle = self._handles.get(str(args[0]))
+                if handle is not None:
+                    handle._on_lifecycle(str(args[1]), str(args[2]))
+
+        return on_event
+
+
+class TcpTransport(RemoteTransport):
+    """The machine-daemon escape hatch, rehomed as a first-class transport.
+
+    Spawns ``python -m repro.bus.tcp`` daemon processes exactly as
+    :class:`~repro.bus.tcp.DistributedBus` does, but speaks to them
+    through the shared :class:`Link`/:class:`ModuleHost` protocol — so a
+    module placed with ``placement="tcp"`` participates in the ordinary
+    :class:`~repro.bus.bus.SoftwareBus` topology (mixed bindings with
+    inproc and worker modules included) instead of living in a separate
+    API.  TCP frames are lossy under the chaos suite, so requests run
+    under the retrying policy.
+    """
+
+    name = "tcp"
+
+    def __init__(
+        self,
+        machines=1,
+        architecture: str = "modern-64",
+        sleep_scale: float = 0.0,
+        host_prefix: str = "tcphost-",
+    ):
+        super().__init__()
+        import socket as socketlib
+        import subprocess
+
+        from repro.bus import tcp as tcpmod  # late: tcp.py imports this module
+        from repro.state.machine import MACHINES
+
+        self._tcp = tcpmod
+        self._listener = socketlib.socket(socketlib.AF_INET, socketlib.SOCK_STREAM)
+        self._listener.setsockopt(socketlib.SOL_SOCKET, socketlib.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(16)
+        address: Tuple[str, int] = self._listener.getsockname()
+        names = (
+            [f"{host_prefix}{i}" for i in range(machines)]
+            if isinstance(machines, int)
+            else list(machines)
+        )
+        base = MACHINES[architecture]
+        self._processes: List = []
+        self._machines: List[Tuple[str, Link, Host]] = []
+        self._rr = 0
+        self._rr_lock = threading.Lock()
+        for name in names:
+            profile = MachineProfile(
+                name=name,
+                endianness=base.endianness,
+                int_bits=base.int_bits,
+                long_bits=base.long_bits,
+                float_bits=base.float_bits,
+            )
+            process = subprocess.Popen(
+                tcpmod._daemon_argv(name, profile, address, sleep_scale)
+            )
+            self._processes.append(process)
+            self._listener.settimeout(60)
+            sock, _addr = self._listener.accept()
+            sock.setsockopt(socketlib.IPPROTO_TCP, socketlib.TCP_NODELAY, 1)
+            hello = tcpmod.recv_frame(sock)
+            if not (
+                isinstance(hello, list) and len(hello) >= 5 and hello[2] == "hello"
+            ):
+                raise TransportError(f"unexpected first frame {hello!r}")
+            daemon_name = str(hello[3])
+            daemon_profile = profile_from_abstract(dict(hello[4]))
+            link = Link(
+                daemon_name,
+                daemon_profile,
+                tcpmod.SocketChannel(sock),
+                retry=RetryPolicy(attempts=3, backoff=0.05),
+            )
+            link.on_event = self._make_on_event(link)
+            self._machines.append(
+                (daemon_name, link, Host(name=daemon_name, profile=daemon_profile))
+            )
+
+    def links(self) -> List[Link]:
+        return [link for _, link, _ in self._machines]
+
+    def _place(self, slot: Optional[str]) -> Tuple[Link, Host, str]:
+        if not slot:
+            with self._rr_lock:
+                index = self._rr % len(self._machines)
+                self._rr += 1
+        else:
+            index = next(
+                (i for i, (name, _, _) in enumerate(self._machines) if name == slot),
+                -1,
+            )
+            if index < 0:
+                try:
+                    index = int(slot)
+                except ValueError:
+                    raise BusError(
+                        f"tcp transport has no machine {slot!r}"
+                    ) from None
+                if not 0 <= index < len(self._machines):
+                    raise BusError(f"tcp transport slot {slot!r} out of range")
+        name, link, host = self._machines[index]
+        return link, host, f"{self.name}:{name}"
+
+    def close(self) -> None:
+        for _, link, _ in self._machines:
+            try:
+                link.request(["shutdown"], timeout=5)
+            except (BusError, TransportError):
+                pass
+            link.close()
+        for process in self._processes:
+            try:
+                process.wait(timeout=5)
+            except Exception:  # noqa: BLE001 - escalate to terminate
+                process.terminate()
+                try:
+                    process.wait(timeout=5)
+                except Exception:  # noqa: BLE001 - last resort
+                    process.kill()
+        self._listener.close()

@@ -315,6 +315,7 @@ class ReconfigurationCoordinator:
         timeout: float = 10.0,
         kind: str = "replace",
         preserve_queues: bool = True,
+        placement: Optional[str] = None,
     ) -> ReconfigurationReport:
         """Replace ``instance`` with a (possibly relocated, possibly new
         version) clone that resumes from the captured state.
@@ -324,6 +325,14 @@ class ReconfigurationCoordinator:
         ``preserve_queues=False`` omits the ``cq`` commands — an ablation
         showing why Figure 5 copies queues (messages queued at the old
         module would otherwise be lost).
+
+        ``placement`` picks where the clone executes (see
+        :meth:`SoftwareBus.add_module`); by default it inherits the old
+        module's placement, so a worker-hosted module is replaced in
+        place — the captured state packet travels over the transport to
+        the clone, and the rebind batch reaches the affected workers as
+        route updates.  Passing a different placement migrates the
+        module between processes as part of the replacement.
 
         All-or-nothing: any failure before the clone proves healthy
         aborts the transaction, rolls the bus back, and raises
@@ -337,6 +346,10 @@ class ReconfigurationCoordinator:
                 f"module {old.spec.name!r} declares no reconfiguration "
                 f"points; it cannot participate (use module-level "
                 f"reconfiguration instead)"
+            )
+        if placement is None:
+            placement = getattr(
+                self.bus.get_module(instance), "placement", None
             )
         target_machine = machine or old.machine
         spec = (new_spec or old.spec).with_attributes(
@@ -364,7 +377,14 @@ class ReconfigurationCoordinator:
             new_machine=target_machine,
         ) as root:
             self._replace_txn(
-                old, spec, report, temp_name, new_spec, timeout, preserve_queues
+                old,
+                spec,
+                report,
+                temp_name,
+                new_spec,
+                timeout,
+                preserve_queues,
+                placement,
             )
             root.set(
                 packet_bytes=report.packet_bytes,
@@ -382,6 +402,7 @@ class ReconfigurationCoordinator:
         new_spec: Optional[ModuleSpec],
         timeout: float,
         preserve_queues: bool,
+        placement: Optional[str] = None,
     ) -> None:
         instance = report.instance
         target_machine = report.new_machine
@@ -389,7 +410,11 @@ class ReconfigurationCoordinator:
         def build_clone() -> None:
             faults.fire_hard("coordinator.clone_build")
             self.bus.add_module(
-                spec, instance=temp_name, machine=target_machine, status="clone"
+                spec,
+                instance=temp_name,
+                machine=target_machine,
+                status="clone",
+                placement=placement,
             )
 
         # A *new* version can be rejected by the transformer, and the

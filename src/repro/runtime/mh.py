@@ -109,6 +109,12 @@ class MH:
         self.outgoing_packet: Optional[bytes] = None
         self.divulged = threading.Event()
         self.restored = threading.Event()  # set by end_restore (clone health)
+        # Platform hook fired right after ``restored`` is set.  Remote
+        # module hosts use it to push a "restored" event to the bus
+        # process, whose coordinator health-checks the clone without
+        # polling across the process boundary.  Survives prepare_revival
+        # (a revived module's restore completion is equally interesting).
+        self.on_restored: Optional[Callable[[], None]] = None
         self._divulge_callback: Optional[Callable[[bytes], None]] = None
         self._failure_callback: Optional[Callable[[BaseException], None]] = None
         self._divulge_lock = threading.Lock()
@@ -413,6 +419,12 @@ class MH:
         self._restore_stack = None
         self._status = "original"
         self.restored.set()
+        hook = self.on_restored
+        if hook is not None:
+            try:
+                hook()
+            except Exception:  # noqa: BLE001 - hooks must not crash the module
+                pass
         span.set(frames=self.stats["frames_restored"]).close()
 
     # ------------------------------------------------------------------

@@ -269,6 +269,27 @@ class MachineProfile:
             f"int{self.int_bits}/long{self.long_bits}/float{self.float_bits}"
         )
 
+    def to_abstract(self) -> Dict[str, object]:
+        """Plain-value form for crossing a process boundary (pipe or TCP)."""
+        return {
+            "name": self.name,
+            "endianness": self.endianness.value,
+            "int_bits": self.int_bits,
+            "long_bits": self.long_bits,
+            "float_bits": self.float_bits,
+        }
+
+
+def profile_from_abstract(value: Dict[str, object]) -> MachineProfile:
+    """Rebuild a profile from :meth:`MachineProfile.to_abstract` output."""
+    return MachineProfile(
+        name=str(value["name"]),
+        endianness=Endianness(str(value["endianness"])),
+        int_bits=int(value["int_bits"]),  # type: ignore[call-overload]
+        long_bits=int(value["long_bits"]),  # type: ignore[call-overload]
+        float_bits=int(value["float_bits"]),  # type: ignore[call-overload]
+    )
+
 
 #: A small catalogue of simulated architectures used by examples and tests.
 MACHINES: Dict[str, MachineProfile] = {

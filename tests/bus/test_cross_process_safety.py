@@ -1,0 +1,120 @@
+"""Cross-process safety of the objects that travel between processes.
+
+Messages, module specs, and bindings were born in a single-process bus
+where anything could ride along — a thread handle in ``attributes``, a
+socket in a message value — and nothing noticed until the worker pool
+made crossing a process boundary routine.  These tests pin the audited
+contract: everything that travels round-trips through the canonical
+abstract encoding, and anything that cannot travel fails loudly *naming
+the offender*, not as an opaque decoder error in another process.
+"""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.bus.interfaces import InterfaceDecl, Role
+from repro.bus.message import Message
+from repro.bus.spec import BindingSpec, ModuleSpec, spec_from_abstract
+from repro.errors import EncodingError, SpecError
+from repro.state.encoding import decode_any, encode_any
+from repro.state.machine import MACHINES, profile_from_abstract
+
+
+def _spec(**attributes):
+    return ModuleSpec(
+        name="compute",
+        inline_source="def main():\n    mh.init()\n",
+        interfaces=[
+            InterfaceDecl(name="inp", role=Role.USE, pattern="l"),
+            InterfaceDecl(name="out", role=Role.DEFINE, pattern="(sl)"),
+        ],
+        reconfig_points=["P"],
+        attributes=attributes,
+    )
+
+
+class TestSpecTravel:
+    def test_abstract_round_trip(self):
+        spec = _spec(machine="alpha", placement="worker:1")
+        raw = spec.to_abstract(prepared_source="PREPARED")
+        back = spec_from_abstract(decode_any(encode_any(raw)))
+        assert back.name == spec.name
+        assert back.inline_source == "PREPARED"
+        assert [d.name for d in back.interfaces] == ["inp", "out"]
+        assert [d.role for d in back.interfaces] == [Role.USE, Role.DEFINE]
+        assert back.attributes == {"machine": "alpha", "placement": "worker:1"}
+        # Points never travel: preparation happened bus-side.
+        assert back.reconfig_points == []
+
+    def test_pickle_round_trip(self):
+        spec = _spec(machine="alpha")
+        back = pickle.loads(pickle.dumps(spec))
+        assert back.name == spec.name
+        assert [d.pattern for d in back.interfaces] == ["l", "(sl)"]
+
+    def test_non_string_attribute_fails_loudly(self):
+        # A thread handle smuggled into attributes must fail at the
+        # boundary with the module's name, not deep inside encode_any.
+        spec = _spec(handle=threading.Event())
+        with pytest.raises(SpecError, match="compute.*handle"):
+            spec.to_abstract(prepared_source="SRC")
+
+    def test_non_string_attribute_value_fails_loudly(self):
+        spec = _spec(retries=3)
+        with pytest.raises(SpecError, match="string"):
+            spec.to_abstract(prepared_source="SRC")
+
+
+class TestBindingTravel:
+    def test_pickle_round_trip(self):
+        binding = BindingSpec("sensor", "out", "monitor", "inp")
+        back = pickle.loads(pickle.dumps(binding))
+        assert back == binding
+        assert back.endpoints() == binding.endpoints()
+
+
+class TestMessageTravel:
+    def test_wire_round_trip_across_profiles(self):
+        sender = MACHINES["modern-64"]
+        receiver = MACHINES["sparc-like"]
+        message = Message(
+            values=[7, "abc", 2.5],
+            fmt="lsF",
+            source_instance="sensor",
+            source_interface="out",
+            seq=42,
+        ).validated()
+        back = Message.from_wire(message.to_wire(sender), receiver)
+        assert back.values == [7, "abc", 2.5]
+        assert back.source_instance == "sensor"
+        assert back.source_interface == "out"
+        assert back.seq == 42
+
+    def test_pickle_round_trip(self):
+        message = Message(
+            values=[1], fmt="l", source_instance="a", source_interface="out"
+        )
+        back = pickle.loads(pickle.dumps(message))
+        assert back.values == [1]
+        assert back.source_instance == "a"
+
+    def test_unencodable_value_names_the_endpoint(self):
+        # Format-less messages (dynamic 'a' codes) can carry anything in
+        # process; crossing a boundary must point at the guilty writer.
+        message = Message(
+            values=[threading.Lock()],
+            fmt="",
+            source_instance="sensor",
+            source_interface="out",
+        )
+        with pytest.raises(EncodingError, match="sensor.out"):
+            message.to_wire(MACHINES["modern-64"])
+
+
+class TestProfileTravel:
+    def test_abstract_round_trip(self):
+        profile = MACHINES["sparc-like"]
+        back = profile_from_abstract(decode_any(encode_any(profile.to_abstract())))
+        assert back == profile

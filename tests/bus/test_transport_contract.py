@@ -1,0 +1,290 @@
+"""Transport conformance: every placement honours the same bus contract.
+
+A module must behave identically whether it runs as a thread in the bus
+process (``inproc``), in a pipe-fed worker process (``worker``), or in a
+TCP machine daemon (``tcp``) — that location-independence is POLYLITH's
+central claim, and this suite is what enforces it.  Each test runs once
+per placement:
+
+- per-binding delivery order is the send order;
+- the Figure-5 queue transfers (``cq``/``rmq``) lose and duplicate
+  nothing across a process boundary;
+- a stop request interrupts a read blocked on an empty queue promptly;
+- ``replace()`` round-trips state through the transport, and a rebind
+  that keeps failing rolls back to the old module *in its process*.
+"""
+
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.bus.bus import SoftwareBus
+from repro.bus.interfaces import InterfaceDecl, Role
+from repro.bus.message import Message
+from repro.bus.module import ModuleState
+from repro.bus.spec import BindingSpec, ModuleSpec
+from repro.bus.transport import TcpTransport
+from repro.errors import ReconfigurationAborted
+from repro.reconfig.coordinator import ReconfigurationCoordinator
+from repro.runtime.faults import FaultPlan, fault_plan
+
+pytestmark = pytest.mark.multiproc
+
+#: Worst-case wall clock for one test before the watchdog kills it
+#: (covers process spawn + handshake on a loaded single-core runner).
+_WATCHDOG_S = 120.0
+
+COLLECTOR_SOURCE = '''
+def main():
+    got = []
+    mh.statics["got"] = []
+    mh.init()
+    while mh.running:
+        n = mh.read1("inp")
+        got.append(n)
+        mh.statics["got"] = got
+'''
+
+COUNTER_SOURCE = '''
+def main():
+    total = 0
+    mh.statics["total"] = 0
+    mh.init()
+    while mh.running:
+        mh.reconfig_point("Q")
+        n = mh.read1("inp")
+        total = total + n
+        mh.statics["total"] = total
+'''
+
+FEEDER_SOURCE = '''
+def main():
+    mh.sleep(0.01)
+'''
+
+
+@pytest.fixture(autouse=True)
+def _watchdog():
+    """Hard per-test timeout: a wedged worker/daemon must not hang CI."""
+
+    def _expired(signum, frame):  # pragma: no cover - only fires on hangs
+        raise RuntimeError(f"transport contract test exceeded {_WATCHDOG_S}s")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, _WATCHDOG_S)
+    yield
+    signal.setitimer(signal.ITIMER_REAL, 0.0)
+    signal.signal(signal.SIGALRM, previous)
+
+
+@pytest.fixture(params=["inproc", "worker", "tcp"])
+def placed_bus(request):
+    """A bus plus the placement string that selects the transport under test."""
+    if request.param == "worker":
+        bus = SoftwareBus(sleep_scale=0.0, workers=2)
+        placement = "worker:0"
+    elif request.param == "tcp":
+        bus = SoftwareBus(sleep_scale=0.0)
+        bus.attach_transport(TcpTransport(machines=1, sleep_scale=0.0), owned=True)
+        placement = "tcp:0"
+    else:
+        bus = SoftwareBus(sleep_scale=0.0)
+        placement = None
+    yield bus, placement
+    bus.shutdown()
+
+
+def _collector_spec(name="collector"):
+    return ModuleSpec(
+        name=name,
+        inline_source=COLLECTOR_SOURCE,
+        interfaces=[InterfaceDecl(name="inp", role=Role.USE, pattern="l")],
+    )
+
+
+def _counter_spec():
+    return ModuleSpec(
+        name="counter",
+        inline_source=COUNTER_SOURCE,
+        interfaces=[InterfaceDecl(name="inp", role=Role.USE, pattern="l")],
+        reconfig_points=["Q"],
+    )
+
+
+def _feeder_spec():
+    return ModuleSpec(
+        name="feeder",
+        inline_source=FEEDER_SOURCE,
+        interfaces=[InterfaceDecl(name="out", role=Role.DEFINE, pattern="l")],
+    )
+
+
+def _feed(bus, *values):
+    for value in values:
+        bus.route(
+            "feeder",
+            "out",
+            Message(
+                values=[value],
+                fmt="l",
+                source_instance="feeder",
+                source_interface="out",
+            ).validated(),
+        )
+
+
+def _wait(predicate, timeout=20.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(0.02)
+    raise AssertionError(f"condition not reached within {timeout}s")
+
+
+class _Nudger:
+    """Feeds zero-valued messages so a module blocked on ``read`` keeps
+    looping back to its reconfiguration point during a replace."""
+
+    def __init__(self, bus):
+        self.bus = bus
+        self.stop = threading.Event()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        while not self.stop.is_set():
+            try:
+                _feed(self.bus, 0)
+            except Exception:  # noqa: BLE001 - bus may be mid-topology-change
+                pass
+            time.sleep(0.05)
+
+    def __enter__(self):
+        self.thread.start()
+        return self
+
+    def __exit__(self, *exc):
+        self.stop.set()
+        self.thread.join()
+
+
+class TestDeliveryContract:
+    def test_per_binding_order_is_send_order(self, placed_bus):
+        bus, placement = placed_bus
+        bus.add_module(_collector_spec(), instance="collector", placement=placement)
+        bus.add_module(_feeder_spec(), instance="feeder")
+        bus.add_binding(BindingSpec("feeder", "out", "collector", "inp"))
+        bus.start_module("collector")
+
+        sent = list(range(200))
+        _feed(bus, *sent)
+        got = _wait(
+            lambda: (lambda g: g if len(g) == len(sent) else None)(
+                bus.statics_of("collector").get("got", [])
+            )
+        )
+        assert list(got) == sent
+
+    def test_queue_transfer_no_loss_no_dup(self, placed_bus):
+        bus, placement = placed_bus
+        # Neither collector is started: messages pile up in the queues,
+        # which is exactly the window the Figure-5 transfers operate in.
+        bus.add_module(_collector_spec(), instance="collector", placement=placement)
+        bus.add_module(
+            _collector_spec("collector2"), instance="collector2", placement=placement
+        )
+        bus.add_module(_feeder_spec(), instance="feeder")
+        bus.add_binding(BindingSpec("feeder", "out", "collector", "inp"))
+
+        sent = list(range(50))
+        _feed(bus, *sent)
+        _wait(
+            lambda: bus.get_module("collector").queued_counts().get("inp") == len(sent)
+        )
+
+        copied = bus.copy_queue("collector", "inp", "collector2")
+        assert copied == len(sent)
+        assert bus.get_module("collector2").queued_counts().get("inp") == len(sent)
+
+        removed = bus.remove_queue("collector", "inp")
+        assert removed == len(sent)
+        assert bus.get_module("collector").queued_counts().get("inp") == 0
+
+        # The copy preserved both content and order: the second collector
+        # processes every message exactly once.
+        bus.start_module("collector2")
+        got = _wait(
+            lambda: (lambda g: g if len(g) == len(sent) else None)(
+                bus.statics_of("collector2").get("got", [])
+            )
+        )
+        assert list(got) == sent
+
+    def test_stop_interrupts_blocked_read(self, placed_bus):
+        bus, placement = placed_bus
+        bus.add_module(_collector_spec(), instance="collector", placement=placement)
+        bus.start_module("collector")
+        module = bus.get_module("collector")
+        _wait(lambda: module.state is ModuleState.RUNNING)
+
+        started = time.monotonic()
+        module.stop()
+        elapsed = time.monotonic() - started
+        assert module.state in (ModuleState.STOPPED, ModuleState.DIVULGED)
+        assert elapsed < 2.0, f"stop took {elapsed:.2f}s against a blocked read"
+
+
+class TestReplaceContract:
+    def _launch_counter(self, bus, placement):
+        bus.add_module(_counter_spec(), instance="counter", placement=placement)
+        bus.add_module(_feeder_spec(), instance="feeder")
+        bus.add_binding(BindingSpec("feeder", "out", "counter", "inp"))
+        bus.start_module("counter")
+        _feed(bus, 1, 2, 3)
+        _wait(lambda: bus.statics_of("counter").get("total") == 6)
+
+    def test_replace_round_trips_state(self, placed_bus):
+        bus, placement = placed_bus
+        self._launch_counter(bus, placement)
+        coordinator = ReconfigurationCoordinator(bus)
+        with _Nudger(bus):
+            coordinator.replace("counter", timeout=30)
+        replaced = bus.get_module("counter")
+        assert replaced.state is ModuleState.RUNNING
+        if placement is not None:
+            assert replaced.placement == placement or replaced.placement.startswith(
+                placement.split(":")[0]
+            )
+        # The running total crossed the transport inside the state packet.
+        _feed(bus, 10)
+        _wait(lambda: bus.statics_of("counter").get("total") == 16)
+
+    def test_failed_rebind_rolls_back_to_old_process(self, placed_bus):
+        bus, placement = placed_bus
+        self._launch_counter(bus, placement)
+        coordinator = ReconfigurationCoordinator(bus)
+        # Ten crashes exceed every retry budget: the transaction must
+        # abort and revive the old module wherever it lives.
+        plan = FaultPlan("rebind-hard").schedule(
+            "coordinator.rebind", "crash", times=10
+        )
+        with _Nudger(bus):
+            with fault_plan(plan):
+                with pytest.raises(ReconfigurationAborted) as excinfo:
+                    coordinator.replace("counter", timeout=30)
+            assert excinfo.value.rolled_back
+            assert not bus.has_module("counter.new")
+            survivor = bus.get_module("counter")
+            assert survivor.state is ModuleState.RUNNING
+
+            # Still serving, still in its original placement...
+            _feed(bus, 7)
+            _wait(lambda: bus.statics_of("counter").get("total") == 13)
+
+            # ...and a clean replace afterwards proves nothing leaked.
+            coordinator.replace("counter", timeout=30)
+        _feed(bus, 2)
+        _wait(lambda: bus.statics_of("counter").get("total") == 15)
