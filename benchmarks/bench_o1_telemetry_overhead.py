@@ -13,16 +13,27 @@ what the flight recorder costs on the bus message hot path
   the benchmark asserts < 3% and additionally verifies structurally that
   the disabled fast path holds raw ``MessageQueue.put`` bound methods —
   zero wrappers, zero flag tests.
-- ``enabled`` — throughput with counting delivery wrappers compiled in
-  (two counter increments + one queue-depth sample per message).  This
-  is the price of *turning telemetry on*, reported for EXPERIMENTS.
+- ``enabled`` — throughput with the recorder installed: delivery counts
+  kept in-lock by the swapped-in ``RecordingMessageQueue`` classes,
+  ``bus.routed`` derived lazily from queue cells, and per-message spans
+  sampled 1-in-``sample``.  Asserted < 10% (down from ~80% with PR 4's
+  per-delivery counting closures).
 - ``guard_ns`` — the cost of the ``telemetry.recorder is None`` guard
   used by the sites that cannot compile themselves out (faults-style
   one-attribute-load-plus-branch idiom), measured directly.
 
+Methodology: one persistent bus, modes switched in place, and every
+enabled/disabled segment *straddled* between two baseline segments
+whose mean it is compared against (``b1 e b2 d b3`` per round, medians
+across rounds) — a sequential all-baseline-then-all-enabled layout let
+slow container drift show "disabled" beating "baseline" by double
+digits.  ``cpus`` and the sampling rate are recorded so trajectories
+across containers stay comparable.
+
 It also times the Figure-1 monitor move (feed-driven, same harness as
 the chaos suite) with telemetry on and off, since the replace path is
-where spans actually get recorded.
+where spans actually get recorded; the move runs unsampled
+(``sample=1``) to show full-fidelity recording does not tax it.
 
 Run standalone to (re)generate ``BENCH_telemetry.json``::
 
@@ -32,6 +43,8 @@ Run standalone to (re)generate ``BENCH_telemetry.json``::
 from __future__ import annotations
 
 import json
+import os
+import statistics
 import sys
 import threading
 import time
@@ -40,23 +53,16 @@ from typing import Dict, List, Tuple
 from repro.bus.queues import MessageQueue
 from repro.runtime import telemetry
 
-from benchmarks.bench_a4_bus_throughput import build, measure
+from benchmarks.bench_a4_bus_throughput import build
 from benchmarks.conftest import report
 
 #: Disabled-mode telemetry must cost less than this on bus throughput.
 DISABLED_OVERHEAD_LIMIT_PCT = 3.0
-
-
-def _throughput(seconds: float, repeats: int = 3) -> float:
-    """Best-of-``repeats`` 1-to-1 delivered msgs/s on a fresh bus."""
-    best = 0.0
-    for _ in range(repeats):
-        bus, names = build(receivers=1)
-        try:
-            best = max(best, measure(bus, names, seconds))
-        finally:
-            bus.shutdown()
-    return best
+#: Enabled-mode telemetry must cost less than this on bus throughput.
+ENABLED_OVERHEAD_LIMIT_PCT = 10.0
+#: 1-in-N sampling of top-level per-message spans in the enabled runs
+#: (replace trees are always recorded in full; see docs/telemetry.md).
+SAMPLE = 16
 
 
 def assert_disabled_path_uninstrumented() -> None:
@@ -98,18 +104,98 @@ def guard_cost_ns(iterations: int = 1_000_000) -> float:
     return max(0.0, (guarded - empty) / iterations * 1e9)
 
 
-def measure_modes(seconds: float) -> Dict[str, float]:
-    """baseline (never enabled) vs enabled vs disabled-after-cycle."""
+def measure_modes(seconds: float, rounds: int) -> Dict[str, object]:
+    """Straddled baseline / enabled / disabled trials, median summary.
+
+    One persistent 1-to-1 bus serves every trial; modes are switched
+    *in place* (``telemetry.enable()``/``disable()`` plus invalidating
+    the routing table so the delivery path recompiles for the new mode).
+    Each round runs five straddled segments::
+
+        b1   enabled   b2   disabled   b3
+
+    and each mode's overhead is computed against the *mean of its two
+    neighbouring baseline segments*.  Container speed on shared 1-core
+    runners drifts by double-digit percentages over a few seconds;
+    straddling cancels linear drift within a round, and medians across
+    rounds kill the remaining outliers.  (A sequential layout — all
+    baseline trials, then all enabled — reported "disabled" beating
+    "baseline" by double digits, which is structurally impossible.)
+
+    Note ``b2``/``b3`` run after an enable/disable cycle.  By the
+    structural guarantee checked in ``assert_disabled_path_uninstrumented``
+    that configuration is byte-identical to never-enabled, so they are
+    valid baseline segments — and the ``disabled`` metric is precisely
+    the claim that this guarantee holds dynamically too.
+    """
+    import gc
+
+    from repro.bus.message import Message
+
     assert telemetry.recorder is None
-    results: Dict[str, float] = {}
-    results["baseline"] = _throughput(seconds)
-    telemetry.enable(capacity=1024)
+    bus, names = build(receivers=1)
     try:
-        results["enabled"] = _throughput(seconds)
+        message = Message(
+            values=[7], fmt="l", source_instance="sender", source_interface="out"
+        )
+        queue = bus.get_module(names[0]).queue("inp")
+
+        def spin(duration: float) -> float:
+            sent = 0
+            start = time.perf_counter()
+            deadline = start + duration
+            while time.perf_counter() < deadline:
+                for _ in range(200):
+                    bus.route("sender", "out", message)
+                sent += 200
+                queue.drain()
+            return sent / (time.perf_counter() - start)
+
+        def set_enabled(on: bool) -> None:
+            if on:
+                telemetry.enable(capacity=1024, sample=SAMPLE)
+            else:
+                telemetry.disable()
+            # Recompile the delivery path for the new mode: rebinds the
+            # per-destination puts against the (possibly class-swapped)
+            # queues, exactly as a live bus does on its next route().
+            bus._routing_table = None
+
+        segment = max(0.05, seconds / 2.0)
+        spin(0.3)  # interpreter/branch-predictor warm-up
+        rates: Dict[str, List[float]] = {
+            "baseline": [],
+            "enabled": [],
+            "disabled": [],
+        }
+        enabled_pcts: List[float] = []
+        disabled_pcts: List[float] = []
+        for _ in range(rounds):
+            gc.collect()
+            b1 = spin(segment)
+            set_enabled(True)
+            enabled = spin(segment)
+            set_enabled(False)
+            b2 = spin(segment)
+            set_enabled(True)
+            set_enabled(False)
+            disabled = spin(segment)
+            b3 = spin(segment)
+            rates["baseline"].extend((b1, b2, b3))
+            rates["enabled"].append(enabled)
+            rates["disabled"].append(disabled)
+            enabled_pcts.append((1.0 - enabled / ((b1 + b2) / 2.0)) * 100.0)
+            disabled_pcts.append((1.0 - disabled / ((b2 + b3) / 2.0)) * 100.0)
     finally:
-        telemetry.disable()
-    results["disabled"] = _throughput(seconds)
-    return results
+        if telemetry.recorder is not None:
+            telemetry.disable()
+        bus.shutdown()
+    return {
+        "rates": {k: round(statistics.median(v), 1) for k, v in rates.items()},
+        "enabled_overhead_pct": max(0.0, round(statistics.median(enabled_pcts), 2)),
+        "disabled_overhead_pct": max(0.0, round(statistics.median(disabled_pcts), 2)),
+        "rounds": rounds,
+    }
 
 
 def measure_fig1_move(enabled: bool, iterations: int) -> Tuple[float, float]:
@@ -149,25 +235,16 @@ def measure_fig1_move(enabled: bool, iterations: int) -> Tuple[float, float]:
             telemetry.disable()
 
 
-def overhead_pct(baseline: float, other: float) -> float:
-    if baseline <= 0:
-        return 0.0
-    return max(0.0, (baseline - other) / baseline * 100.0)
-
-
-def run_all(seconds: float, move_iterations: int) -> Dict[str, object]:
+def run_all(seconds: float, rounds: int, move_iterations: int) -> Dict[str, object]:
     assert_disabled_path_uninstrumented()
-    modes = measure_modes(seconds)
+    modes = measure_modes(seconds, rounds)
     move_off = measure_fig1_move(enabled=False, iterations=move_iterations)
     move_on = measure_fig1_move(enabled=True, iterations=move_iterations)
     return {
-        "bus_msgs_per_sec": {k: round(v, 1) for k, v in modes.items()},
-        "disabled_overhead_pct": round(
-            overhead_pct(modes["baseline"], modes["disabled"]), 2
-        ),
-        "enabled_overhead_pct": round(
-            overhead_pct(modes["baseline"], modes["enabled"]), 2
-        ),
+        "bus_msgs_per_sec": modes["rates"],
+        "rounds": modes["rounds"],
+        "disabled_overhead_pct": modes["disabled_overhead_pct"],
+        "enabled_overhead_pct": modes["enabled_overhead_pct"],
         "guard_ns": round(guard_cost_ns(), 2),
         "fig1_move_ms": {
             "disabled": {
@@ -183,12 +260,16 @@ def run_all(seconds: float, move_iterations: int) -> Dict[str, object]:
 
 
 def test_o1_telemetry_overhead():
-    results = run_all(seconds=0.3, move_iterations=3)
+    # The mode sweep needs full-size segments even in the quick/test
+    # configuration: 0.125s segments on a busy 1-core container put
+    # double-digit noise on a ~2.5% effect.
+    results = run_all(seconds=0.5, rounds=9, move_iterations=3)
     report(
         "O1",
         '"the run-time cost is merely that of periodically testing the '
         'flags" — telemetry must preserve that: disabled-mode '
-        "instrumentation compiles out of the message path entirely",
+        "instrumentation compiles out of the message path entirely, and "
+        "enabled mode counts in-queue, in-lock",
         f"disabled {results['disabled_overhead_pct']}% / enabled "
         f"{results['enabled_overhead_pct']}% bus overhead, guard "
         f"{results['guard_ns']}ns, fig-1 move "
@@ -196,6 +277,7 @@ def test_o1_telemetry_overhead():
         f"{results['fig1_move_ms']['enabled']['best']}ms",
     )
     assert results["disabled_overhead_pct"] < DISABLED_OVERHEAD_LIMIT_PCT
+    assert results["enabled_overhead_pct"] < ENABLED_OVERHEAD_LIMIT_PCT
 
 
 def main(argv: List[str]) -> None:
@@ -204,19 +286,25 @@ def main(argv: List[str]) -> None:
     if "--out" in argv:
         out = argv[argv.index("--out") + 1]
     results = run_all(
-        seconds=0.3 if quick else 1.0, move_iterations=3 if quick else 10
+        seconds=0.5,
+        rounds=9,
+        move_iterations=3 if quick else 10,
     )
     payload = {
         "benchmark": "bench_o1_telemetry_overhead",
         "unit": "delivered messages/second; move times in ms",
         "quick": quick,
+        "cpus": os.cpu_count(),
+        "sample": SAMPLE,
         "disabled_overhead_limit_pct": DISABLED_OVERHEAD_LIMIT_PCT,
+        "enabled_overhead_limit_pct": ENABLED_OVERHEAD_LIMIT_PCT,
         "results": results,
     }
     with open(out, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
     print(json.dumps(payload, indent=2))
+    failed = False
     if results["disabled_overhead_pct"] >= DISABLED_OVERHEAD_LIMIT_PCT:
         print(
             f"FAIL: disabled-mode overhead "
@@ -224,6 +312,16 @@ def main(argv: List[str]) -> None:
             f"{DISABLED_OVERHEAD_LIMIT_PCT}%",
             file=sys.stderr,
         )
+        failed = True
+    if results["enabled_overhead_pct"] >= ENABLED_OVERHEAD_LIMIT_PCT:
+        print(
+            f"FAIL: enabled-mode overhead "
+            f"{results['enabled_overhead_pct']}% >= "
+            f"{ENABLED_OVERHEAD_LIMIT_PCT}%",
+            file=sys.stderr,
+        )
+        failed = True
+    if failed:
         raise SystemExit(1)
 
 

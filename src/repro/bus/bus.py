@@ -70,9 +70,10 @@ class _RouteEntry:
         # (peer module-or-handle, peer interface) per delivery; consumed
         # by the worker route push at rebuild time.
         self.peers: List[Tuple] = []
-        # (destination instance, queue | None) per delivery; only
-        # consumed by telemetry instrumentation at rebuild time (None
-        # for remote deliveries, whose queue depth lives elsewhere).
+        # (destination instance, dest interface, queue | None) per
+        # delivery; only consumed by telemetry instrumentation at
+        # rebuild time (None for remote deliveries, whose queue depth
+        # lives in the remote host's own recorder).
         self._wiring: List[Tuple] = []
 
     def add(self, peer, peer_if: str) -> None:
@@ -86,7 +87,7 @@ class _RouteEntry:
             delivery = (remote_put(peer_if, self.sender_profile), None)
             self.deliveries.append(delivery)
             self.by_dest.setdefault(peer.name, delivery)
-            self._wiring.append((peer.name, None))
+            self._wiring.append((peer.name, peer_if, None))
             return
         receiver = peer.host.profile
         sender = self.sender_profile
@@ -101,23 +102,40 @@ class _RouteEntry:
         delivery = (queue.put, receiver)
         self.deliveries.append(delivery)
         self.by_dest.setdefault(peer.name, delivery)
-        self._wiring.append((peer.name, queue))
+        self._wiring.append((peer.name, peer_if, queue))
 
     def finalize(self) -> None:
         if all(profile is None for _, profile in self.deliveries):
             self.local_puts = [put for put, _ in self.deliveries]
 
-    def instrument(self, rec, endpoint: str) -> None:
-        """Recompile deliveries with telemetry counters baked in.
+    def instrument(self, rec, endpoint: str, in_degree, derived) -> None:
+        """Recompile this entry's telemetry at rebuild time.
 
-        Called only at rebuild time, and only while a recorder is
-        installed — so the *disabled* per-message path carries zero
-        added instructions (not even a flag test; see
-        docs/telemetry.md).  Per delivered message the wrapper counts
-        ``bus.delivered`` and samples the receiving queue's depth
-        high-water mark; the first delivery of the fan-out additionally
-        counts ``bus.routed`` (one per send).  An unbound endpoint gets
-        a counting stub so silent drops become visible.
+        Called only while a recorder is installed — the *disabled*
+        per-message path carries zero added instructions (not even a
+        flag test; see docs/telemetry.md).  The *enabled* path no longer
+        wraps every delivery in counting closures either:
+
+        - ``bus.delivered`` and ``queue.hwm`` come from the receiving
+          queues themselves, whose class swaps to
+          ``RecordingMessageQueue`` while recording — the fan-out keeps
+          calling raw bound ``put`` methods.
+        - ``bus.routed`` is *derived*: when the entry delivers into a
+          local queue fed by no other endpoint (``in_degree`` counts
+          edges per receiving endpoint), every undirected put on that
+          queue is exactly one ``route()`` call here, so the count is
+          computed lazily from the queue's cells — ``derived`` collects
+          endpoint -> queue for ``SoftwareBus._routed_source``.  Only
+          entries with no such queue (pure fan-in receivers, all-remote
+          fan-outs) pay for a counting wrapper, on the first delivery
+          of the fan-out only.
+        - Directed sends re-bind ``by_dest`` to ``put_directed`` so the
+          queue tags them out of the routed derivation in-lock; remote
+          targets count on the sender's shard (the remote host's own
+          queue counts the delivery).
+
+        An unbound endpoint gets a counting stub so silent drops become
+        visible.
         """
         if not self.deliveries:
             def drop(message, _rec=rec, _key=endpoint):
@@ -125,61 +143,35 @@ class _RouteEntry:
 
             self.local_puts = [drop]
             return
-        wrapped: List[Tuple] = []
         by_dest: Dict[str, Tuple] = {}
-        first = True
-        for (put, profile), (dest, queue) in zip(self.deliveries, self._wiring):
-            if queue is None:
-                # Remote delivery: count it, but the receiving queue's
-                # depth is only observable in the remote host's own
-                # recorder — no hwm gauge here.
-                def counting(
-                    message, _put=put, _rec=rec, _key=endpoint, _routed=first
-                ):
-                    if _routed:
-                        _rec.count("bus.routed", key=_key)
-                    _put(message)
-                    _rec.count("bus.delivered", key=_key)
+        for (dest, dest_if, queue), (put, profile) in zip(self._wiring, self.deliveries):
+            if dest in by_dest:
+                continue
+            if queue is not None:
+                def directed(message, _queue=queue, _rec=rec, _key=endpoint):
+                    _rec.count("bus.directed", key=_key)
+                    _queue.put_directed(message)
 
             else:
-                def counting(
-                    message,
-                    _put=put,
-                    _queue=queue,
-                    _rec=rec,
-                    _key=endpoint,
-                    _routed=first,
-                ):
-                    if _routed:
-                        _rec.count("bus.routed", key=_key)
+                def directed(message, _put=put, _rec=rec, _key=endpoint):
+                    _rec.count("bus.directed", key=_key)
                     _put(message)
-                    _rec.count("bus.delivered", key=_key)
-                    _rec.gauge_max("queue.hwm", len(_queue), key=_queue.name)
 
-            wrapped.append((counting, profile))
-            first = False
-
-            if dest not in by_dest:
-                if queue is None:
-                    def directed(message, _put=put, _rec=rec, _key=endpoint):
-                        _rec.count("bus.directed", key=_key)
-                        _put(message)
-                        _rec.count("bus.delivered", key=_key)
-
-                else:
-                    def directed(
-                        message, _put=put, _queue=queue, _rec=rec, _key=endpoint
-                    ):
-                        _rec.count("bus.directed", key=_key)
-                        _put(message)
-                        _rec.count("bus.delivered", key=_key)
-                        _rec.gauge_max("queue.hwm", len(_queue), key=_queue.name)
-
-                by_dest[dest] = (directed, profile)
-        self.deliveries = wrapped
+            by_dest[dest] = (directed, profile)
         self.by_dest = by_dest
+        for dest, dest_if, queue in self._wiring:
+            if queue is not None and in_degree.get((dest, dest_if)) == 1:
+                derived[endpoint] = queue
+                return
+        put0, profile0 = self.deliveries[0]
+
+        def routed(message, _put=put0, _rec=rec, _key=endpoint):
+            _rec.count("bus.routed", key=_key)
+            _put(message)
+
+        self.deliveries[0] = (routed, profile0)
         if self.local_puts is not None:
-            self.local_puts = [put for put, _ in wrapped]
+            self.local_puts = [put for put, _ in self.deliveries]
 
 
 class SoftwareBus:
@@ -213,6 +205,12 @@ class SoftwareBus:
         # ``None`` means "stale, rebuild on next route"; mutators only
         # ever invalidate, so readers never see a half-built table.
         self._routing_table: Optional[Dict[str, Dict[str, _RouteEntry]]] = None
+        # Routed-count derivation state (see _prepare_telemetry): the
+        # recorder these belong to, frozen totals from earlier routing
+        # epochs, and the current endpoint -> (queue, offsets) map.
+        self._telemetry_rec: Optional[telemetry.FlightRecorder] = None
+        self._routed_base: Dict[str, int] = {}
+        self._routed_epoch: Dict[str, Tuple] = {}
         self._sleep_policy = SleepPolicy(scale=sleep_scale)
         self.application_name = ""
         self.trace: List[str] = []  # reconfiguration/audit log
@@ -634,6 +632,7 @@ class SoftwareBus:
                     decl.name: _RouteEntry(profile)
                     for decl in module.spec.interfaces
                 }
+            in_degree: Dict[Tuple[str, str], int] = {}
             for binding in self._bindings:
                 (a_inst, a_if), (b_inst, b_if) = binding.endpoints()
                 for src, src_if, dst, dst_if in (
@@ -643,6 +642,8 @@ class SoftwareBus:
                     peer = self._instances[dst]
                     if peer.spec.interface(dst_if).direction.can_receive:
                         table[src][src_if].add(peer, dst_if)
+                        key = (dst, dst_if)
+                        in_degree[key] = in_degree.get(key, 0) + 1
             for by_interface in table.values():
                 for entry in by_interface.values():
                     entry.finalize()
@@ -651,15 +652,116 @@ class SoftwareBus:
                 # Routing-cache miss counter: every rebuild *is* a miss
                 # (hits = bus.routed - bus.routing_rebuild).
                 rec.count("bus.routing_rebuild")
+                self._prepare_telemetry(rec)
+                derived: Dict[str, object] = {}
                 for name, by_interface in table.items():
                     for ifname, entry in by_interface.items():
-                        entry.instrument(rec, f"{name}.{ifname}")
+                        entry.instrument(rec, f"{name}.{ifname}", in_degree, derived)
+                self._freeze_derivation(derived)
+                self._sync_remote_recorders()
             else:
                 # Only when nothing records bus-side: endpoints whose
                 # whole fan-out is host-local bypass the bus entirely.
                 self._push_worker_routes(table)
             self._routing_table = table
             return table
+
+    def _prepare_telemetry(self, rec: telemetry.FlightRecorder) -> None:
+        """Start (or roll over) the routed-count derivation epoch.
+
+        A fresh recorder starts from zero (the enable() hook reset every
+        queue cell) and gets the bus's lazy sources registered; a rebuild
+        under the *same* recorder freezes the current derived totals as
+        bases first, so endpoints keep their history even when the new
+        table maps them to different queues (or to a wrapper).
+        """
+        if rec is not self._telemetry_rec:
+            self._telemetry_rec = rec
+            self._routed_base = {}
+            self._routed_epoch = {}
+            rec.add_source(self._routed_source)
+            if any(
+                hasattr(t, "telemetry_snapshot")
+                for t in self._transports.values()
+            ):
+                rec.add_source(self._remote_telemetry_source)
+        else:
+            self._routed_base = self._derived_routed()
+
+    def _freeze_derivation(self, derived: Dict[str, object]) -> None:
+        epoch: Dict[str, Tuple] = {}
+        for endpoint, queue in derived.items():
+            with queue._lock:  # consistent (_pushed, _directed) pair
+                epoch[endpoint] = (queue, queue._pushed, queue._directed)
+        self._routed_epoch = epoch
+
+    def _derived_routed(self) -> Dict[str, int]:
+        """Absolute bus.routed totals per endpoint: bases + live deltas."""
+        totals = dict(self._routed_base)
+        for endpoint, (queue, pushed0, directed0) in self._routed_epoch.items():
+            with queue._lock:
+                delta = (queue._pushed - pushed0) - (queue._directed - directed0)
+            if delta:
+                totals[endpoint] = totals.get(endpoint, 0) + delta
+        return totals
+
+    def _routed_source(self):
+        """Recorder source: lazily derived ``bus.routed`` counters."""
+        with self._lock:
+            totals = self._derived_routed()
+        return (
+            {("bus.routed", ep): total for ep, total in totals.items() if total},
+            {},
+        )
+
+    def _remote_telemetry_source(self):
+        """Recorder source: counters aggregated back from remote hosts.
+
+        Each transport reports absolute totals from its hosts'
+        recorders, so worker/TCP placements don't under-count —
+        ``bus.delivered`` for a remote module's queue is counted by the
+        queue in *that* process and merged here on read.  A dead link
+        loses nothing but its own contribution.
+        """
+        with self._lock:
+            transports = [
+                t
+                for t in self._transports.values()
+                if hasattr(t, "telemetry_snapshot")
+            ]
+        counters: Dict[Tuple[str, Optional[str]], int] = {}
+        gauges: Dict[Tuple[str, Optional[str]], float] = {}
+        for transport in transports:
+            try:
+                remote_counters, remote_gauges = transport.telemetry_snapshot()
+            except Exception:
+                continue
+            for k, v in remote_counters.items():
+                counters[k] = counters.get(k, 0) + v
+            for k, v in remote_gauges.items():
+                current = gauges.get(k)
+                if current is None or v > current:
+                    gauges[k] = v
+        return counters, gauges
+
+    def _sync_remote_recorders(self) -> None:
+        """Install recorders in remote hosts (idempotent, every rebuild).
+
+        Runs per rebuild rather than once so workers and daemons that
+        spawn *after* enable() — lazily-created pool slots, migration
+        targets — still record; ``telemetry_enable`` is enable-if-absent
+        on the host side.  Failures (dead link, injected transport
+        fault) are swallowed: losing remote counters must never break
+        routing.
+        """
+        for transport in list(self._transports.values()):
+            enable_remote = getattr(transport, "enable_telemetry", None)
+            if enable_remote is None:
+                continue
+            try:
+                enable_remote()
+            except Exception:
+                continue
 
     def route(self, instance: str, interface: str, message: Message) -> None:
         """Deliver a message written on (instance, interface).

@@ -258,13 +258,10 @@ class ProcessTransport(RemoteTransport):
         for slot in self._live_slots():
             slot.link.request(["clear_faults"])
 
-    def enable_telemetry(self) -> None:
-        for slot in self._live_slots():
-            slot.link.request(["telemetry_enable"])
-
-    def disable_telemetry(self) -> None:
-        for slot in self._live_slots():
-            slot.link.request(["telemetry_disable"])
+    # enable_telemetry/disable_telemetry/telemetry_snapshot come from
+    # RemoteTransport via links() (= every live slot's link); the bus
+    # calls them on routing rebuilds to keep workers recording and to
+    # merge their counters back on read.
 
     def telemetry_counters(self) -> Dict[str, Dict[str, int]]:
         """Per-worker counter snapshots, keyed by worker host name."""

@@ -14,14 +14,35 @@ a stop event that supports ``subscribe``/``unsubscribe`` (see
 :class:`repro.runtime.events.InterruptibleEvent`, which every module's
 ``mh`` stop flag is) has the waiter's condition registered for the
 duration of the wait, so ``set()`` interrupts the read immediately.
+
+Telemetry
+---------
+
+Delivery accounting lives *in the queue class*, not in wrappers around
+``put``: while a flight recorder is installed, every live queue's
+``__class__`` is swapped to :class:`RecordingMessageQueue`, whose ``put``
+bumps plain integer cells (``_pushed``, ``_hwm``) inside the lock it
+already holds — exact under concurrency, no extra lock, no tuple
+hashing, no wrapper call.  ``disable()`` swaps the class back, so the
+disabled ``put`` is byte-identical to the uninstrumented one (both
+classes use ``__slots__``, which also keeps the swapped instances'
+attribute access on the fast path).  A lazily-read aggregation source
+registered on the recorder turns the cells into ``bus.delivered{queue}``
+counters and ``queue.hwm{queue}`` gauges; ``bus.routed`` is *derived*
+from the same cells by the routing table (see ``bus.py``).
+
+While recording, queues are held strongly (``_tracked``) so a queue
+destroyed mid-session — e.g. a replaced module's — keeps contributing
+its delivery counts until the recorder is uninstalled.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+import weakref
 from collections import deque
-from typing import Deque, List, Optional
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from repro.bus.message import Message
 from repro.errors import TransportError
@@ -31,6 +52,19 @@ from repro.runtime import telemetry
 class MessageQueue:
     """Unbounded FIFO of :class:`Message` with stop-aware blocking get."""
 
+    __slots__ = (
+        "name",
+        "_items",
+        "_lock",
+        "_not_empty",
+        "_closed",
+        "_waiters",
+        "_pushed",
+        "_directed",
+        "_hwm",
+        "__weakref__",
+    )
+
     def __init__(self, name: str = ""):
         self.name = name
         self._items: Deque[Message] = deque()
@@ -38,6 +72,17 @@ class MessageQueue:
         self._not_empty = threading.Condition(self._lock)
         self._closed = False
         self._waiters = 0
+        # Telemetry cells: total puts, puts via route_to, sampled depth
+        # high-water mark.  Written only by RecordingMessageQueue (under
+        # the queue lock), read lock-free by the aggregation source.
+        self._pushed = 0
+        self._directed = 0
+        self._hwm = 0
+        with _registry_lock:
+            _queues.add(self)
+            if telemetry.recorder is not None:
+                _tracked.add(self)
+                self.__class__ = RecordingMessageQueue
 
     def __len__(self) -> int:
         with self._lock:
@@ -50,6 +95,15 @@ class MessageQueue:
             self._items.append(message)
             if self._waiters:
                 self._not_empty.notify()
+
+    def put_directed(self, message: Message) -> None:
+        """``route_to`` delivery — identical to ``put`` when disabled.
+
+        The recording subclass additionally tags the delivery in its
+        ``_directed`` cell so directed traffic is excluded from the
+        routed-count derivation in ``bus.py``.
+        """
+        self.put(message)
 
     def get(
         self,
@@ -107,7 +161,9 @@ class MessageQueue:
         Replacement commits rename the clone to the replaced module's
         instance name; without this the queue kept reporting the
         temporary ``<instance>.new.<interface>`` name in errors and in
-        the ``queue.hwm`` telemetry key.
+        the ``queue.hwm`` telemetry key.  Accumulated delivery cells
+        move with the queue: after a commit they report under the final
+        instance name, matching the old wrapper-counter behaviour.
         """
         self.name = name
 
@@ -159,3 +215,118 @@ class MessageQueue:
         with self._lock:
             self._closed = True
             self._not_empty.notify_all()
+
+
+class RecordingMessageQueue(MessageQueue):
+    """A :class:`MessageQueue` whose ``put`` keeps delivery counts.
+
+    Installed by swapping ``__class__`` on live instances at telemetry
+    enable time (and back at disable): the object's state is untouched,
+    only the method table changes.  Counting happens inside the lock
+    ``put`` already takes, so the cells are exact under any number of
+    producer threads.  ``put`` itself pays for exactly one extra
+    increment — the depth high-water mark comes from the read-time
+    probe in the aggregation source (plus exact updates on the rare
+    paths: directed puts, ``extend``/``prepend``), so it is a *sampled*
+    gauge: a queue drained between reads may under-report its peak.
+    """
+
+    __slots__ = ()
+
+    def put(self, message: Message) -> None:
+        with self._lock:
+            if self._closed:
+                raise TransportError(f"queue {self.name!r} is closed")
+            self._items.append(message)
+            self._pushed += 1
+            if self._waiters:
+                self._not_empty.notify()
+
+    def put_directed(self, message: Message) -> None:
+        with self._lock:
+            if self._closed:
+                raise TransportError(f"queue {self.name!r} is closed")
+            items = self._items
+            items.append(message)
+            self._pushed += 1
+            self._directed += 1
+            depth = len(items)
+            if depth > self._hwm:
+                self._hwm = depth
+            if self._waiters:
+                self._not_empty.notify()
+
+
+#: All live queues (weak — discovery only) and, while a recorder is
+#: installed, strong references so destroyed queues keep contributing
+#: their counts until disable().  Guarded by ``_registry_lock`` because
+#: queues are created from module/worker threads while the aggregation
+#: source iterates.
+_queues: "weakref.WeakSet[MessageQueue]" = weakref.WeakSet()
+_tracked: Set[MessageQueue] = set()
+_registry_lock = threading.Lock()
+
+
+def _cell_source(tracked: Set[MessageQueue]) -> Tuple[Dict[Tuple[str, Optional[str]], int], Dict[Tuple[str, Optional[str]], float]]:
+    """Aggregate queue cells into ``bus.delivered`` / ``queue.hwm``.
+
+    Absolute totals re-read on every merge (idempotent).  The read-time
+    ``len(_items)`` probe catches high-water marks the every-64th-put
+    sampling missed on lightly-loaded queues.  ``tracked`` is the set
+    captured for one recorder: ``disable()`` freezes rather than clears
+    it, so a detached recorder still exports its final totals (the
+    cells stop moving once the classes swap back).
+    """
+    counters: Dict[Tuple[str, Optional[str]], int] = {}
+    gauges: Dict[Tuple[str, Optional[str]], float] = {}
+    with _registry_lock:
+        queues = list(tracked)
+    for q in queues:
+        name = q.name
+        pushed = q._pushed
+        # A queue with no puts this session reports nothing — stale
+        # pre-enable queues (e.g. left over from a finished bus) must
+        # not surface their old backlog as fresh gauges.
+        if not name or not pushed:
+            continue
+        k = ("bus.delivered", name)
+        counters[k] = counters.get(k, 0) + pushed
+        hwm = q._hwm
+        depth = len(q._items)
+        if depth > hwm:
+            hwm = depth
+        if hwm:
+            k = ("queue.hwm", name)
+            current = gauges.get(k)
+            if current is None or hwm > current:
+                gauges[k] = hwm
+    return counters, gauges
+
+
+@telemetry.on_activation
+def _on_telemetry_activation(rec: Optional[telemetry.FlightRecorder]) -> None:
+    """Swap live queues to/from the recording class at enable/disable.
+
+    Each enable captures a *fresh* tracked set (published as the global
+    so ``MessageQueue.__init__`` keeps feeding it) and registers a
+    source bound to that set on the new recorder.  Disable swaps the
+    classes back but leaves the set with the old recorder's source:
+    its cells are frozen, so post-disable exports stay correct, and the
+    strong references die with the recorder.
+    """
+    global _tracked
+    if rec is not None:
+        tracked: Set[MessageQueue] = set()
+        with _registry_lock:
+            for q in list(_queues):
+                q._pushed = 0
+                q._directed = 0
+                q._hwm = 0
+                q.__class__ = RecordingMessageQueue
+                tracked.add(q)
+            _tracked = tracked
+        rec.add_source(lambda: _cell_source(tracked))
+    else:
+        with _registry_lock:
+            for q in list(_queues):
+                q.__class__ = MessageQueue

@@ -97,8 +97,10 @@ def send_frame(sock: socket.socket, value: object) -> None:
                 sock.sendall(memoryview(header + payload)[sent:])
         except OSError as exc:
             raise TransportError(f"send failed: {exc}") from exc
-    telemetry.count("tcp.frames_sent")
-    telemetry.count("tcp.bytes_sent", n=len(payload))
+    rec = telemetry.recorder
+    if rec is not None:
+        rec.count("tcp.frames_sent")
+        rec.count("tcp.bytes_sent", n=len(payload))
 
 
 def recv_frame(sock: socket.socket) -> object:
@@ -116,8 +118,10 @@ def recv_frame(sock: socket.socket) -> object:
                 telemetry.count("tcp.frames_dropped")
                 continue  # injected drop: discard this frame, read the next
             value = decode_any(payload)
-        telemetry.count("tcp.frames_received")
-        telemetry.count("tcp.bytes_received", n=length)
+        rec = telemetry.recorder
+        if rec is not None:
+            rec.count("tcp.frames_received")
+            rec.count("tcp.bytes_received", n=length)
         return value
 
 

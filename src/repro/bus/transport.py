@@ -650,6 +650,27 @@ class ModuleHost:
             for (name, key), value in rec.counters().items()
         }
 
+    def _cmd_telemetry_snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Counters *and* gauges, flat-keyed for the wire.
+
+        Absolute totals from this host's recorder — the bus-side
+        aggregation source re-reads them on every merge, so repeated
+        reads are idempotent (nothing is consumed or reset here).
+        """
+        rec = telemetry.recorder
+        if rec is None:
+            return {"counters": {}, "gauges": {}}
+        return {
+            "counters": {
+                f"{name}|{key or ''}": int(value)
+                for (name, key), value in rec.counters().items()
+            },
+            "gauges": {
+                f"{name}|{key or ''}": float(value)
+                for (name, key), value in rec.gauges().items()
+            },
+        }
+
 
 # ---------------------------------------------------------------------------
 # Bus-side stand-ins for remotely hosted modules
@@ -999,6 +1020,44 @@ class RemoteTransport(Transport):
 
     def _place(self, slot: Optional[str]) -> Tuple[Link, Host, str]:
         raise NotImplementedError
+
+    # -- remote telemetry ------------------------------------------------------
+
+    def enable_telemetry(self) -> None:
+        """Install a flight recorder in every live remote host.
+
+        Enable-if-absent on the host side, so the bus may call this on
+        every routing rebuild to catch hosts spawned after ``enable()``.
+        """
+        for link in self.links():
+            link.request(["telemetry_enable"])
+
+    def disable_telemetry(self) -> None:
+        for link in self.links():
+            link.request(["telemetry_disable"])
+
+    def telemetry_snapshot(self):
+        """Aggregate counters/gauges across this transport's hosts.
+
+        Returns ``(counters, gauges)`` keyed ``(name, key)`` like
+        :meth:`FlightRecorder.counters` — counters summed across hosts,
+        gauges max-merged — for the bus's remote aggregation source.
+        """
+        counters: Dict[Tuple[str, Optional[str]], int] = {}
+        gauges: Dict[Tuple[str, Optional[str]], float] = {}
+        for link in self.links():
+            snap = link.request(["telemetry_snapshot"])
+            for flat, value in dict(snap.get("counters", {})).items():
+                name, _, key = str(flat).partition("|")
+                k = (name, key or None)
+                counters[k] = counters.get(k, 0) + int(value)
+            for flat, value in dict(snap.get("gauges", {})).items():
+                name, _, key = str(flat).partition("|")
+                k = (name, key or None)
+                current = gauges.get(k)
+                if current is None or value > current:
+                    gauges[k] = float(value)
+        return counters, gauges
 
     # -- handle bookkeeping ----------------------------------------------------
 

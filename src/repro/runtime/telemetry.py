@@ -30,16 +30,42 @@ instrumentation site with::
 
     rec = telemetry.recorder
     if rec is not None:
-        rec.count("bus.delivered", key=endpoint)
+        rec.count("tcp.frames_sent")
 
 so the disabled cost is one attribute load plus one branch — the same
-idiom as :mod:`repro.runtime.faults`.  The bus goes one step further:
-its per-message counters are compiled into the routing table at rebuild
-time (see ``SoftwareBus._rebuild_routing``), so the disabled ``route()``
-fast path carries **zero** added instructions.  Consequence: enable
-telemetry *before* launching an application (or touch the topology
-afterwards) for bus counters to appear.  ``bench_o1_telemetry_overhead``
-proves the disabled-mode overhead bound.
+idiom as :mod:`repro.runtime.faults`.  The bus goes further: its
+per-message accounting is compiled into the routing table and the queue
+classes at enable time (see ``SoftwareBus._rebuild_routing`` and
+``queues.RecordingMessageQueue``), so the disabled ``route()`` fast path
+carries **zero** added instructions.  Consequence: enable telemetry
+*before* launching an application (or touch the topology afterwards)
+for bus counters to appear.  ``bench_o1_telemetry_overhead`` proves both
+the disabled-mode (<3%) and enabled-mode (<10%) overhead bounds.
+
+Enabled-mode cost model (see docs/telemetry.md for the full writeup):
+
+- **Counters are per-thread shards.**  ``count()`` increments a plain
+  dict owned by the calling thread — no lock, no contention — and reads
+  (``counters()``/``counter()``/``snapshot()``) merge the shards lazily.
+  External *sources* (``add_source``) contribute absolute totals the
+  same way: the bus registers one that derives ``bus.routed`` from queue
+  cells, and one that pulls counters back from remote ``ModuleHost``
+  processes, so reads are always a fresh, idempotent aggregation.
+- **Spans are pooled and sampled.**  Each thread keeps a small free
+  list of preallocated ``Span`` objects, and when the recorder is
+  created with ``sample=N > 1``, top-level spans *outside* any
+  reconfiguration (per-message bus/MH/TCP spans) are recorded 1-in-N —
+  the rest return noop spans without allocating, and drop their whole
+  subtree with them (the sampler decides at tree tops, so a recorded
+  child never dangles from a dropped parent).  Spans inside a
+  ``reconfig.replace`` tree (ambient root set, or any local parent, or
+  an explicit ``recon=``) are **always** recorded, so replace trees
+  stay complete at any sample rate.
+- **Events buffer per thread.**  Completed spans and point events are
+  appended to a thread-local buffer (lock-free for the owner) and
+  flushed in batches into the bounded ring under a flush lock; any read
+  (``events()``/``spans()``/``export_jsonl``) force-flushes all buffers
+  first, so exports and chaos artifacts observe everything.
 
 Threading model
 ---------------
@@ -61,7 +87,7 @@ import json
 import threading
 import time
 from collections import deque
-from typing import IO, Any, Deque, Dict, List, Optional, Tuple, Union
+from typing import IO, Any, Callable, Deque, Dict, List, Optional, Tuple, Union
 
 __all__ = [
     "FlightRecorder",
@@ -71,6 +97,7 @@ __all__ = [
     "enable",
     "disable",
     "enabled",
+    "on_activation",
     "span",
     "count",
     "gauge_max",
@@ -88,12 +115,27 @@ def next_reconfiguration_id() -> str:
     return "rc-%04d" % next(_recon_ids)
 
 
+#: Per-thread span free-list bounds: seeded at thread registration so the
+#: steady state allocates nothing, capped so a burst of leaked spans
+#: cannot grow it without bound.
+_POOL_SEED = 8
+_POOL_MAX = 32
+
+
 class Span:
     """A started span.  Closing it appends a record to the event log.
 
     Usable as a context manager (the common case) or held and closed
     manually (``mh.capture`` opens at ``begin_reconfig_capture`` and
     closes inside ``encode``, on the same module thread).
+
+    Spans that close cleanly (still on top of their own thread's stack)
+    are returned to that thread's free list and reused by the next
+    ``span()`` call, so the per-message steady state is allocation-free.
+    Holding a reference to a span after closing it is fine for reads,
+    but a second ``close()`` after the object has been recycled would
+    close the *new* span — the in-tree callers never do this (they close
+    once, or close then immediately drop the reference).
     """
 
     __slots__ = (
@@ -120,16 +162,28 @@ class Span:
         ambient: bool = False,
         attrs: Optional[Dict[str, Any]] = None,
     ):
+        self._start(recorder, name, recon, parent, ambient, attrs if attrs is not None else {})
+
+    def _start(
+        self,
+        recorder: "FlightRecorder",
+        name: str,
+        recon: Optional[str],
+        parent: Optional[int],
+        ambient: bool,
+        attrs: Dict[str, Any],
+    ) -> None:
+        """(Re)initialise every slot — also the pool-reuse entry point."""
         self._recorder = recorder
         self.sid = next(recorder._ids)
         self.name = name
-        self.attrs: Dict[str, Any] = attrs or {}
+        self.attrs = attrs
         self.thread = threading.current_thread().name
-        self.t1: Optional[float] = None
+        self.t1 = None
 
         stack = recorder._stack()
         if parent is not None:
-            self.parent: Optional[int] = parent
+            self.parent = parent
         elif stack:
             self.parent = stack[-1].sid
         else:
@@ -137,7 +191,7 @@ class Span:
             self.parent = current[1] if current is not None else None
 
         if recon is not None:
-            self.recon: Optional[str] = recon
+            self.recon = recon
         elif stack:
             self.recon = stack[-1].recon
         else:
@@ -164,13 +218,15 @@ class Span:
         self.t1 = time.monotonic()
         rec = self._recorder
         stack = rec._stack()
+        clean = False
         if stack and stack[-1] is self:
             stack.pop()
+            clean = True
         elif self in stack:  # closed out of order; be forgiving
             stack.remove(self)
         if self._restore_ambient:
             rec._ambient = self._ambient_prev
-        rec._events.append(
+        rec._emit(
             {
                 "type": "span",
                 "sid": self.sid,
@@ -184,6 +240,13 @@ class Span:
                 "attrs": self.attrs,
             }
         )
+        # Only a span popped cleanly off its *own* thread's stack is safe
+        # to recycle: a leaked or cross-thread close may still be
+        # referenced by someone who thinks it is theirs.
+        if clean:
+            pool = rec._pool()
+            if len(pool) < _POOL_MAX:
+                pool.append(self)
 
     def __enter__(self) -> "Span":
         return self
@@ -222,7 +285,57 @@ class _NoopSpan:
 
 NOOP_SPAN = _NoopSpan()
 
+
+class _DroppedSpan(_NoopSpan):
+    """A sampled-out *top-level* span.
+
+    While it is open, every anonymous span its thread opens is dropped
+    too (they get the shared :data:`NOOP_SPAN`), so the sampler decides
+    whole trees: without this, a child of a dropped parent would look
+    top-level itself, consume its own sampling tick, and — with uniform
+    parent/child workloads — the tick parity could record *only*
+    orphaned children while never recording a parent.
+    """
+
+    __slots__ = ("_tls", "_closed")
+
+    def __init__(self, tls):
+        self._tls = tls
+        self._closed = False
+        tls.dropped += 1
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._tls.dropped -= 1
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<DroppedSpan>"
+
 _CounterKey = Tuple[str, Optional[str]]
+#: An external aggregation source: returns ``(counters, gauges)`` as
+#: *absolute totals* keyed ``(name, key)``.  Called outside the recorder
+#: lock on every read; counters are summed in, gauges max-merged.
+Source = Callable[[], Tuple[Dict[_CounterKey, int], Dict[_CounterKey, float]]]
+
+
+def _shard_items(shard: Dict[_CounterKey, Any]) -> List[Tuple[_CounterKey, Any]]:
+    """Snapshot a shard owned by another (still-running) thread.
+
+    The owner inserts new keys without a lock, so a plain ``items()``
+    iteration can raise ``RuntimeError: dictionary changed size``; retry
+    until a consistent snapshot lands (insertions are rare — one per new
+    (name, key) pair per thread — so this converges immediately).
+    """
+    while True:
+        try:
+            return list(shard.items())
+        except RuntimeError:
+            continue
 
 
 class FlightRecorder:
@@ -231,27 +344,65 @@ class FlightRecorder:
     The event log is a bounded ring (``capacity`` most recent records):
     old traffic falls off the back, the reconfiguration that just failed
     stays in.  Counters and gauges are unbounded but tiny (one slot per
-    name/key pair) and survive ring overflow.
+    name/key pair per thread) and survive ring overflow.
+
+    ``sample=N`` records 1-in-N of the top-level spans opened outside
+    any reconfiguration; everything under a ``reconfig.replace`` root is
+    always recorded (see module docstring).  ``sample=1`` (the default)
+    records everything.
     """
 
-    def __init__(self, capacity: int = 4096):
+    def __init__(self, capacity: int = 4096, sample: int = 1):
         self.capacity = capacity
+        self.sample = max(1, int(sample))
         self._ids = itertools.count(1)
+        #: Guards shard/source registration and slow-path reads only —
+        #: never taken on the per-message hot path.
         self._lock = threading.Lock()
+        self._flush_lock = threading.Lock()
         self._events: Deque[Dict[str, Any]] = deque(maxlen=capacity)
-        self._counters: Dict[_CounterKey, int] = {}
-        self._gauges: Dict[_CounterKey, float] = {}
+        #: Flush granularity: small enough that a tiny ring still ends
+        #: up holding the newest ``capacity`` records after overflow.
+        self._flush_batch = min(32, max(1, capacity // 8))
+        self._counter_shards: List[Dict[_CounterKey, int]] = []
+        self._gauge_shards: List[Dict[_CounterKey, float]] = []
+        self._buffers: List[List[Dict[str, Any]]] = []
+        self._sources: List[Source] = []
         self._tls = threading.local()
         #: (recon_id, root span id) of the in-flight reconfiguration.
         self._ambient: Optional[Tuple[Optional[str], int]] = None
 
-    # -- spans ---------------------------------------------------------
+    # -- per-thread registration ---------------------------------------
+
+    def _register_thread(self) -> Any:
+        """First telemetry touch from a thread: allocate its shards."""
+        tls = self._tls
+        with self._lock:
+            tls.counters = counters = {}
+            tls.gauges = gauges = {}
+            tls.buffer = buffer = []
+            tls.stack = []
+            tls.pool = [Span.__new__(Span) for _ in range(_POOL_SEED)]
+            tls.sample_tick = 0
+            tls.dropped = 0
+            self._counter_shards.append(counters)
+            self._gauge_shards.append(gauges)
+            self._buffers.append(buffer)
+        return tls
 
     def _stack(self) -> List[Span]:
-        stack = getattr(self._tls, "stack", None)
-        if stack is None:
-            stack = self._tls.stack = []
-        return stack
+        try:
+            return self._tls.stack
+        except AttributeError:
+            return self._register_thread().stack
+
+    def _pool(self) -> List[Span]:
+        try:
+            return self._tls.pool
+        except AttributeError:
+            return self._register_thread().pool
+
+    # -- spans ---------------------------------------------------------
 
     def span(
         self,
@@ -261,42 +412,165 @@ class FlightRecorder:
         parent: Optional[int] = None,
         ambient: bool = False,
         **attrs: Any,
-    ) -> Span:
-        """Open (and start) a span.  Close it to record it."""
+    ) -> Union[Span, _NoopSpan]:
+        """Open (and start) a span.  Close it to record it.
+
+        May return ``NOOP_SPAN`` when sampling drops a top-level span.
+        """
+        return self._span(name, recon, parent, ambient, attrs)
+
+    def _span(
+        self,
+        name: str,
+        recon: Optional[str],
+        parent: Optional[int],
+        ambient: bool,
+        attrs: Dict[str, Any],
+    ) -> Union[Span, _NoopSpan]:
+        tls = self._tls
+        try:
+            stack = tls.stack
+        except AttributeError:
+            tls = self._register_thread()
+            stack = tls.stack
+        if (
+            self.sample > 1
+            and not ambient
+            and parent is None
+            and recon is None
+            and not stack
+            and self._ambient is None
+        ):
+            if tls.dropped:
+                # Anonymous descendant of a sampled-out span: dropped
+                # with its tree, no tick consumed, not counted (only
+                # tree tops land in telemetry.sampled_out).
+                return NOOP_SPAN
+            tick = tls.sample_tick + 1
+            tls.sample_tick = tick
+            if tick % self.sample:
+                shard = tls.counters
+                k = ("telemetry.sampled_out", name)
+                shard[k] = shard.get(k, 0) + 1
+                return _DroppedSpan(tls)
+        pool = tls.pool
+        if pool:
+            span = pool.pop()
+            span._start(self, name, recon, parent, ambient, attrs)
+            return span
         return Span(self, name, recon=recon, parent=parent, ambient=ambient, attrs=attrs)
 
     # -- counters / gauges ---------------------------------------------
 
     def count(self, name: str, n: int = 1, key: Optional[str] = None) -> None:
+        """Increment a counter: one dict op on this thread's shard."""
+        try:
+            shard = self._tls.counters
+        except AttributeError:
+            shard = self._register_thread().counters
         k = (name, key)
-        with self._lock:
-            self._counters[k] = self._counters.get(k, 0) + n
+        shard[k] = shard.get(k, 0) + n
 
     def gauge_max(self, name: str, value: float, key: Optional[str] = None) -> None:
         """High-water-mark gauge: keeps the maximum value ever seen."""
+        try:
+            shard = self._tls.gauges
+        except AttributeError:
+            shard = self._register_thread().gauges
         k = (name, key)
+        current = shard.get(k)
+        if current is None or value > current:
+            shard[k] = value
+
+    def add_source(self, source: Source) -> None:
+        """Register an external aggregation source (see :data:`Source`).
+
+        Sources must return *absolute* totals — they are re-read in full
+        on every merge, which makes reads idempotent (a remote host's
+        counters are never "consumed", so repeated reads cannot double
+        count and a missed read loses nothing).
+        """
         with self._lock:
-            if value > self._gauges.get(k, float("-inf")):
-                self._gauges[k] = value
+            self._sources.append(source)
+
+    def _merged(self) -> Tuple[Dict[_CounterKey, int], Dict[_CounterKey, float]]:
+        """Fresh aggregation of all shards + sources.
+
+        Copies the registration lists under the lock, then walks them
+        outside it: sources may take their own locks (the bus lock, a
+        transport link), and must never be called with ours held.
+        """
+        with self._lock:
+            counter_shards = list(self._counter_shards)
+            gauge_shards = list(self._gauge_shards)
+            sources = list(self._sources)
+        counters: Dict[_CounterKey, int] = {}
+        for shard in counter_shards:
+            for k, v in _shard_items(shard):
+                counters[k] = counters.get(k, 0) + v
+        gauges: Dict[_CounterKey, float] = {}
+        for shard in gauge_shards:
+            for k, v in _shard_items(shard):
+                current = gauges.get(k)
+                if current is None or v > current:
+                    gauges[k] = v
+        for source in sources:
+            try:
+                extra_counters, extra_gauges = source()
+            except Exception:
+                continue  # a dead worker/link must not poison local reads
+            for k, v in extra_counters.items():
+                counters[k] = counters.get(k, 0) + v
+            for k, v in extra_gauges.items():
+                current = gauges.get(k)
+                if current is None or v > current:
+                    gauges[k] = v
+        return counters, gauges
 
     def counters(self) -> Dict[_CounterKey, int]:
-        with self._lock:
-            return dict(self._counters)
+        return self._merged()[0]
 
     def gauges(self) -> Dict[_CounterKey, float]:
-        with self._lock:
-            return dict(self._gauges)
+        return self._merged()[1]
 
     def counter(self, name: str, key: Optional[str] = None) -> int:
-        with self._lock:
-            return self._counters.get((name, key), 0)
+        return self._merged()[0].get((name, key), 0)
 
     def counter_total(self, name: str) -> int:
         """Sum of a counter across all keys."""
-        with self._lock:
-            return sum(v for (n, _), v in self._counters.items() if n == name)
+        return sum(v for (n, _), v in self._merged()[0].items() if n == name)
 
     # -- events --------------------------------------------------------
+
+    def _emit(self, record: Dict[str, Any]) -> None:
+        """Append to this thread's buffer; flush a batch when full.
+
+        Only the owning thread appends to its buffer; the flush holds
+        ``_flush_lock`` and moves a length-stable prefix (the owner only
+        ever appends, so ``buffer[:n]`` + ``del buffer[:n]`` is exact —
+        no record is lost or duplicated even if the owner appends more
+        while another thread's read-flush is mid-transfer).
+        """
+        try:
+            buffer = self._tls.buffer
+        except AttributeError:
+            buffer = self._register_thread().buffer
+        buffer.append(record)
+        if len(buffer) >= self._flush_batch:
+            with self._flush_lock:
+                n = len(buffer)
+                self._events.extend(buffer[:n])
+                del buffer[:n]
+
+    def _flush_all(self) -> None:
+        with self._lock:
+            buffers = list(self._buffers)
+        with self._flush_lock:
+            for buffer in buffers:
+                n = len(buffer)
+                if n:
+                    self._events.extend(buffer[:n])
+                    del buffer[:n]
 
     def event(self, kind: str, *, recon: Optional[str] = None, **fields: Any) -> None:
         """Record a point event (fault fired, abort, crash, ...)."""
@@ -307,7 +581,7 @@ class FlightRecorder:
             else:
                 current = self._ambient
                 recon = current[0] if current is not None else None
-        self._events.append(
+        self._emit(
             {
                 "type": "event",
                 "kind": kind,
@@ -319,7 +593,11 @@ class FlightRecorder:
         )
 
     def events(self, recon: Optional[str] = None) -> List[Dict[str, Any]]:
-        records = list(self._events)
+        """Ring contents, oldest-completion first across all threads."""
+        self._flush_all()
+        with self._flush_lock:
+            records = list(self._events)
+        records.sort(key=lambda r: r.get("t1") or r.get("t") or 0.0)
         if recon is not None:
             records = [r for r in records if r.get("recon") == recon]
         return records
@@ -334,7 +612,12 @@ class FlightRecorder:
     # -- export --------------------------------------------------------
 
     def snapshot(self) -> Dict[str, Any]:
-        """Counters + gauges with ``name{key}``-style string keys."""
+        """Counters + gauges with ``name{key}``-style string keys.
+
+        Also carries a ``telemetry`` block recording how the numbers
+        were produced (sample rate, shard/source counts), so exported
+        artifacts are self-describing.
+        """
 
         def flatten(table: Dict[_CounterKey, Any]) -> Dict[str, Any]:
             out: Dict[str, Any] = {}
@@ -342,7 +625,15 @@ class FlightRecorder:
                 out[name if key is None else f"{name}{{{key}}}"] = value
             return out
 
-        return {"counters": flatten(self.counters()), "gauges": flatten(self.gauges())}
+        counters, gauges = self._merged()
+        with self._lock:
+            meta = {
+                "sample": self.sample,
+                "capacity": self.capacity,
+                "counter_shards": len(self._counter_shards),
+                "sources": len(self._sources),
+            }
+        return {"counters": flatten(counters), "gauges": flatten(gauges), "telemetry": meta}
 
     def export_jsonl(
         self, target: Union[str, "IO[str]"], recon: Optional[str] = None
@@ -374,22 +665,41 @@ class FlightRecorder:
 #: paths read this exactly once per site: one attribute load + branch.
 recorder: Optional[FlightRecorder] = None
 
+#: Activation hooks: called with the new recorder on ``enable()`` and
+#: with ``None`` on ``disable()``.  The queue layer uses this to swap
+#: live queues to/from their recording class; registration is
+#: import-time only (no unregistration — modules live as long as the
+#: process).
+_activation_hooks: List[Callable[[Optional[FlightRecorder]], None]] = []
 
-def enable(capacity: int = 4096) -> FlightRecorder:
+
+def on_activation(hook: Callable[[Optional[FlightRecorder]], None]) -> Callable:
+    """Register ``hook(recorder_or_None)`` to run at enable()/disable()."""
+    _activation_hooks.append(hook)
+    return hook
+
+
+def enable(capacity: int = 4096, sample: int = 1) -> FlightRecorder:
     """Install (and return) a fresh recorder, replacing any current one.
 
-    Enable *before* launching a bus so that per-message bus counters are
-    compiled into its routing table (see module docstring).
+    ``sample=N`` records 1-in-N top-level per-message spans (replace
+    trees are always complete; see module docstring).  Enable *before*
+    launching a bus so that per-message bus accounting is compiled into
+    its routing table and queues (see module docstring).
     """
     global recorder
-    recorder = FlightRecorder(capacity=capacity)
-    return recorder
+    recorder = rec = FlightRecorder(capacity=capacity, sample=sample)
+    for hook in _activation_hooks:
+        hook(rec)
+    return rec
 
 
 def disable() -> Optional[FlightRecorder]:
     """Uninstall the recorder; returns it so callers can still export."""
     global recorder
     current, recorder = recorder, None
+    for hook in _activation_hooks:
+        hook(None)
     return current
 
 
@@ -411,7 +721,7 @@ def span(
     rec = recorder
     if rec is None:
         return NOOP_SPAN
-    return Span(rec, name, recon=recon, parent=parent, ambient=ambient, attrs=attrs)
+    return rec._span(name, recon, parent, ambient, attrs)
 
 
 def count(name: str, n: int = 1, key: Optional[str] = None) -> None:

@@ -128,8 +128,26 @@ def render_events(events: List[Dict[str, Any]]) -> str:
     return "\n".join(lines) if lines else "(no events)"
 
 
+def telemetry_meta_line(counters: Dict[str, Any]) -> str:
+    """One comment line describing how the snapshot was recorded.
+
+    Snapshots carry a ``telemetry`` block (sample rate, ring capacity,
+    shard/source counts) so a dump from a production bus running
+    ``sample=16`` is not misread as a complete trace.  Returns "" for
+    dumps from before the block existed.
+    """
+    meta = counters.get("telemetry")
+    if not isinstance(meta, dict):
+        return ""
+    parts = " ".join(f"{k}={meta[k]}" for k in sorted(meta))
+    return f"# recorded with {parts}"
+
+
 def _metric_name(flat_key: str, suffix: str) -> str:
-    """``bus.delivered{sensor.out}`` -> ``repro_bus_delivered_total{key="sensor.out"}``."""
+    """``bus.delivered{compute.inp}`` -> ``repro_bus_delivered_total{key="compute.inp"}``.
+
+    ``bus.delivered`` keys are *receiving queue* names (the queues count
+    their own puts); ``bus.routed`` keys are sending endpoints."""
     if "{" in flat_key:
         name, _, label = flat_key.partition("{")
         label = label.rstrip("}")
@@ -180,6 +198,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(render_events(events))
     print()
     print("# counters")
+    meta = telemetry_meta_line(counters)
+    if meta:
+        print(meta)
     print(prometheus_text(counters))
     return 0
 

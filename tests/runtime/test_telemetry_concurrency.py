@@ -1,0 +1,201 @@
+"""Counter aggregation stays exact under concurrency.
+
+The enabled-mode redesign keeps one logical counter in up to three
+physical places at once: per-thread shard cells (``telemetry.count``),
+in-queue delivery cells (``RecordingMessageQueue``), and remote flight
+recorders in worker processes whose absolute totals flow back through a
+bus-side aggregation source.  These tests pin the merge contract down:
+
+- increments from any number of racing threads sum exactly (each thread
+  owns its shard; the merge is a read-time sum);
+- a ``worker:``-placed module's deliveries — counted *inside the worker
+  process* — land in the same ``bus.delivered{queue}`` counter as
+  bus-side shard increments, with no lost and no double counts;
+- repeated reads are idempotent, because every source reports absolute
+  totals rather than consuming deltas.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.bus.bus import SoftwareBus
+from repro.bus.interfaces import InterfaceDecl, Role
+from repro.bus.message import Message
+from repro.bus.spec import BindingSpec, ModuleSpec
+from repro.runtime import telemetry
+
+from tests.conftest import wait_until
+
+COLLECTOR_SOURCE = '''
+def main():
+    got = 0
+    mh.statics["got"] = 0
+    mh.init()
+    while mh.running:
+        mh.read1("inp")
+        got = got + 1
+        mh.statics["got"] = got
+'''
+
+FEEDER_SOURCE = '''
+def main():
+    mh.sleep(0.01)
+'''
+
+
+@pytest.fixture
+def recorder():
+    rec = telemetry.enable(capacity=4096)
+    yield rec
+    telemetry.disable()
+
+
+class TestThreadShardedCounters:
+    THREADS = 8
+    PER_THREAD = 5000
+
+    def test_racing_increments_sum_exactly(self, recorder):
+        """N threads hammering one (name, key) lose nothing: each thread
+        increments its own shard cell, so there is no read-modify-write
+        window to race on."""
+        start = threading.Barrier(self.THREADS)
+
+        def hammer():
+            start.wait()
+            for _ in range(self.PER_THREAD):
+                telemetry.count("app.ticks", key="shared")
+
+        workers = [threading.Thread(target=hammer) for _ in range(self.THREADS)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert (
+            recorder.counter("app.ticks", key="shared")
+            == self.THREADS * self.PER_THREAD
+        )
+
+    def test_reads_concurrent_with_writes_never_overshoot(self, recorder):
+        """Merging while writers run returns a momentary total that is
+        monotone and never exceeds what was actually written."""
+        done = threading.Event()
+        observed = []
+
+        def reader():
+            while not done.is_set():
+                observed.append(recorder.counter("app.ticks", key="live"))
+
+        def writer():
+            for _ in range(self.PER_THREAD):
+                telemetry.count("app.ticks", key="live")
+
+        rt = threading.Thread(target=reader)
+        writers = [threading.Thread(target=writer) for _ in range(4)]
+        rt.start()
+        for w in writers:
+            w.start()
+        for w in writers:
+            w.join()
+        done.set()
+        rt.join()
+        total = 4 * self.PER_THREAD
+        assert recorder.counter("app.ticks", key="live") == total
+        assert all(value <= total for value in observed)
+        assert observed == sorted(observed), "merged counter went backwards"
+
+    def test_repeated_reads_are_idempotent(self, recorder):
+        telemetry.count("app.once", n=3)
+        telemetry.gauge_max("app.depth", 7.0)
+        first = (recorder.counters(), recorder.gauges())
+        second = (recorder.counters(), recorder.gauges())
+        assert first == second
+        assert recorder.counter_total("app.once") == 3
+
+
+@pytest.mark.multiproc
+class TestRemoteWorkerAggregation:
+    MESSAGES = 40
+    THREADS = 4
+    PER_THREAD = 250
+
+    def test_worker_deliveries_and_thread_counts_share_one_counter(self):
+        """The ``bus.delivered{collector.inp}`` counter is fed from two
+        processes at once — the worker's in-queue cells (flushed back via
+        the remote snapshot source) and bus-side thread shards — and the
+        merged total is exactly the sum of both."""
+        telemetry.enable(capacity=4096)
+        bus = SoftwareBus(sleep_scale=0.0, workers=1)
+        try:
+            recorder = telemetry.recorder
+            bus.add_module(
+                ModuleSpec(
+                    name="collector",
+                    inline_source=COLLECTOR_SOURCE,
+                    interfaces=[
+                        InterfaceDecl(name="inp", role=Role.USE, pattern="l")
+                    ],
+                ),
+                instance="collector",
+                placement="worker:0",
+            )
+            bus.add_module(
+                ModuleSpec(
+                    name="feeder",
+                    inline_source=FEEDER_SOURCE,
+                    interfaces=[
+                        InterfaceDecl(name="out", role=Role.DEFINE, pattern="l")
+                    ],
+                ),
+                instance="feeder",
+            )
+            bus.add_binding(BindingSpec("feeder", "out", "collector", "inp"))
+            bus.start_module("collector")
+
+            for value in range(self.MESSAGES):
+                bus.route(
+                    "feeder",
+                    "out",
+                    Message(
+                        values=[value],
+                        fmt="l",
+                        source_instance="feeder",
+                        source_interface="out",
+                    ).validated(),
+                )
+            # The collector consuming every message fences the remote
+            # counts: a message is counted (in-queue, in the worker) at
+            # put time, strictly before the module can read it.
+            wait_until(
+                lambda: bus.statics_of("collector").get("got") == self.MESSAGES,
+                timeout=60.0,
+            )
+
+            def hammer():
+                for _ in range(self.PER_THREAD):
+                    telemetry.count("bus.delivered", key="collector.inp")
+
+            workers = [
+                threading.Thread(target=hammer) for _ in range(self.THREADS)
+            ]
+            for w in workers:
+                w.start()
+            for w in workers:
+                w.join()
+
+            expected = self.MESSAGES + self.THREADS * self.PER_THREAD
+            assert (
+                recorder.counter("bus.delivered", key="collector.inp") == expected
+            )
+            # Idempotent: the remote source re-reads absolute totals, so a
+            # second merge neither consumes nor double-adds them.
+            assert (
+                recorder.counter("bus.delivered", key="collector.inp") == expected
+            )
+            # The route side saw every send exactly once too.
+            assert recorder.counter("bus.routed", key="feeder.out") == self.MESSAGES
+        finally:
+            bus.shutdown()
+            telemetry.disable()

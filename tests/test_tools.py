@@ -124,6 +124,9 @@ class TestStatsCli:
         assert 'repro_bus_delivered_total{key="sensor.out"} 12' in out
         assert "repro_reconfig_commits_total 1" in out
         assert 'repro_queue_hwm{key="display.inp"} 5' in out
+        # the dump is self-describing: how it was recorded rides along
+        assert "# recorded with" in out
+        assert "sample=1" in out
 
     def test_tree_and_recon_filter(self, trace, capsys):
         assert stats_main([str(trace), "--tree", "--recon", "rc-0001"]) == 0
