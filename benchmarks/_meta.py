@@ -1,0 +1,43 @@
+"""Shared metadata block for ``BENCH_*.json`` writers.
+
+Every benchmark payload carries the same ``meta`` block so numbers from
+different containers and different PRs stay comparable — a throughput
+figure without its cpu count, or a load run without its seed, cannot be
+trended.  The schema tag versions the block itself so downstream tooling
+(``tools/stats``-style consumers, CI artifact diffing) can detect shape
+changes instead of guessing.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+from typing import Dict, Optional
+
+#: Bump when the meta block's shape changes.
+META_SCHEMA = "repro-bench-meta/1"
+
+
+def bench_meta(
+    seed: Optional[int] = None,
+    sample: Optional[int] = None,
+    **extra: object,
+) -> Dict[str, object]:
+    """The consistent ``{schema, cpus, seed, sample, ...}`` block.
+
+    ``seed`` is the workload RNG seed (None for benchmarks without
+    randomness); ``sample`` is the telemetry span sampling rate in
+    effect (None when telemetry was disabled for the run).  Extra
+    keyword pairs pass straight through for benchmark-specific context.
+    """
+    meta: Dict[str, object] = {
+        "schema": META_SCHEMA,
+        "cpus": os.cpu_count(),
+        "seed": seed,
+        "sample": sample,
+        "python": platform.python_version(),
+        "platform": sys.platform,
+    }
+    meta.update(extra)
+    return meta

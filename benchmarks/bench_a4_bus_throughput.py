@@ -47,6 +47,7 @@ from repro.bus.message import Message
 from repro.bus.spec import BindingSpec, ModuleSpec
 from repro.state.machine import MACHINES
 
+from benchmarks._meta import bench_meta
 from benchmarks.conftest import report
 
 IDLE = "def main():\n    pass\n"
@@ -289,6 +290,7 @@ def main(argv: List[str]) -> None:
         "benchmark": "bench_a4_bus_throughput",
         "unit": "delivered messages/second",
         "quick": quick,
+        "meta": bench_meta(),
         "results": results,
         "pre_fast_path_baseline": PRE_FAST_PATH_BASELINE,
         "speedup_vs_pre_fast_path": {

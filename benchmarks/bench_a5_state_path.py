@@ -42,6 +42,7 @@ from repro.state.reference import (
     reference_state_to_bytes,
 )
 
+from benchmarks._meta import bench_meta
 from benchmarks.conftest import report
 
 DEPTHS = [1, 64, 512]
@@ -236,6 +237,7 @@ def main(argv: List[str]) -> None:
         "benchmark": "bench_a5_state_path",
         "unit": "milliseconds",
         "quick": quick,
+        "meta": bench_meta(),
         "results": results,
         "pre_fast_path_baseline": PRE_FAST_PATH_BASELINE,
         "speedup_vs_pre_fast_path": {

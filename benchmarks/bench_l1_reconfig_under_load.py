@@ -1,0 +1,154 @@
+"""L1 (load) — what client traffic experiences *through* ``replace()``.
+
+The paper's claim is that a module can be swapped "while the system
+runs"; every number published so far measures the replace in isolation.
+This benchmark measures the replace from the traffic's side: three
+production-shaped workloads stay under sustained load while the driver
+fires replaces mid-run, and every latency sample is segmented into
+before/during/after windows around the replace span
+(``docs/load-harness.md`` explains the windowing and the histogram's
+accuracy bounds).
+
+Workloads (``src/repro/loadgen/workloads.py``):
+
+- ``kv_zipfian`` — sharded KV, closed-loop session pool, seeded zipfian
+  keys; the hottest shard is moved across architectures.
+- ``pipeline`` — open-loop sequence stream through a linear stage
+  chain; the middle stage is replaced mid-stream.
+- ``monitor_fanout`` — one hub fanning out to 100+ monitor modules
+  (the paper's Figure-1 shape at production width); the hub is moved.
+
+Published per window: exact-bounded p50/p99/p999 and the **max stall**
+(longest silent gap of any single session — the metric percentiles can
+hide), plus per-replace blocked-message counts (``queued_copied``, the
+messages the coordinator carried from the old module's queues to the
+clone).  Telemetry is *enabled* (1-in-16 span sampling) for the whole
+run, so the numbers include the observability tax we actually ship
+with.  Invariants (no loss, no duplication, counts conserved) are
+enforced by ``workload.verify()`` — a benchmark run that dropped a
+message raises instead of publishing.
+
+Run standalone to (re)generate ``BENCH_reconfig_under_load.json``::
+
+    PYTHONPATH=src:. python benchmarks/bench_l1_reconfig_under_load.py [--quick]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Dict, List
+
+from repro.loadgen import (
+    FanoutMonitorWorkload,
+    KvZipfianWorkload,
+    PipelineWorkload,
+    run_under_load,
+)
+from repro.runtime import telemetry
+
+from benchmarks._meta import bench_meta
+from benchmarks.conftest import report
+
+#: Workload RNG seed: key streams, op mixes, and schedules all derive
+#: from it, so a published run is replayable bit-for-bit.
+SEED = 1993
+#: Telemetry span sampling during the run (same rate bench_o1 costs at).
+SAMPLE = 16
+
+
+def build_workloads(quick: bool) -> List[object]:
+    if quick:
+        return [
+            KvZipfianWorkload(shards=2, sessions=4, keys=128, seed=SEED),
+            PipelineWorkload(stages=3, rate_per_s=200.0, seed=SEED),
+            FanoutMonitorWorkload(monitors=24, rate_per_s=150.0, seed=SEED),
+        ]
+    return [
+        KvZipfianWorkload(shards=4, sessions=8, keys=256, seed=SEED),
+        PipelineWorkload(stages=4, rate_per_s=300.0, seed=SEED),
+        # ≥ 100 modules: 110 monitors + hub + loader = 112.
+        FanoutMonitorWorkload(monitors=110, rate_per_s=200.0, seed=SEED),
+    ]
+
+
+def run_all(quick: bool) -> Dict[str, object]:
+    warmup_s = 0.4 if quick else 1.0
+    measure_s = 2.0 if quick else 6.0
+    replaces = 1 if quick else 3
+    telemetry.enable(capacity=65536, sample=SAMPLE)
+    try:
+        results = {}
+        for workload in build_workloads(quick):
+            results[workload.name] = run_under_load(
+                workload,
+                warmup_s=warmup_s,
+                measure_s=measure_s,
+                replaces=replaces,
+            )
+    finally:
+        telemetry.disable()
+    return {
+        "measure_s": measure_s,
+        "replaces_per_workload": replaces,
+        "workloads": results,
+    }
+
+
+def _summary_line(results: Dict[str, object]) -> str:
+    parts = []
+    for name, block in results["workloads"].items():
+        before = block["windows"]["before"]
+        during = block["windows"]["during"]
+        parts.append(
+            f"{name}: p99 {before.get('p99_ms', 0)}ms -> "
+            f"{during.get('p99_ms', 'n/a')}ms during, "
+            f"stall {block['max_stall_ms']}ms, "
+            f"{block['blocked_messages']} blocked"
+        )
+    return "; ".join(parts)
+
+
+def test_l1_reconfig_under_load():
+    results = run_all(quick=True)
+    report(
+        "L1",
+        "module replacement happens while the system runs — traffic "
+        "through the replace must see a bounded stall and lose nothing",
+        _summary_line(results),
+    )
+    for name, block in results["workloads"].items():
+        invariants = block["invariants"]
+        assert invariants["no_loss"] and invariants["no_duplication"], name
+        assert block["windows"]["before"]["count"] > 0, name
+        assert block["windows"]["after"]["count"] > 0, name
+
+
+def main(argv: List[str]) -> None:
+    quick = "--quick" in argv
+    out = "BENCH_reconfig_under_load.json"
+    if "--out" in argv:
+        out = argv[argv.index("--out") + 1]
+    results = run_all(quick)
+    payload = {
+        "benchmark": "bench_l1_reconfig_under_load",
+        "unit": "latency ms per window; stalls ms; blocked messages",
+        "quick": quick,
+        "meta": bench_meta(
+            seed=SEED,
+            sample=SAMPLE,
+            telemetry="enabled",
+            replaces_per_workload=results["replaces_per_workload"],
+            measure_s=results["measure_s"],
+        ),
+        "results": results,
+    }
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(payload, indent=2))
+    print(f"\n[L1] {_summary_line(results)}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

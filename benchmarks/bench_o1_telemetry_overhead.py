@@ -53,6 +53,7 @@ from typing import Dict, List, Tuple
 from repro.bus.queues import MessageQueue
 from repro.runtime import telemetry
 
+from benchmarks._meta import bench_meta
 from benchmarks.bench_a4_bus_throughput import build
 from benchmarks.conftest import report
 
@@ -294,6 +295,7 @@ def main(argv: List[str]) -> None:
         "benchmark": "bench_o1_telemetry_overhead",
         "unit": "delivered messages/second; move times in ms",
         "quick": quick,
+        "meta": bench_meta(sample=SAMPLE),
         "cpus": os.cpu_count(),
         "sample": SAMPLE,
         "disabled_overhead_limit_pct": DISABLED_OVERHEAD_LIMIT_PCT,

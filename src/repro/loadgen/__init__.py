@@ -1,0 +1,58 @@
+"""Load generation + reconfiguration-under-load measurement harness.
+
+See ``docs/load-harness.md`` for the generator models, the histogram
+accuracy bounds, and how to read the windowed JSON this package emits.
+"""
+
+from repro.loadgen.distributions import UniformKeys, ZipfianKeys
+from repro.loadgen.driver import (
+    classify_sample,
+    max_stalls,
+    run_under_load,
+    segment_windows,
+    summarize_windows,
+)
+from repro.loadgen.generators import (
+    ClosedLoopGenerator,
+    GeneratorError,
+    LatencyLog,
+    OpenLoopGenerator,
+)
+from repro.loadgen.histogram import (
+    LatencyHistogram,
+    bucket_high,
+    bucket_index,
+    bucket_low,
+)
+from repro.loadgen.workloads import (
+    FanoutMonitorWorkload,
+    KvZipfianWorkload,
+    LoadInvariantError,
+    LoadWorkload,
+    PipelineWorkload,
+    ReplaceOutcome,
+)
+
+__all__ = [
+    "ClosedLoopGenerator",
+    "FanoutMonitorWorkload",
+    "GeneratorError",
+    "KvZipfianWorkload",
+    "LatencyHistogram",
+    "LatencyLog",
+    "LoadInvariantError",
+    "LoadWorkload",
+    "OpenLoopGenerator",
+    "PipelineWorkload",
+    "ReplaceOutcome",
+    "UniformKeys",
+    "ZipfianKeys",
+    "bucket_high",
+    "bucket_index",
+    "bucket_low",
+    "classify_sample",
+    "max_stalls",
+    "run_under_load",
+    "segment_windows",
+    "summarize_windows",
+]

@@ -1,0 +1,64 @@
+"""Seeded key distributions for the load workloads.
+
+Production key traffic is skewed: a small set of hot keys absorbs most
+operations, which is exactly what stresses a *sharded* service during a
+replace — the shard owning the hot keys stalls, the rest keep serving.
+The zipfian generator reproduces that shape deterministically: the same
+seed always yields the same key sequence (``random.Random`` is a stable
+Mersenne Twister across CPython versions), so every benchmark run and
+every test failure is replayable.
+
+Keys are dense integer ids in ``[0, n)``; rank ``i`` has weight
+``1 / (i + 1)**theta`` (key 0 is the hottest).  Workloads map ids to
+shards by ``id % shards``, which interleaves the hot ranks across the
+fleet instead of piling them onto shard 0.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import List
+
+
+class UniformKeys:
+    """Uniform ids over ``[0, n)`` from a private seeded stream."""
+
+    def __init__(self, n: int, seed: int = 0):
+        if n <= 0:
+            raise ValueError(f"key space must be positive, got {n}")
+        self.n = n
+        self._rng = random.Random(seed)
+
+    def sample(self) -> int:
+        return self._rng.randrange(self.n)
+
+
+class ZipfianKeys:
+    """Zipfian ids over ``[0, n)``: rank ``i`` weighted ``(i+1)**-theta``.
+
+    The cumulative weight table is built once (O(n)); each sample is one
+    uniform draw plus a binary search (O(log n)).  ``theta=0.99`` is the
+    conventional YCSB skew: with 256 keys roughly a third of all traffic
+    hits the ten hottest keys.
+    """
+
+    def __init__(self, n: int, theta: float = 0.99, seed: int = 0):
+        if n <= 0:
+            raise ValueError(f"key space must be positive, got {n}")
+        if theta < 0:
+            raise ValueError(f"zipfian skew must be non-negative, got {theta}")
+        self.n = n
+        self.theta = theta
+        self._rng = random.Random(seed)
+        cumulative: List[float] = []
+        running = 0.0
+        for rank in range(n):
+            running += 1.0 / ((rank + 1) ** theta)
+            cumulative.append(running)
+        self._cumulative = cumulative
+        self._total = running
+
+    def sample(self) -> int:
+        point = self._rng.random() * self._total
+        return bisect.bisect_left(self._cumulative, point)

@@ -1,0 +1,202 @@
+"""Fire replace() mid-run and segment latency into honest windows.
+
+The driver owns the experiment clock: warm the workload up, clear the
+sample log, run a measured interval, fire one or more replaces at evenly
+spaced offsets inside it, drain, then split every sample into three
+windows:
+
+``before``
+    Completed strictly before the first replace started — steady-state
+    baseline.
+``during``
+    Overlapped any part of the replace span (sent before the last
+    replace ended and completed after the first began).  This is the
+    window SLOs care about: it absorbs the divulge/restore stall, the
+    rebind rename window, and the queue drain afterwards.
+``after``
+    Sent strictly after the last replace committed — proves the system
+    returns to baseline instead of limping.
+
+Alongside percentiles we report **max stall** per window: the longest
+gap between consecutive completions of any single session.  Percentiles
+can hide a stall (a 50 ms freeze under thousands of fast samples barely
+moves p99); the stall metric cannot — if any session went silent for the
+length of the replace, it shows up verbatim.
+
+The segmentation and stall arithmetic are pure functions over sample
+tuples so `tests/loadgen/test_windows.py` can pin their semantics
+without spinning up a bus.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.loadgen.generators import Sample
+from repro.loadgen.histogram import LatencyHistogram
+from repro.loadgen.workloads import LoadWorkload, ReplaceOutcome
+
+WINDOWS = ("before", "during", "after")
+
+
+def classify_sample(
+    t_send: float, t_recv: float, t_first_start: float, t_last_end: float
+) -> str:
+    """Window of one sample relative to the replace span (pure)."""
+    if t_recv < t_first_start:
+        return "before"
+    if t_send > t_last_end:
+        return "after"
+    return "during"
+
+
+def segment_windows(
+    samples: Sequence[Sample], t_first_start: float, t_last_end: float
+) -> Dict[str, List[Sample]]:
+    """Split samples into before/during/after of the replace span."""
+    windows: Dict[str, List[Sample]] = {name: [] for name in WINDOWS}
+    for sample in samples:
+        _, t_send, t_recv = sample
+        windows[classify_sample(t_send, t_recv, t_first_start, t_last_end)].append(
+            sample
+        )
+    return windows
+
+
+def max_stalls(
+    samples: Sequence[Sample],
+    t_measure_start: float,
+    t_first_start: float,
+    t_last_end: float,
+) -> Dict[str, float]:
+    """Longest completion gap of any single session, per window (seconds).
+
+    For each session the completion times are walked in order, starting
+    the clock at ``t_measure_start`` (a session that never completes
+    anything until after the replace has stalled since measurement
+    began, not since its own first sample).  Each gap is attributed to
+    the window containing its *end* — the completion that finally
+    arrived is the one that waited.  The open-ended gap after a
+    session's last completion is not counted; quiesce timing is not a
+    stall.
+    """
+    by_session: Dict[int, List[float]] = {}
+    for sid, _, t_recv in samples:
+        by_session.setdefault(sid, []).append(t_recv)
+    stalls = {name: 0.0 for name in WINDOWS}
+    for completions in by_session.values():
+        completions.sort()
+        previous = t_measure_start
+        for t_recv in completions:
+            gap = t_recv - previous
+            window = classify_sample(
+                t_recv, t_recv, t_first_start, t_last_end
+            )
+            if gap > stalls[window]:
+                stalls[window] = gap
+            previous = t_recv
+    return stalls
+
+
+def summarize_windows(
+    samples: Sequence[Sample],
+    replaces: Sequence[ReplaceOutcome],
+    t_measure_start: float,
+) -> Dict[str, Dict[str, float]]:
+    """Per-window latency summaries (ms) with max-stall attached."""
+    if replaces:
+        t_first_start = min(r.t_start for r in replaces)
+        t_last_end = max(r.t_end for r in replaces)
+    else:
+        # No replace fired: everything is steady state ("before").
+        t_first_start = float("inf")
+        t_last_end = float("inf")
+    windows = segment_windows(samples, t_first_start, t_last_end)
+    stalls = max_stalls(samples, t_measure_start, t_first_start, t_last_end)
+    summary: Dict[str, Dict[str, float]] = {}
+    for name in WINDOWS:
+        histogram = LatencyHistogram.of(
+            t_recv - t_send for _, t_send, t_recv in windows[name]
+        )
+        block = histogram.summary_ms()
+        block["max_stall_ms"] = round(stalls[name] * 1000, 2)
+        summary[name] = block
+    return summary
+
+
+def run_under_load(
+    workload: LoadWorkload,
+    warmup_s: float = 0.5,
+    measure_s: float = 4.0,
+    replaces: int = 1,
+    quiesce_timeout: float = 60.0,
+) -> Dict[str, object]:
+    """Run one workload through ``replaces`` replace() calls under load.
+
+    Owns the full lifecycle (start → warmup → measure with replaces at
+    evenly spaced offsets → quiesce → verify → close) and returns the
+    windowed result dict that both the benchmark and the smoke tests
+    consume.
+    """
+    if replaces < 0:
+        raise ValueError(f"replace count must be non-negative, got {replaces}")
+    workload.start()
+    try:
+        _watched_sleep(workload, time.monotonic() + warmup_s)
+        workload.samples.clear()
+        t_measure_start = time.monotonic()
+        offsets = [
+            measure_s * (index + 1) / (replaces + 1) for index in range(replaces)
+        ]
+        for offset in offsets:
+            _watched_sleep(workload, t_measure_start + offset)
+            workload.replace_once()
+        _watched_sleep(workload, t_measure_start + measure_s)
+        workload.quiesce(quiesce_timeout)
+        t_drained = time.monotonic()
+        samples = workload.samples.snapshot()
+        invariants = workload.verify()
+        return build_result(
+            workload, samples, t_measure_start, t_drained, invariants
+        )
+    finally:
+        workload.close()
+
+
+def build_result(
+    workload: LoadWorkload,
+    samples: Sequence[Sample],
+    t_measure_start: float,
+    t_drained: float,
+    invariants: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Assemble the per-workload JSON block from raw samples + outcomes."""
+    elapsed = max(t_drained - t_measure_start, 1e-9)
+    windows = summarize_windows(samples, workload.replaces, t_measure_start)
+    result: Dict[str, object] = {
+        "workload": workload.name,
+        "target": workload.target,
+        "params": workload.params(),
+        "ops": len(samples),
+        "throughput_ops_per_s": round(len(samples) / elapsed, 1),
+        "windows": windows,
+        "max_stall_ms": max(
+            (block["max_stall_ms"] for block in windows.values()), default=0.0
+        ),
+        "blocked_messages": sum(r.blocked_messages for r in workload.replaces),
+        "replaces": [r.to_json(t_measure_start) for r in workload.replaces],
+    }
+    if invariants is not None:
+        result["invariants"] = invariants
+    return result
+
+
+def _watched_sleep(workload: LoadWorkload, until: float) -> None:
+    """Sleep to an absolute deadline, failing fast on generator death."""
+    while True:
+        workload.generator.check()
+        remaining = until - time.monotonic()
+        if remaining <= 0:
+            return
+        time.sleep(min(remaining, 0.05))

@@ -1,0 +1,221 @@
+"""Open- and closed-loop load generators.
+
+Two generator models, because they answer different questions about a
+reconfiguration stall:
+
+- **Closed loop** — each session keeps exactly one request in flight
+  (send, wait for the reply, repeat).  Latency here measures *service
+  responsiveness*: while the replaced module is between divulge and
+  restore, the sessions routed to it simply wait, and their next sample
+  absorbs the whole stall.  Throughput self-throttles, as a pool of
+  synchronous clients would.
+- **Open loop** — requests are issued on a fixed schedule regardless of
+  completions, and each sample's latency is measured from its
+  *scheduled* send time.  This is the coordinated-omission-honest
+  model: requests that pile up behind a stalled module are charged the
+  queueing delay they actually suffered, so a 50 ms replace under a
+  300 ops/s schedule shows up as ~15 samples with elevated latency, not
+  one.
+
+Sessions are provided by the workloads (`workloads.py`); the generators
+only own threads, pacing, and the shared :class:`LatencyLog`.  A crash
+in any generator thread is captured and re-raised at ``stop()`` — load
+harness failures must be loud, never a silently idle thread.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, List, Optional, Tuple
+
+#: One latency sample: (session id, send time, completion time), both
+#: timestamps from ``time.monotonic()`` on the load-generator side.
+Sample = Tuple[int, float, float]
+
+
+class LatencyLog:
+    """Thread-safe append-only sample log shared by all sessions."""
+
+    def __init__(self) -> None:
+        self._samples: List[Sample] = []
+        self._lock = threading.Lock()
+
+    def add(self, session: int, t_send: float, t_recv: float) -> None:
+        with self._lock:
+            self._samples.append((session, t_send, t_recv))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._samples.clear()
+
+    def snapshot(self) -> List[Sample]:
+        with self._lock:
+            return list(self._samples)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+
+class GeneratorError(RuntimeError):
+    """A load-generator thread died; carries the original failure."""
+
+
+class _ThreadPool:
+    """Shared stop/join/crash bookkeeping for both generator kinds."""
+
+    def __init__(self) -> None:
+        self.stop_event = threading.Event()
+        self._threads: List[threading.Thread] = []
+        self._failures: List[BaseException] = []
+        self._lock = threading.Lock()
+
+    def spawn(self, target: Callable[[], None], name: str) -> None:
+        def run() -> None:
+            try:
+                target()
+            except BaseException as exc:  # noqa: BLE001 - re-raised at stop()
+                with self._lock:
+                    self._failures.append(exc)
+
+        thread = threading.Thread(target=run, name=name, daemon=True)
+        self._threads.append(thread)
+        thread.start()
+
+    def stop(self, join_timeout: float) -> None:
+        self.stop_event.set()
+        deadline = time.monotonic() + join_timeout
+        for thread in self._threads:
+            thread.join(max(0.1, deadline - time.monotonic()))
+        wedged = [t.name for t in self._threads if t.is_alive()]
+        failures = list(self._failures)
+        if failures:
+            raise GeneratorError(
+                f"load generator thread failed: {failures[0]!r}"
+            ) from failures[0]
+        if wedged:
+            raise GeneratorError(f"load generator threads wedged: {wedged}")
+
+    def check(self) -> None:
+        with self._lock:
+            if self._failures:
+                raise GeneratorError(
+                    f"load generator thread failed: {self._failures[0]!r}"
+                ) from self._failures[0]
+
+
+class ClosedLoopGenerator:
+    """One thread per session; each keeps one request in flight.
+
+    ``sessions`` must provide ``roundtrip() -> None`` (send one request
+    and block for its reply) and an integer ``sid``.  The sample's send
+    time is taken immediately before the send, so a reply delayed by a
+    replace is charged to the operation that waited for it.
+    """
+
+    def __init__(self, sessions, log: LatencyLog, think_s: float = 0.0):
+        self.sessions = list(sessions)
+        self.log = log
+        self.think_s = think_s
+        self._pool = _ThreadPool()
+
+    def start(self) -> None:
+        for session in self.sessions:
+            self._pool.spawn(
+                lambda s=session: self._drive(s), f"closed-loop-{session.sid}"
+            )
+
+    def _drive(self, session) -> None:
+        stop = self._pool.stop_event
+        log = self.log
+        while not stop.is_set():
+            t_send = time.monotonic()
+            session.roundtrip()
+            log.add(session.sid, t_send, time.monotonic())
+            if self.think_s:
+                time.sleep(self.think_s)
+
+    def check(self) -> None:
+        self._pool.check()
+
+    def stop(self, join_timeout: float = 60.0) -> None:
+        self._pool.stop(join_timeout)
+
+
+class OpenLoopGenerator:
+    """A paced sender plus a collector, decoupled per session.
+
+    ``sessions`` must provide ``send(t_scheduled) -> None`` (non-blocking
+    issue, remembering the scheduled timestamp for matching),
+    ``recv(timeout) -> Optional[float]`` (block for the next completion
+    and return the matched request's scheduled send time, or ``None`` on
+    timeout), ``pending() -> int``, and ``sid``.
+
+    The sender never skips a scheduled request: when it falls behind
+    (e.g. the scheduler was starved during a stall) it issues the
+    backlog immediately, preserving the open-loop arrival count.
+    """
+
+    def __init__(self, sessions, rate_per_s: float, log: LatencyLog):
+        if rate_per_s <= 0:
+            raise ValueError(f"open-loop rate must be positive, got {rate_per_s}")
+        self.sessions = list(sessions)
+        self.rate_per_s = float(rate_per_s)
+        self.log = log
+        self._pool = _ThreadPool()
+        self._senders_done = threading.Event()
+
+    def start(self) -> None:
+        for session in self.sessions:
+            self._pool.spawn(
+                lambda s=session: self._send_paced(s),
+                f"open-loop-send-{session.sid}",
+            )
+            self._pool.spawn(
+                lambda s=session: self._collect(s),
+                f"open-loop-recv-{session.sid}",
+            )
+
+    def _send_paced(self, session) -> None:
+        done = self._senders_done
+        interval = len(self.sessions) / self.rate_per_s
+        start = time.monotonic()
+        issued = 0
+        while not done.is_set():
+            scheduled = start + issued * interval
+            now = time.monotonic()
+            if scheduled > now:
+                if done.wait(min(scheduled - now, 0.05)):
+                    break
+                continue
+            session.send(scheduled)
+            issued += 1
+
+    def _collect(self, session) -> None:
+        stop = self._pool.stop_event
+        log = self.log
+        while True:
+            t_scheduled = session.recv(timeout=0.25)
+            if t_scheduled is not None:
+                log.add(session.sid, t_scheduled, time.monotonic())
+            elif self._senders_done.is_set() and session.pending() == 0:
+                return
+            elif stop.is_set() and self._senders_done.is_set():
+                return  # drain deadline passed with requests still missing
+
+    def check(self) -> None:
+        self._pool.check()
+
+    def drain(self, timeout: float = 30.0) -> None:
+        """Stop the schedule, then wait for every issued request to finish."""
+        self._senders_done.set()  # collectors may now exit once drained
+        deadline = time.monotonic() + timeout
+        for session in self.sessions:
+            while session.pending() and time.monotonic() < deadline:
+                time.sleep(0.01)
+        self._pool.check()
+
+    def stop(self, join_timeout: float = 60.0) -> None:
+        self._senders_done.set()
+        self._pool.stop(join_timeout)

@@ -1,0 +1,184 @@
+"""HDR-style coarse-bucket latency histogram with exact bounds.
+
+Recording a latency sample must be cheap enough to sit on the load
+generator's per-operation path (one integer index computation and one
+dict increment), yet the published percentiles must carry a *provable*
+accuracy bound — a benchmark that quietly averages away its tail is
+worse than no benchmark.  The scheme is the one popularised by HdrHistogram:
+
+- values are non-negative integers (the public API records seconds and
+  converts to nanoseconds);
+- values below ``2 * SUBBUCKETS`` (128) land in unit-width buckets and
+  are therefore recorded and reported **exactly**;
+- larger values share a bucket with at most ``1/SUBBUCKETS`` (1.5625%)
+  of their magnitude: bucket ``i`` covers ``[low(i), high(i)]`` with
+  ``high - low + 1 == 2**shift`` and ``low >= SUBBUCKETS * 2**shift``,
+  so the relative width never exceeds ``2**-SUB_BITS``.
+
+Percentiles use the nearest-rank definition (the smallest recorded
+value whose cumulative count reaches ``ceil(p/100 * n)``) and report the
+*highest value equivalent* to that rank's bucket, clamped to the true
+observed maximum — so ``percentile(100)`` is the exact max, and every
+reported percentile ``est`` satisfies ``s <= est <= s * (1 + 2**-6)``
+(+1 for integer truncation) where ``s`` is the true nearest-rank sample.
+``tests/loadgen/test_histogram.py`` holds this to golden values and to a
+Hypothesis comparison against ``statistics.quantiles``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Sub-bucket resolution: 2**SUB_BITS linear sub-buckets per power of two.
+SUB_BITS = 6
+SUBBUCKETS = 1 << SUB_BITS
+
+#: Scale used by the seconds-based convenience API.
+NS_PER_SECOND = 1_000_000_000
+
+
+def bucket_index(value: int) -> int:
+    """Map a non-negative integer to its bucket index (monotone)."""
+    if value < 0:
+        raise ValueError(f"latency value must be non-negative, got {value}")
+    if value < 2 * SUBBUCKETS:
+        return value
+    shift = value.bit_length() - 1 - SUB_BITS
+    return (shift << SUB_BITS) + (value >> shift)
+
+
+def bucket_low(index: int) -> int:
+    """Smallest value mapping to ``index``."""
+    if index < 2 * SUBBUCKETS:
+        return index
+    shift = (index >> SUB_BITS) - 1
+    sub = SUBBUCKETS + (index & (SUBBUCKETS - 1))
+    return sub << shift
+
+
+def bucket_high(index: int) -> int:
+    """Largest value mapping to ``index``."""
+    if index < 2 * SUBBUCKETS - 1:
+        return index
+    return bucket_low(index + 1) - 1
+
+
+class LatencyHistogram:
+    """Sparse coarse-bucket histogram over non-negative integer values.
+
+    Values are dimensionless integers; :meth:`record` converts seconds
+    to nanoseconds for the common wall-clock case.  Buckets are stored
+    sparsely (latency distributions touch a handful of buckets), so
+    memory is bounded by the number of *distinct* magnitudes seen, not
+    by the value range.
+    """
+
+    __slots__ = ("_counts", "_total", "_sum", "_min", "_max")
+
+    def __init__(self) -> None:
+        self._counts: Dict[int, int] = {}
+        self._total = 0
+        self._sum = 0
+        self._min: Optional[int] = None
+        self._max = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def record_value(self, value: int) -> None:
+        """Record one dimensionless non-negative integer sample."""
+        index = bucket_index(value)
+        counts = self._counts
+        counts[index] = counts.get(index, 0) + 1
+        self._total += 1
+        self._sum += value
+        if self._min is None or value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    def record(self, seconds: float) -> None:
+        """Record one latency sample given in seconds (stored as ns)."""
+        self.record_value(max(0, int(seconds * NS_PER_SECOND)))
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold ``other``'s samples into this histogram."""
+        for index, count in other._counts.items():
+            self._counts[index] = self._counts.get(index, 0) + count
+        self._total += other._total
+        self._sum += other._sum
+        if other._min is not None and (self._min is None or other._min < self._min):
+            self._min = other._min
+        if other._max > self._max:
+            self._max = other._max
+
+    # -- reading -----------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return self._total
+
+    @property
+    def min_value(self) -> int:
+        return 0 if self._min is None else self._min
+
+    @property
+    def max_value(self) -> int:
+        return self._max
+
+    @property
+    def mean_value(self) -> float:
+        """Exact mean of the recorded samples (the sum is kept exactly)."""
+        return self._sum / self._total if self._total else 0.0
+
+    def percentile_value(self, percent: float) -> int:
+        """Nearest-rank percentile, reported at the bucket's high edge.
+
+        Accuracy contract (tested): with ``s`` the true nearest-rank
+        sample, the return value ``est`` satisfies ``s <= est`` and
+        ``est <= s + max(1, s >> SUB_BITS)``; for values below 128 the
+        answer is exact.
+        """
+        if not 0 < percent <= 100:
+            raise ValueError(f"percentile must be in (0, 100], got {percent}")
+        if self._total == 0:
+            return 0
+        rank = max(1, math.ceil(self._total * percent / 100.0))
+        cumulative = 0
+        for index in sorted(self._counts):
+            cumulative += self._counts[index]
+            if cumulative >= rank:
+                return min(bucket_high(index), self._max)
+        return self._max  # pragma: no cover - rank <= total always hits
+
+    def percentile(self, percent: float) -> float:
+        """Percentile in seconds (for samples recorded via :meth:`record`)."""
+        return self.percentile_value(percent) / NS_PER_SECOND
+
+    def buckets(self) -> List[Tuple[int, int, int]]:
+        """Sorted ``(low, high, count)`` triples of the occupied buckets."""
+        return [
+            (bucket_low(index), bucket_high(index), count)
+            for index, count in sorted(self._counts.items())
+        ]
+
+    def summary_ms(self) -> Dict[str, float]:
+        """The windowed-JSON block: counts and key percentiles in ms."""
+        if self._total == 0:
+            return {"count": 0}
+        return {
+            "count": self._total,
+            "mean_ms": round(self.mean_value / 1e6, 4),
+            "p50_ms": round(self.percentile_value(50) / 1e6, 4),
+            "p99_ms": round(self.percentile_value(99) / 1e6, 4),
+            "p999_ms": round(self.percentile_value(99.9) / 1e6, 4),
+            "max_ms": round(self._max / 1e6, 4),
+        }
+
+    @classmethod
+    def of(cls, latencies_s: Iterable[float]) -> "LatencyHistogram":
+        """Build a histogram from an iterable of second-valued latencies."""
+        histogram = cls()
+        for value in latencies_s:
+            histogram.record(value)
+        return histogram

@@ -1,0 +1,744 @@
+"""Production-shaped workloads that stay under load through ``replace()``.
+
+Three application shapes, each built from the same module/MIL machinery
+as the paper's examples but scaled and instrumented for sustained
+traffic:
+
+``kv_zipfian``
+    A sharded key-value service: N reconfigurable shard modules, each
+    owning the keys with ``key % shards == j``, serving a closed-loop
+    session pool whose keys follow a seeded zipfian distribution.
+    Sessions send *directed* requests (``route_to``) to the owning
+    shard and embed their loader name so the shard replies with
+    ``write_to`` — the POLYLITH client/server pattern at fleet width.
+    Replacing ``shard_0`` (owner of the hottest key) stalls exactly the
+    sessions whose keys hash there; the rest keep serving.
+
+``pipeline``
+    A linear conversion pipeline ``loader -> stage_0 -> ... ->
+    stage_{k-1} -> loader``: an open-loop generator feeds sequence
+    numbers at a fixed rate and the tail stage echoes them back, so
+    end-to-end latency includes every queue in the chain.  The middle
+    stage is replaced mid-stream; strict sequence checking at the
+    collector makes any loss, duplication, or reorder an immediate
+    failure.
+
+``monitor_fanout``
+    The paper's monitor shape at production width: one reconfigurable
+    hub fans every reading out to 100+ monitor modules *and* back to
+    the loader (the echo is the latency probe).  Replacing the hub must
+    neither lose a reading (every monitor's count equals the number
+    sent) nor double one.
+
+Directed sends and the rebind window
+------------------------------------
+Between the coordinator's ``rebind`` and ``commit`` stages the replaced
+instance is briefly bound under its temporary clone name, so a directed
+``route_to`` addressed to the public name raises ``BindingError``.  The
+KV sessions retry with a bounded deadline — exactly what a production
+client does against a moving endpoint — and the retry count is reported
+in the invariants block, making the client-visible cost of the rename
+window observable instead of hidden.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from threading import Lock
+from typing import Deque, Dict, List, Optional
+
+from collections import deque
+
+from repro.bus.bus import SoftwareBus
+from repro.bus.message import Message
+from repro.bus.mil import parse_mil
+from repro.errors import BindingError, ReconfigurationAborted, TransportError
+from repro.reconfig.coordinator import (
+    ReconfigurationCoordinator,
+    ReconfigurationReport,
+)
+from repro.state.machine import MACHINES
+
+from repro.loadgen.distributions import ZipfianKeys
+from repro.loadgen.generators import (
+    ClosedLoopGenerator,
+    LatencyLog,
+    OpenLoopGenerator,
+)
+
+
+class LoadInvariantError(AssertionError):
+    """A workload invariant (no loss, no duplication, ...) was violated."""
+
+
+def _wait_until(predicate, timeout: float, what: str) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.01)
+    raise LoadInvariantError(f"timed out after {timeout}s waiting for {what}")
+
+
+# ---------------------------------------------------------------------------
+# Module sources (same structured-subset language as the paper apps)
+# ---------------------------------------------------------------------------
+
+#: Loaders never run application logic: external generator threads write
+#: on their interfaces with ``bus.route``/``route_to`` and read replies
+#: straight off their queues, so every operation is an explicit event.
+LOADER_SOURCE = '''\
+def main():
+    mh.statics['ready'] = True
+    mh.init()
+    while mh.running:
+        mh.sleep(5)
+'''
+
+#: One KV shard: requests carry (sender, op, key, value); replies are
+#: directed back to the requesting loader.  The store lives in the heap
+#: (the paper's "user-allocated data") and ``serves`` counts completed
+#: requests — both must survive every replace exactly.
+KV_SHARD_SOURCE = '''\
+def main():
+    request = None
+    sender = None
+    op = None
+    key = None
+    value = None
+    mh.heap['store'] = mh.heap.get('store', {})
+    mh.statics['serves'] = mh.statics.get('serves', 0)
+    mh.init()
+    while mh.running:
+        mh.reconfig_point('Q')
+        request = mh.read('requests')
+        sender = request[0]
+        op = request[1]
+        key = request[2]
+        value = request[3]
+        if op == 'put':
+            mh.heap['store'][key] = value
+        else:
+            value = mh.heap['store'].get(key, '!missing')
+        mh.write_to('replies', sender, 'ss', key, value)
+        mh.statics['serves'] = mh.statics['serves'] + 1
+'''
+
+#: A pipeline stage / the fan-out hub: forward each reading exactly
+#: once, counting relays.  Point ``P`` at the loop top is the paper's
+#: "most frequently executed code" placement.
+RELAY_SOURCE = '''\
+def main():
+    x = None
+    mh.statics['relayed'] = mh.statics.get('relayed', 0)
+    mh.init()
+    while mh.running:
+        mh.reconfig_point('P')
+        x = mh.read1('inp')
+        mh.write('out', 'i', x)
+        mh.statics['relayed'] = mh.statics['relayed'] + 1
+'''
+
+#: A monitor leaf: consume and count.  Not reconfigurable — only the
+#: hub is replaced — so it stays plain Python.
+MONITOR_SOURCE = '''\
+def main():
+    count = 0
+    mh.statics['seen'] = 0
+    mh.init()
+    while mh.running:
+        mh.read1('inp')
+        count = count + 1
+        mh.statics['seen'] = count
+'''
+
+
+# ---------------------------------------------------------------------------
+# Replace bookkeeping
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ReplaceOutcome:
+    """One replace() fired mid-run, with load-relevant numbers attached."""
+
+    index: int
+    machine: str
+    t_start: float
+    t_end: float
+    aborted: bool = False
+    rolled_back: bool = True
+    report: Optional[ReconfigurationReport] = None
+
+    @property
+    def blocked_messages(self) -> int:
+        """Messages found parked at the old module and carried by ``cq``."""
+        if self.report is None:
+            return 0
+        return sum(self.report.queued_copied.values())
+
+    def to_json(self, t_measure_start: float) -> Dict[str, object]:
+        row: Dict[str, object] = {
+            "index": self.index,
+            "machine": self.machine,
+            "offset_ms": round((self.t_start - t_measure_start) * 1000, 1),
+            "wall_ms": round((self.t_end - self.t_start) * 1000, 2),
+            "aborted": self.aborted,
+            "blocked_messages": self.blocked_messages,
+        }
+        if self.report is not None:
+            row.update(
+                recon_id=self.report.recon_id,
+                total_ms=round(self.report.total_time * 1000, 2),
+                delay_to_point_ms=round(self.report.delay_to_point * 1000, 2),
+                packet_bytes=self.report.packet_bytes,
+                queued_copied=dict(self.report.queued_copied),
+                retries=self.report.retries,
+            )
+        return row
+
+
+# ---------------------------------------------------------------------------
+# Sessions
+# ---------------------------------------------------------------------------
+
+
+class KvSession:
+    """One closed-loop KV client: zipfian keys, 50/50 put/get mix."""
+
+    def __init__(
+        self,
+        bus: SoftwareBus,
+        sid: int,
+        loader: str,
+        shards: int,
+        keys: ZipfianKeys,
+        op_rng,
+        reply_timeout: float,
+    ):
+        self.bus = bus
+        self.sid = sid
+        self.loader = loader
+        self.shards = shards
+        self.keys = keys
+        self.rng = op_rng
+        self.reply_timeout = reply_timeout
+        self.queue = bus.get_module(loader).queue("replies")
+        self.seq = 0
+        self.sent = 0
+        self.received = 0
+        self.route_retries = 0
+        self.sent_by_shard = [0] * shards
+
+    def roundtrip(self) -> None:
+        key_id = self.keys.sample()
+        shard_index = key_id % self.shards
+        shard = f"shard_{shard_index}"
+        op = "put" if self.rng.random() < 0.5 else "get"
+        self.seq += 1
+        key = f"k{key_id:05d}"
+        message = Message(
+            values=[self.loader, op, key, f"v{self.sid}.{self.seq}"],
+            fmt="ssss",
+            source_instance=self.loader,
+            source_interface="requests",
+        ).validated()
+        deadline = time.monotonic() + self.reply_timeout
+        while True:
+            try:
+                self.bus.route_to(self.loader, "requests", shard, message)
+                break
+            except BindingError:
+                # The rebind window: the shard is momentarily bound under
+                # its temporary clone name.  Retry against the public
+                # name until the commit rename (or rollback) restores it.
+                self.route_retries += 1
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.001)
+        self.sent += 1
+        self.sent_by_shard[shard_index] += 1
+        reply = self.queue.get(self.reply_timeout, None)
+        self.received += 1
+        if reply.values[0] != key:
+            raise LoadInvariantError(
+                f"session {self.sid}: reply key {reply.values[0]!r} does not "
+                f"match request key {key!r} (crossed replies?)"
+            )
+
+
+class SeqSession:
+    """One open-loop sequence stream with strict FIFO echo checking.
+
+    ``send`` issues monotonically increasing sequence numbers;  ``recv``
+    matches each echoed number against the oldest outstanding one, so a
+    lost message (echo skips ahead), a duplicated message (echo arrives
+    with nothing outstanding), or a reorder all raise immediately.
+    """
+
+    def __init__(self, bus: SoftwareBus, sid: int, loader: str):
+        self.bus = bus
+        self.sid = sid
+        self.loader = loader
+        self.queue = bus.get_module(loader).queue("replies")
+        self._pending: Deque = deque()
+        self._lock = Lock()
+        self._next_seq = 1 + sid * 10_000_000  # disjoint id space per session
+        self.sent = 0
+        self.received = 0
+
+    def send(self, t_scheduled: float) -> None:
+        with self._lock:
+            seq = self._next_seq
+            self._next_seq += 1
+            self._pending.append((seq, t_scheduled))
+        message = Message(
+            values=[seq],
+            fmt="i",
+            source_instance=self.loader,
+            source_interface="feed",
+        ).validated()
+        self.bus.route(self.loader, "feed", message)
+        self.sent += 1
+
+    def recv(self, timeout: float) -> Optional[float]:
+        try:
+            message = self.queue.get(timeout, None)
+        except TransportError:
+            return None
+        seq = message.values[0]
+        with self._lock:
+            if not self._pending:
+                raise LoadInvariantError(
+                    f"session {self.sid}: echo {seq} arrived with no request "
+                    f"outstanding (duplicated message)"
+                )
+            expected, t_scheduled = self._pending.popleft()
+        if seq != expected:
+            raise LoadInvariantError(
+                f"session {self.sid}: expected echo {expected}, got {seq} "
+                f"(lost or reordered message)"
+            )
+        self.received += 1
+        return t_scheduled
+
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+
+# ---------------------------------------------------------------------------
+# Workloads
+# ---------------------------------------------------------------------------
+
+
+class LoadWorkload:
+    """Common lifecycle: build the app, drive traffic, fire replaces."""
+
+    name = "workload"
+    target = "?"
+
+    def __init__(self, seed: int = 1993, replace_timeout: float = 20.0):
+        self.seed = seed
+        self.replace_timeout = replace_timeout
+        self.samples = LatencyLog()
+        self.replaces: List[ReplaceOutcome] = []
+        self.bus: Optional[SoftwareBus] = None
+        self.generator = None
+        self._machines = itertools.cycle(("beta", "alpha"))
+
+    # -- subclass hooks ----------------------------------------------------
+
+    def params(self) -> Dict[str, object]:
+        raise NotImplementedError
+
+    def _mil(self) -> str:
+        raise NotImplementedError
+
+    def _attach_sources(self, config) -> None:
+        raise NotImplementedError
+
+    def _start_traffic(self) -> None:
+        raise NotImplementedError
+
+    def verify(self) -> Dict[str, object]:
+        raise NotImplementedError
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        config = parse_mil(self._mil())
+        self._attach_sources(config)
+        bus = SoftwareBus(sleep_scale=1.0)
+        bus.add_host("alpha", MACHINES["sparc-like"])
+        bus.add_host("beta", MACHINES["vax-like"])
+        bus.launch(config, default_host="alpha")
+        self.bus = bus
+        self._start_traffic()
+
+    def replace_once(self, allow_abort: bool = False) -> ReplaceOutcome:
+        """Fire one replace of the target module, timestamped for windows."""
+        machine = next(self._machines)
+        index = len(self.replaces)
+        t_start = time.monotonic()
+        try:
+            report = ReconfigurationCoordinator(self.bus).replace(
+                self.target,
+                machine=machine,
+                timeout=self.replace_timeout,
+                kind="move",
+            )
+            outcome = ReplaceOutcome(
+                index, machine, t_start, time.monotonic(), report=report
+            )
+        except ReconfigurationAborted as exc:
+            if not allow_abort:
+                raise
+            outcome = ReplaceOutcome(
+                index,
+                machine,
+                t_start,
+                time.monotonic(),
+                aborted=True,
+                rolled_back=exc.rolled_back,
+                report=exc.report,
+            )
+        self.replaces.append(outcome)
+        return outcome
+
+    def quiesce(self, timeout: float = 60.0) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        if self.bus is not None:
+            self.bus.shutdown()
+            self.bus = None
+
+
+class KvZipfianWorkload(LoadWorkload):
+    """Sharded KV with zipfian keys, closed-loop session pool."""
+
+    name = "kv_zipfian"
+    target = "shard_0"
+
+    def __init__(
+        self,
+        shards: int = 4,
+        sessions: int = 8,
+        keys: int = 256,
+        theta: float = 0.99,
+        seed: int = 1993,
+        reply_timeout: float = 30.0,
+        replace_timeout: float = 20.0,
+    ):
+        super().__init__(seed=seed, replace_timeout=replace_timeout)
+        self.shards = shards
+        self.n_sessions = sessions
+        self.n_keys = keys
+        self.theta = theta
+        self.reply_timeout = reply_timeout
+        self.sessions: List[KvSession] = []
+
+    def params(self) -> Dict[str, object]:
+        return {
+            "generator": "closed-loop",
+            "shards": self.shards,
+            "sessions": self.n_sessions,
+            "keys": self.n_keys,
+            "theta": self.theta,
+            "modules": self.shards + self.n_sessions,
+        }
+
+    def _mil(self) -> str:
+        blocks = []
+        for j in range(self.shards):
+            blocks.append(
+                f"module shard_{j} {{\n"
+                f"  use interface requests pattern = "
+                f"{{string string string string}} ::\n"
+                f"  define interface replies pattern = {{string string}} ::\n"
+                f"  reconfiguration point = {{Q}} ::\n"
+                f"}}\n"
+            )
+        for i in range(self.n_sessions):
+            blocks.append(
+                f"module loader_{i} {{\n"
+                f"  define interface requests pattern = "
+                f"{{string string string string}} ::\n"
+                f"  use interface replies pattern = {{string string}} ::\n"
+                f"}}\n"
+            )
+        lines = [f"  instance shard_{j}" for j in range(self.shards)]
+        lines += [f"  instance loader_{i}" for i in range(self.n_sessions)]
+        for i in range(self.n_sessions):
+            for j in range(self.shards):
+                lines.append(
+                    f'  bind "loader_{i} requests" "shard_{j} requests"'
+                )
+                lines.append(f'  bind "shard_{j} replies" "loader_{i} replies"')
+        app = "application kvload {\n" + "\n".join(lines) + "\n}\n"
+        return "\n".join(blocks) + "\n" + app
+
+    def _attach_sources(self, config) -> None:
+        for j in range(self.shards):
+            config.modules[f"shard_{j}"].inline_source = KV_SHARD_SOURCE
+        for i in range(self.n_sessions):
+            config.modules[f"loader_{i}"].inline_source = LOADER_SOURCE
+
+    def _start_traffic(self) -> None:
+        import random
+
+        self.sessions = [
+            KvSession(
+                self.bus,
+                sid=i,
+                loader=f"loader_{i}",
+                shards=self.shards,
+                keys=ZipfianKeys(self.n_keys, self.theta, seed=self.seed + i),
+                op_rng=random.Random(self.seed * 31 + i),
+                reply_timeout=self.reply_timeout,
+            )
+            for i in range(self.n_sessions)
+        ]
+        self.generator = ClosedLoopGenerator(self.sessions, self.samples)
+        self.generator.start()
+
+    def quiesce(self, timeout: float = 60.0) -> None:
+        self.generator.stop(timeout)
+
+    def verify(self) -> Dict[str, object]:
+        sent = sum(s.sent for s in self.sessions)
+        received = sum(s.received for s in self.sessions)
+        retries = sum(s.route_retries for s in self.sessions)
+        if sent != received:
+            raise LoadInvariantError(
+                f"kv: {sent} requests sent but {received} replies received"
+            )
+        for session in self.sessions:
+            stray = len(session.queue)
+            if stray:
+                raise LoadInvariantError(
+                    f"kv: loader_{session.sid} holds {stray} unmatched "
+                    f"replies (duplicated messages)"
+                )
+        sent_by_shard = [
+            sum(s.sent_by_shard[j] for s in self.sessions)
+            for j in range(self.shards)
+        ]
+
+        def serves() -> List[int]:
+            return [
+                self.bus.get_module(f"shard_{j}").mh.statics.get("serves", 0)
+                for j in range(self.shards)
+            ]
+
+        # ``serves`` increments after the reply write, so the last few
+        # counts may trail the received replies by a scheduler beat.
+        _wait_until(
+            lambda: serves() == sent_by_shard,
+            timeout=10.0,
+            what=f"shard serve counts {serves()} to reach {sent_by_shard}",
+        )
+        return {
+            "sent": sent,
+            "received": received,
+            "route_retries_in_rename_window": retries,
+            "sent_by_shard": sent_by_shard,
+            "serves_by_shard": serves(),
+            "no_loss": True,
+            "no_duplication": True,
+        }
+
+
+class _SeqEchoWorkload(LoadWorkload):
+    """Shared machinery for the open-loop echo workloads."""
+
+    def __init__(self, rate_per_s: float, seed: int, replace_timeout: float):
+        super().__init__(seed=seed, replace_timeout=replace_timeout)
+        self.rate_per_s = rate_per_s
+        self.session: Optional[SeqSession] = None
+
+    def _start_traffic(self) -> None:
+        self.session = SeqSession(self.bus, sid=0, loader="loader_0")
+        self.generator = OpenLoopGenerator(
+            [self.session], self.rate_per_s, self.samples
+        )
+        self.generator.start()
+
+    def quiesce(self, timeout: float = 60.0) -> None:
+        self.generator.drain(timeout=min(30.0, timeout))
+        self.generator.stop(timeout)
+
+    def _verify_echo(self) -> Dict[str, object]:
+        session = self.session
+        if session.sent != session.received:
+            raise LoadInvariantError(
+                f"{self.name}: {session.sent} sent, only "
+                f"{session.received} echoed back "
+                f"({session.pending()} still outstanding)"
+            )
+        return {
+            "sent": session.sent,
+            "received": session.received,
+            "no_loss": True,
+            "no_duplication": True,
+        }
+
+    def _relay_count(self, instance: str) -> int:
+        return self.bus.get_module(instance).mh.statics.get("relayed", 0)
+
+
+class PipelineWorkload(_SeqEchoWorkload):
+    """Multi-stage pipeline; the middle stage is replaced mid-stream."""
+
+    name = "pipeline"
+
+    def __init__(
+        self,
+        stages: int = 4,
+        rate_per_s: float = 300.0,
+        seed: int = 1993,
+        replace_timeout: float = 20.0,
+    ):
+        super().__init__(rate_per_s, seed, replace_timeout)
+        if stages < 2:
+            raise ValueError("pipeline needs at least 2 stages")
+        self.stages = stages
+        self.target = f"stage_{stages // 2}"
+
+    def params(self) -> Dict[str, object]:
+        return {
+            "generator": "open-loop",
+            "rate_per_s": self.rate_per_s,
+            "stages": self.stages,
+            "modules": self.stages + 1,
+        }
+
+    def _mil(self) -> str:
+        blocks = [
+            "module loader_0 {\n"
+            "  define interface feed pattern = {integer} ::\n"
+            "  use interface replies pattern = {integer} ::\n"
+            "}\n"
+        ]
+        for j in range(self.stages):
+            blocks.append(
+                f"module stage_{j} {{\n"
+                f"  use interface inp pattern = {{integer}} ::\n"
+                f"  define interface out pattern = {{integer}} ::\n"
+                f"  reconfiguration point = {{P}} ::\n"
+                f"}}\n"
+            )
+        lines = ["  instance loader_0"]
+        lines += [f"  instance stage_{j}" for j in range(self.stages)]
+        lines.append('  bind "loader_0 feed" "stage_0 inp"')
+        for j in range(self.stages - 1):
+            lines.append(f'  bind "stage_{j} out" "stage_{j + 1} inp"')
+        lines.append(f'  bind "stage_{self.stages - 1} out" "loader_0 replies"')
+        app = "application pipeload {\n" + "\n".join(lines) + "\n}\n"
+        return "\n".join(blocks) + "\n" + app
+
+    def _attach_sources(self, config) -> None:
+        config.modules["loader_0"].inline_source = LOADER_SOURCE
+        for j in range(self.stages):
+            config.modules[f"stage_{j}"].inline_source = RELAY_SOURCE
+
+    def verify(self) -> Dict[str, object]:
+        stats = self._verify_echo()
+        sent = stats["sent"]
+        for j in range(self.stages):
+            _wait_until(
+                lambda j=j: self._relay_count(f"stage_{j}") == sent,
+                timeout=10.0,
+                what=f"stage_{j} relay count to reach {sent}",
+            )
+        stats["relayed_by_stage"] = [
+            self._relay_count(f"stage_{j}") for j in range(self.stages)
+        ]
+        return stats
+
+
+class FanoutMonitorWorkload(_SeqEchoWorkload):
+    """One hub fanning out to 100+ monitors; the hub is replaced live."""
+
+    name = "monitor_fanout"
+    target = "hub"
+
+    def __init__(
+        self,
+        monitors: int = 110,
+        rate_per_s: float = 200.0,
+        seed: int = 1993,
+        replace_timeout: float = 20.0,
+    ):
+        super().__init__(rate_per_s, seed, replace_timeout)
+        self.monitors = monitors
+
+    def params(self) -> Dict[str, object]:
+        return {
+            "generator": "open-loop",
+            "rate_per_s": self.rate_per_s,
+            "monitors": self.monitors,
+            "modules": self.monitors + 2,
+        }
+
+    def _mil(self) -> str:
+        blocks = [
+            "module loader_0 {\n"
+            "  define interface feed pattern = {integer} ::\n"
+            "  use interface replies pattern = {integer} ::\n"
+            "}\n",
+            "module hub {\n"
+            "  use interface inp pattern = {integer} ::\n"
+            "  define interface out pattern = {integer} ::\n"
+            "  reconfiguration point = {P} ::\n"
+            "}\n",
+        ]
+        for j in range(self.monitors):
+            blocks.append(
+                f"module mon_{j:03d} {{\n"
+                f"  use interface inp pattern = {{integer}} ::\n"
+                f"}}\n"
+            )
+        lines = ["  instance loader_0", "  instance hub"]
+        lines += [f"  instance mon_{j:03d}" for j in range(self.monitors)]
+        lines.append('  bind "loader_0 feed" "hub inp"')
+        lines.append('  bind "hub out" "loader_0 replies"')
+        for j in range(self.monitors):
+            lines.append(f'  bind "hub out" "mon_{j:03d} inp"')
+        app = "application fanload {\n" + "\n".join(lines) + "\n}\n"
+        return "\n".join(blocks) + "\n" + app
+
+    def _attach_sources(self, config) -> None:
+        config.modules["loader_0"].inline_source = LOADER_SOURCE
+        config.modules["hub"].inline_source = RELAY_SOURCE
+        for j in range(self.monitors):
+            config.modules[f"mon_{j:03d}"].inline_source = MONITOR_SOURCE
+
+    def verify(self) -> Dict[str, object]:
+        stats = self._verify_echo()
+        sent = stats["sent"]
+        _wait_until(
+            lambda: self._relay_count("hub") == sent,
+            timeout=10.0,
+            what=f"hub relay count to reach {sent}",
+        )
+
+        def seen() -> List[int]:
+            return [
+                self.bus.get_module(f"mon_{j:03d}").mh.statics.get("seen", 0)
+                for j in range(self.monitors)
+            ]
+
+        _wait_until(
+            lambda: all(count == sent for count in seen()),
+            timeout=15.0,
+            what=f"all {self.monitors} monitors to see {sent} readings",
+        )
+        counts = seen()
+        stats["monitors"] = self.monitors
+        stats["monitor_seen_min"] = min(counts)
+        stats["monitor_seen_max"] = max(counts)
+        return stats

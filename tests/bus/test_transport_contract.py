@@ -14,7 +14,6 @@ per placement:
   that keeps failing rolls back to the old module *in its process*.
 """
 
-import signal
 import threading
 import time
 
@@ -34,7 +33,7 @@ pytestmark = pytest.mark.multiproc
 
 #: Worst-case wall clock for one test before the watchdog kills it
 #: (covers process spawn + handshake on a loaded single-core runner).
-_WATCHDOG_S = 120.0
+WATCHDOG_S = 120.0
 
 COLLECTOR_SOURCE = '''
 def main():
@@ -66,17 +65,13 @@ def main():
 
 
 @pytest.fixture(autouse=True)
-def _watchdog():
-    """Hard per-test timeout: a wedged worker/daemon must not hang CI."""
+def _watchdog(watchdog):
+    """Hard per-test timeout: a wedged worker/daemon must not hang CI.
 
-    def _expired(signum, frame):  # pragma: no cover - only fires on hangs
-        raise RuntimeError(f"transport contract test exceeded {_WATCHDOG_S}s")
-
-    previous = signal.signal(signal.SIGALRM, _expired)
-    signal.setitimer(signal.ITIMER_REAL, _WATCHDOG_S)
+    Every test in this module spawns workers or daemons, so the shared
+    ``watchdog`` fixture (tests/conftest.py) is applied unconditionally.
+    """
     yield
-    signal.setitimer(signal.ITIMER_REAL, 0.0)
-    signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(params=["inproc", "worker", "tcp"])

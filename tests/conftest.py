@@ -2,12 +2,18 @@
 
 from __future__ import annotations
 
+import signal
+import threading
 import time
 
 import pytest
 
 from repro.runtime import telemetry
 from repro.state.machine import MACHINES
+
+#: Default per-test wall-clock budget for the ``watchdog`` fixture.
+#: Tests that legitimately run longer (soak) override it per module.
+DEFAULT_WATCHDOG_S = 120.0
 
 
 @pytest.fixture(autouse=True)
@@ -16,6 +22,37 @@ def _telemetry_isolation():
     yield
     if telemetry.recorder is not None:
         telemetry.disable()
+
+
+@pytest.fixture
+def watchdog(request):
+    """Hard per-test timeout: a wedged module, worker, or replace must
+    fail loudly instead of stalling CI until the job-level timeout.
+
+    Opt in with ``pytest.mark.usefixtures("watchdog")`` (per test or via
+    module ``pytestmark``); set a module-level ``WATCHDOG_S`` to change
+    the budget.  Uses ``SIGALRM``, so it arms only on platforms that
+    have it and only in the main thread — elsewhere it is a no-op
+    rather than a collection error.
+    """
+    seconds = float(getattr(request.module, "WATCHDOG_S", DEFAULT_WATCHDOG_S))
+    if (
+        not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _expired(signum, frame):  # pragma: no cover - only fires on hangs
+        raise RuntimeError(
+            f"{request.node.nodeid} exceeded the {seconds}s watchdog"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    yield
+    signal.setitimer(signal.ITIMER_REAL, 0.0)
+    signal.signal(signal.SIGALRM, previous)
 
 
 def wait_until(predicate, timeout: float = 10.0, interval: float = 0.005):

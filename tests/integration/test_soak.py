@@ -21,6 +21,11 @@ from tests.conftest import wait_until
 from tests.reconfig.test_fault_injection import CHAOS_SEED
 from tests.reconfig.test_fault_properties import RECOVERABLE_SITES
 
+# A hung replace inside a 10-move soak would otherwise stall the whole
+# job; the shared watchdog turns it into a loud per-test failure.
+pytestmark = pytest.mark.usefixtures("watchdog")
+WATCHDOG_S = 600.0
+
 
 @pytest.mark.slow
 def test_ten_moves_under_load():

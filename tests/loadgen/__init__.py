@@ -1,0 +1,1 @@
+"""Tests for the load-generation + reconfiguration-under-load harness."""

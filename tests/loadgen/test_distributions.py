@@ -1,0 +1,62 @@
+"""Key distributions: seeded determinism, bounds, and shape."""
+
+import pytest
+
+from repro.loadgen.distributions import UniformKeys, ZipfianKeys
+
+
+def draw(dist, count):
+    return [dist.sample() for _ in range(count)]
+
+
+class TestZipfian:
+    def test_seeded_determinism(self):
+        a = draw(ZipfianKeys(256, theta=0.99, seed=42), 2000)
+        b = draw(ZipfianKeys(256, theta=0.99, seed=42), 2000)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = draw(ZipfianKeys(256, theta=0.99, seed=1), 500)
+        b = draw(ZipfianKeys(256, theta=0.99, seed=2), 500)
+        assert a != b
+
+    def test_bounds(self):
+        for key in draw(ZipfianKeys(16, theta=1.2, seed=3), 5000):
+            assert 0 <= key < 16
+
+    def test_skew_shape(self):
+        # theta=0.99 over 256 keys: rank 0 carries ~16% of the mass
+        # (1 / H_256(0.99)); rank 200 carries ~0.08%.  Loose factors so
+        # the check is about shape, not sampling noise.
+        counts = [0] * 256
+        for key in draw(ZipfianKeys(256, theta=0.99, seed=7), 30_000):
+            counts[key] += 1
+        assert counts[0] > 5 * counts[50] > 0
+        assert counts[0] > sum(counts) * 0.10
+        top10 = sum(sorted(counts, reverse=True)[:10])
+        assert top10 > sum(counts) * 0.30
+
+    def test_theta_zero_is_uniform(self):
+        counts = [0] * 8
+        for key in draw(ZipfianKeys(8, theta=0.0, seed=11), 16_000):
+            counts[key] += 1
+        assert max(counts) < 2 * min(counts)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ZipfianKeys(0)
+        with pytest.raises(ValueError):
+            ZipfianKeys(4, theta=-0.1)
+
+
+class TestUniform:
+    def test_seeded_determinism_and_bounds(self):
+        a = draw(UniformKeys(64, seed=5), 1000)
+        b = draw(UniformKeys(64, seed=5), 1000)
+        assert a == b
+        assert all(0 <= key < 64 for key in a)
+        assert len(set(a)) > 32  # actually spreads over the space
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            UniformKeys(0)

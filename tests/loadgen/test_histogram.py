@@ -1,0 +1,203 @@
+"""Histogram/percentile math: golden values, boundaries, and properties.
+
+The load harness publishes percentiles with a stated accuracy contract
+(``src/repro/loadgen/histogram.py``): values below 128 are exact, and in
+general the nearest-rank estimate ``est`` for true sample ``s``
+satisfies ``s <= est <= s + max(1, s >> 6)``.  These tests hold the
+implementation to that contract with known sample sets, bucket-boundary
+cases, and Hypothesis comparisons against ``statistics.quantiles``.
+"""
+
+import math
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.loadgen.histogram import (
+    SUB_BITS,
+    SUBBUCKETS,
+    LatencyHistogram,
+    bucket_high,
+    bucket_index,
+    bucket_low,
+)
+
+
+def nearest_rank(samples, percent):
+    """The reference definition the histogram approximates."""
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(len(ordered) * percent / 100.0))
+    return ordered[rank - 1]
+
+
+def contract_bound(s):
+    """Largest value the histogram may report for true sample ``s``."""
+    return s + max(1, s >> SUB_BITS)
+
+
+class TestBuckets:
+    def test_values_below_128_get_unit_buckets(self):
+        for value in range(2 * SUBBUCKETS):
+            index = bucket_index(value)
+            assert bucket_low(index) == value
+            assert bucket_high(index) == value
+
+    def test_boundary_128_starts_width_two_buckets(self):
+        index = bucket_index(128)
+        assert (bucket_low(index), bucket_high(index)) == (128, 129)
+        assert bucket_index(129) == index
+        assert bucket_index(130) == index + 1
+
+    def test_power_of_two_boundaries(self):
+        # At every power of two the bucket width doubles; the value
+        # itself is always a bucket's low edge.
+        for exponent in range(7, 40):
+            value = 1 << exponent
+            index = bucket_index(value)
+            assert bucket_low(index) == value
+            width = bucket_high(index) - bucket_low(index) + 1
+            assert width == 1 << (exponent - SUB_BITS)
+
+    def test_index_is_monotone_and_consistent(self):
+        previous = -1
+        for value in list(range(0, 4096)) + [10**6, 10**9, 10**12]:
+            index = bucket_index(value)
+            assert bucket_low(index) <= value <= bucket_high(index)
+            assert index >= previous
+            previous = index
+
+    def test_relative_width_bounded(self):
+        for value in [130, 1000, 12345, 10**6, 10**9, 10**12]:
+            index = bucket_index(value)
+            width = bucket_high(index) - bucket_low(index)
+            assert width <= bucket_low(index) >> SUB_BITS
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            bucket_index(-1)
+
+
+class TestGoldenPercentiles:
+    def test_one_to_hundred_is_exact(self):
+        histogram = LatencyHistogram()
+        for value in range(1, 101):
+            histogram.record_value(value)
+        assert histogram.percentile_value(50) == 50
+        assert histogram.percentile_value(99) == 99
+        assert histogram.percentile_value(99.9) == 100
+        assert histogram.percentile_value(100) == 100
+
+    def test_small_set_nearest_rank(self):
+        histogram = LatencyHistogram.of([])
+        for value in (10, 20, 30, 40):
+            histogram.record_value(value)
+        # rank = ceil(4 * 50/100) = 2 -> second smallest
+        assert histogram.percentile_value(50) == 20
+        assert histogram.percentile_value(75) == 30
+        assert histogram.percentile_value(76) == 40
+
+    def test_heavy_tail_within_contract(self):
+        histogram = LatencyHistogram()
+        for _ in range(990):
+            histogram.record_value(100)  # exact region
+        for _ in range(10):
+            histogram.record_value(50_000)
+        assert histogram.percentile_value(50) == 100
+        assert histogram.percentile_value(99) == 100
+        p999 = histogram.percentile_value(99.9)
+        assert 50_000 <= p999 <= contract_bound(50_000)
+        assert histogram.percentile_value(100) == 50_000  # clamped to max
+
+    def test_single_sample(self):
+        histogram = LatencyHistogram()
+        histogram.record_value(7_777_777)
+        for percent in (0.001, 50, 99.9, 100):
+            assert histogram.percentile_value(percent) == 7_777_777
+
+    def test_empty_and_invalid(self):
+        histogram = LatencyHistogram()
+        assert histogram.percentile_value(99) == 0
+        assert histogram.summary_ms() == {"count": 0}
+        with pytest.raises(ValueError):
+            histogram.percentile_value(0)
+        with pytest.raises(ValueError):
+            histogram.percentile_value(100.1)
+
+    def test_mean_min_max_are_exact(self):
+        values = [3, 50_000, 129, 1_000_000, 3]
+        histogram = LatencyHistogram()
+        for value in values:
+            histogram.record_value(value)
+        assert histogram.count == len(values)
+        assert histogram.min_value == min(values)
+        assert histogram.max_value == max(values)
+        assert histogram.mean_value == pytest.approx(sum(values) / len(values))
+
+    def test_merge_matches_combined_recording(self):
+        left, right, combined = (
+            LatencyHistogram(),
+            LatencyHistogram(),
+            LatencyHistogram(),
+        )
+        for value in (1, 200, 90_000):
+            left.record_value(value)
+            combined.record_value(value)
+        for value in (5, 300, 1_000_000):
+            right.record_value(value)
+            combined.record_value(value)
+        left.merge(right)
+        assert left.count == combined.count
+        assert left.buckets() == combined.buckets()
+        for percent in (50, 99, 99.9):
+            assert left.percentile_value(percent) == combined.percentile_value(
+                percent
+            )
+
+    def test_seconds_api_round_trips_ms_summary(self):
+        histogram = LatencyHistogram.of([0.001] * 99 + [0.5])
+        summary = histogram.summary_ms()
+        assert summary["count"] == 100
+        assert summary["p50_ms"] == pytest.approx(1.0, rel=0.02)
+        assert summary["p99_ms"] == pytest.approx(1.0, rel=0.02)
+        assert summary["max_ms"] == pytest.approx(500.0, rel=0.02)
+
+
+@settings(deadline=None, max_examples=100, database=None)
+@given(
+    samples=st.lists(st.integers(0, 10**10), min_size=1, max_size=300),
+    percent=st.sampled_from([1.0, 50.0, 90.0, 99.0, 99.9, 100.0]),
+)
+def test_percentile_accuracy_contract(samples, percent):
+    histogram = LatencyHistogram()
+    for value in samples:
+        histogram.record_value(value)
+    true = nearest_rank(samples, percent)
+    estimate = histogram.percentile_value(percent)
+    assert true <= estimate <= contract_bound(true)
+
+
+@settings(deadline=None, max_examples=100, database=None)
+@given(
+    samples=st.lists(st.integers(0, 10**9), min_size=2, max_size=200),
+    percent=st.integers(1, 99),
+)
+def test_percentile_brackets_statistics_quantiles(samples, percent):
+    """The estimate and ``statistics.quantiles`` agree up to one
+    inter-order-statistic gap plus the histogram's 1/64 bucket error."""
+    histogram = LatencyHistogram()
+    for value in samples:
+        histogram.record_value(value)
+    ordered = sorted(samples)
+    reference = statistics.quantiles(ordered, n=100, method="inclusive")[
+        percent - 1
+    ]
+    position = (len(ordered) - 1) * percent / 100.0
+    low = ordered[math.floor(position)]
+    high = ordered[math.ceil(position)]
+    # Both the interpolated quantile and our nearest-rank estimate live
+    # in the same order-statistic bracket (the estimate may additionally
+    # overshoot by the bucket width).
+    assert low <= reference <= high
+    assert low <= histogram.percentile_value(percent) <= contract_bound(high)

@@ -1,0 +1,95 @@
+"""Load smoke tier: `pytest -m load` — invariants through replace().
+
+Small module counts and short measured intervals (a few seconds per
+workload) so CI can afford this on every run; the full-size numbers live
+in ``benchmarks/bench_l1_reconfig_under_load.py``.  Each test drives a
+production-shaped workload through a live replace and asserts the cheap
+invariants:
+
+- no message loss or duplication across the replace (``verify()``
+  raises ``LoadInvariantError`` otherwise, with conserved counts in the
+  returned stats);
+- traffic flows on both sides of the replace (before/after windows are
+  non-empty);
+- bounded max stall — no session goes silent longer than
+  ``STALL_CEILING_MS`` at any point in the run;
+- during-window p99 within a *generous* multiple of steady state (the
+  bound guards against a wedged replace, not against noise on a busy
+  single-core runner).
+"""
+
+import pytest
+
+from repro.loadgen import (
+    FanoutMonitorWorkload,
+    KvZipfianWorkload,
+    PipelineWorkload,
+    run_under_load,
+)
+
+pytestmark = [pytest.mark.load, pytest.mark.usefixtures("watchdog")]
+
+WATCHDOG_S = 300.0
+SEED = 1993
+
+#: No session may go silent longer than this, anywhere in the run.
+STALL_CEILING_MS = 5000.0
+#: during-p99 must stay under max(this multiple of before-p99, the
+#: absolute floor) — generous on purpose; the replace itself is ~10ms.
+DURING_P99_MULTIPLE = 50.0
+DURING_P99_FLOOR_MS = 250.0
+
+
+def run_smoke(workload):
+    return run_under_load(workload, warmup_s=0.3, measure_s=1.5, replaces=1)
+
+
+def assert_invariants(result):
+    invariants = result["invariants"]
+    assert invariants["no_loss"] and invariants["no_duplication"]
+    assert invariants["sent"] == invariants["received"] > 0
+
+    windows = result["windows"]
+    assert windows["before"]["count"] > 0, "no steady-state traffic"
+    assert windows["after"]["count"] > 0, "traffic did not resume after replace"
+    assert result["max_stall_ms"] < STALL_CEILING_MS
+
+    if windows["during"]["count"]:
+        ceiling = max(
+            windows["before"]["p99_ms"] * DURING_P99_MULTIPLE,
+            DURING_P99_FLOOR_MS,
+        )
+        assert windows["during"]["p99_ms"] < ceiling
+
+    replace = result["replaces"][0]
+    assert not replace["aborted"]
+    assert replace["blocked_messages"] >= 0
+
+
+def test_kv_zipfian_replace_under_load():
+    result = run_smoke(
+        KvZipfianWorkload(shards=2, sessions=4, keys=128, seed=SEED)
+    )
+    assert_invariants(result)
+    stats = result["invariants"]
+    # Conservation: every request reached its shard exactly once.
+    assert stats["serves_by_shard"] == stats["sent_by_shard"]
+
+
+def test_pipeline_replace_mid_stream():
+    result = run_smoke(PipelineWorkload(stages=3, rate_per_s=200.0, seed=SEED))
+    assert_invariants(result)
+    stats = result["invariants"]
+    # Every stage relayed every message exactly once — the replaced
+    # middle stage included.
+    assert stats["relayed_by_stage"] == [stats["sent"]] * 3
+
+
+def test_fanout_hub_replace_with_100_plus_checkable_deliveries():
+    result = run_smoke(
+        FanoutMonitorWorkload(monitors=16, rate_per_s=150.0, seed=SEED)
+    )
+    assert_invariants(result)
+    stats = result["invariants"]
+    # Every monitor saw every reading exactly once.
+    assert stats["monitor_seen_min"] == stats["monitor_seen_max"] == stats["sent"]

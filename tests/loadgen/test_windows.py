@@ -1,0 +1,153 @@
+"""Window segmentation and stall attribution: pure-function semantics.
+
+These pin the driver's arithmetic without spinning up a bus: which
+window a sample lands in, how a per-session silent gap is attributed,
+and the shape of the per-workload result block the benchmark publishes.
+"""
+
+import pytest
+
+from repro.loadgen.driver import (
+    WINDOWS,
+    build_result,
+    classify_sample,
+    max_stalls,
+    segment_windows,
+    summarize_windows,
+)
+from repro.loadgen.workloads import ReplaceOutcome
+
+
+def outcome(t_start, t_end, index=0):
+    return ReplaceOutcome(index=index, machine="beta", t_start=t_start, t_end=t_end)
+
+
+class TestClassify:
+    def test_windows_relative_to_span(self):
+        # Replace span [10, 12]: completion strictly before 10 is
+        # "before"; send strictly after 12 is "after"; anything
+        # overlapping the span is "during".
+        assert classify_sample(8.0, 9.0, 10.0, 12.0) == "before"
+        assert classify_sample(13.0, 14.0, 10.0, 12.0) == "after"
+        assert classify_sample(9.0, 11.0, 10.0, 12.0) == "during"
+        assert classify_sample(11.0, 11.5, 10.0, 12.0) == "during"
+        assert classify_sample(9.0, 13.0, 10.0, 12.0) == "during"
+
+    def test_boundaries_count_as_during(self):
+        # A completion at exactly the replace start (or a send at
+        # exactly its end) experienced the replace.
+        assert classify_sample(9.0, 10.0, 10.0, 12.0) == "during"
+        assert classify_sample(12.0, 12.5, 10.0, 12.0) == "during"
+
+    def test_segment_partitions_every_sample(self):
+        samples = [
+            (0, 8.0, 8.5),  # before
+            (1, 9.9, 10.5),  # during (recv after span start)
+            (0, 11.0, 11.1),  # during
+            (1, 12.1, 12.2),  # after
+        ]
+        windows = segment_windows(samples, 10.0, 12.0)
+        assert [len(windows[name]) for name in WINDOWS] == [1, 2, 1]
+        assert sum(len(windows[name]) for name in WINDOWS) == len(samples)
+
+
+class TestMaxStalls:
+    def test_gap_attributed_to_window_of_its_end(self):
+        # Session 0 completes at 9, then goes silent through the replace
+        # until 11.5: a 2.5s gap ending in "during".
+        samples = [(0, 8.9, 9.0), (0, 9.1, 11.5), (0, 11.6, 11.7)]
+        stalls = max_stalls(samples, t_measure_start=8.0, t_first_start=10.0, t_last_end=12.0)
+        assert stalls["during"] == 2.5
+        assert stalls["before"] == 1.0  # measure start 8.0 -> first completion 9.0
+        assert stalls["after"] == 0.0
+
+    def test_clock_starts_at_measure_start(self):
+        # A session whose first completion only lands after the replace
+        # has stalled since measurement began, not since its own start.
+        samples = [(0, 8.0, 13.0)]
+        stalls = max_stalls(samples, t_measure_start=8.0, t_first_start=10.0, t_last_end=12.0)
+        assert stalls["after"] == 5.0
+
+    def test_tail_gap_not_counted(self):
+        # Nothing after the last completion: quiesce is not a stall.
+        samples = [(0, 8.0, 8.2)]
+        stalls = max_stalls(samples, t_measure_start=8.0, t_first_start=100.0, t_last_end=101.0)
+        assert stalls["before"] == pytest.approx(0.2)
+        assert stalls["during"] == 0.0
+        assert stalls["after"] == 0.0
+
+    def test_sessions_tracked_independently(self):
+        # Session 1's long gap must not be diluted by session 0's steady
+        # completions.
+        samples = [(0, t / 10, t / 10 + 0.05) for t in range(100, 120)]
+        samples += [(1, 10.0, 10.1), (1, 10.2, 11.9)]
+        stalls = max_stalls(samples, t_measure_start=10.0, t_first_start=10.5, t_last_end=11.0)
+        assert stalls["after"] == pytest.approx(1.8)
+
+
+class TestSummaries:
+    def test_no_replace_means_everything_is_before(self):
+        samples = [(0, 1.0, 1.1), (0, 1.2, 1.3)]
+        summary = summarize_windows(samples, replaces=[], t_measure_start=1.0)
+        assert summary["before"]["count"] == 2
+        assert summary["during"] == {"count": 0, "max_stall_ms": 0.0}
+        assert summary["after"] == {"count": 0, "max_stall_ms": 0.0}
+
+    def test_latency_measured_from_send_time(self):
+        # 100ms latency either side of a replace at [2.0, 2.1].
+        samples = [(0, 1.0, 1.1), (0, 3.0, 3.1)]
+        summary = summarize_windows(
+            samples, replaces=[outcome(2.0, 2.1)], t_measure_start=1.0
+        )
+        assert summary["before"]["count"] == 1
+        assert summary["after"]["count"] == 1
+        assert abs(summary["before"]["p50_ms"] - 100.0) < 2.0
+        assert abs(summary["after"]["p50_ms"] - 100.0) < 2.0
+
+    def test_multi_replace_span_is_one_during_window(self):
+        samples = [(0, 1.0, 1.1), (0, 2.5, 2.6), (0, 5.0, 5.1)]
+        replaces = [outcome(2.0, 2.1, index=0), outcome(4.0, 4.1, index=1)]
+        summary = summarize_windows(samples, replaces, t_measure_start=1.0)
+        # The sample between the two replaces counts as "during": the
+        # system was mid-reconfiguration-campaign.
+        assert summary["before"]["count"] == 1
+        assert summary["during"]["count"] == 1
+        assert summary["after"]["count"] == 1
+
+
+class _StubWorkload:
+    """Just enough surface for build_result's schema."""
+
+    name = "stub"
+    target = "shard_0"
+
+    def __init__(self, replaces):
+        self.replaces = replaces
+
+    def params(self):
+        return {"generator": "stub"}
+
+
+class TestResultSchema:
+    def test_build_result_block(self):
+        replace = outcome(2.0, 2.5)
+        replace.index = 0
+        workload = _StubWorkload([replace])
+        samples = [(0, 1.0, 1.2), (0, 2.1, 2.6), (0, 3.0, 3.1)]
+        result = build_result(
+            workload,
+            samples,
+            t_measure_start=1.0,
+            t_drained=4.0,
+            invariants={"no_loss": True},
+        )
+        assert result["workload"] == "stub"
+        assert result["ops"] == 3
+        assert result["throughput_ops_per_s"] == 1.0
+        assert set(result["windows"]) == set(WINDOWS)
+        for block in result["windows"].values():
+            assert "count" in block and "max_stall_ms" in block
+        assert result["max_stall_ms"] >= 0
+        assert result["blocked_messages"] == 0
+        assert result["replaces"][0]["offset_ms"] == 1000.0
+        assert result["invariants"] == {"no_loss": True}

@@ -126,6 +126,45 @@ def test_kv_requests_never_lost_or_duplicated(schedule):
         bus.shutdown()
 
 
+@seed(CHAOS_SEED + 2)
+@PROPERTY_SETTINGS
+@given(
+    site=st.sampled_from(RECOVERABLE_SITES),
+    mode=st.sampled_from(MODES),
+)
+def test_kv_workload_survives_transient_fault_mid_replace(site, mode):
+    """Under-load property: one transient fault strikes mid-replace while
+    the sharded KV workload runs flat out.  Whether the transaction
+    retries through it or aborts and rolls back, the end-to-end
+    conservation invariants must hold: every request answered exactly
+    once, per-shard serve counts equal per-shard send counts, no stray
+    replies."""
+    import time
+
+    from repro.loadgen import KvZipfianWorkload
+
+    plan = FaultPlan("property-load")
+    plan.schedule(site, mode, after=0, times=1)
+    workload = KvZipfianWorkload(
+        shards=2, sessions=3, keys=64, seed=CHAOS_SEED & 0xFFFF
+    )
+    workload.start()
+    try:
+        time.sleep(0.2)  # let the session pool reach steady state
+        with fault_plan(plan):
+            outcome = workload.replace_once(allow_abort=True)
+        if outcome.aborted:
+            assert outcome.rolled_back
+        time.sleep(0.2)  # traffic must keep flowing either way
+        workload.quiesce(30.0)
+        stats = workload.verify()
+        assert stats["no_loss"] and stats["no_duplication"]
+        assert stats["sent"] == stats["received"] > 0
+        assert stats["serves_by_shard"] == stats["sent_by_shard"]
+    finally:
+        workload.close()
+
+
 @seed(CHAOS_SEED + 1)
 @PROPERTY_SETTINGS
 @given(schedule=schedules)
