@@ -216,6 +216,10 @@ class SoftwareBus:
         self.trace: List[str] = []  # reconfiguration/audit log
         self._transports: Dict[str, Transport] = {}
         self._owned_transports: List[Transport] = []
+        # Health plane (opt-in via enable_health; benchmarks measure the
+        # heartbeat cost explicitly rather than paying it by default).
+        self._health_monitor = None
+        self._health_interval = 0.0
         self._inproc = InprocTransport()
         self._inproc.attach_bus(self)
         self._transports[self._inproc.name] = self._inproc
@@ -248,6 +252,12 @@ class SoftwareBus:
             self._transports[key] = transport
             if owned:
                 self._owned_transports.append(transport)
+            monitor = self._health_monitor
+        if monitor is not None and hasattr(transport, "enable_health"):
+            try:
+                transport.enable_health(monitor, self._health_interval)
+            except Exception:  # noqa: BLE001 - heartbeats are best-effort
+                pass
         return transport
 
     def transport(self, name: str):
@@ -763,6 +773,118 @@ class SoftwareBus:
             except Exception:
                 continue
 
+    def flush_remote_telemetry(self) -> None:
+        """Pull buffered trace records home from every remote host.
+
+        The coordinator calls this at commit and at rollback so the
+        merged span tree for a reconfiguration is complete the moment
+        ``replace()`` returns; it is a no-op with telemetry disabled and
+        best-effort per transport (a dead host has nothing left to say).
+        """
+        if telemetry.recorder is None:
+            return
+        with self._lock:
+            transports = list(self._transports.values())
+        for transport in transports:
+            flush = getattr(transport, "flush_telemetry", None)
+            if flush is None:
+                continue
+            try:
+                flush()
+            except Exception:  # noqa: BLE001 - flush must never break replace()
+                continue
+
+    # ------------------------------------------------------------------
+    # Health plane
+    # ------------------------------------------------------------------
+
+    def enable_health(self, interval: float = 0.2, monitor=None, **thresholds):
+        """Start heartbeats from every remote host into a HealthMonitor.
+
+        Opt-in: heartbeats cost a timer thread per host plus one event
+        per ``interval``, so benchmarks measure them explicitly instead
+        of paying by default.  The monitor is also registered as the
+        recorder's health provider, so ``telemetry.snapshot()["health"]``
+        (and everything downstream: stats CLI, Prometheus exposition,
+        chaos artifacts) carries the live verdicts.  Returns the monitor.
+        """
+        from repro.runtime.health import HealthMonitor
+
+        if monitor is None:
+            monitor = HealthMonitor(interval_hint=float(interval), **thresholds)
+        with self._lock:
+            self._health_monitor = monitor
+            self._health_interval = float(interval)
+            transports = list(self._transports.values())
+        for transport in transports:
+            enable = getattr(transport, "enable_health", None)
+            if enable is None:
+                continue
+            try:
+                enable(monitor, float(interval))
+            except Exception:  # noqa: BLE001 - a sick host beats later or never
+                continue
+        rec = telemetry.recorder
+        if rec is not None:
+            rec.set_health_provider(monitor.snapshot)
+        return monitor
+
+    def disable_health(self) -> None:
+        with self._lock:
+            monitor, self._health_monitor = self._health_monitor, None
+            transports = list(self._transports.values())
+        if monitor is None:
+            return
+        for transport in transports:
+            disable = getattr(transport, "disable_health", None)
+            if disable is None:
+                continue
+            try:
+                disable()
+            except Exception:  # noqa: BLE001 - host may already be gone
+                continue
+        rec = telemetry.recorder
+        if rec is not None:
+            rec.set_health_provider(None)
+
+    @property
+    def health_monitor(self):
+        return self._health_monitor
+
+    def health_verdict(self, placement: Optional[str]) -> Optional[str]:
+        """Monitor verdict for a placement target, ``None`` when ungated.
+
+        Ungated cases: no monitor enabled, inproc placement (the module
+        would share our own process — if we are dead nobody is asking),
+        or an unknown transport.  An explicit slot resolves to its exact
+        host; a bare transport name (round-robin) reports the *best*
+        status across that transport's hosts, since any live slot can
+        take the module.
+        """
+        monitor = self._health_monitor
+        if monitor is None or placement is None:
+            return None
+        name, _, slot = placement.partition(":")
+        if name in ("", "inproc"):
+            return None
+        with self._lock:
+            transport = self._transports.get(name)
+        if transport is None:
+            return None
+        peek = getattr(transport, "peek_host", None)
+        if peek is not None and slot:
+            host = peek(slot)
+            if host is not None:
+                return monitor.status_of(host)
+        links = getattr(transport, "links", None)
+        if links is None:
+            return None
+        statuses = [monitor.status_of(link.name) for link in links()]
+        if not statuses:
+            return None
+        order = ["healthy", "unknown", "degraded", "suspect", "dead"]
+        return min(statuses, key=order.index)
+
     def route(self, instance: str, interface: str, message: Message) -> None:
         """Deliver a message written on (instance, interface).
 
@@ -967,10 +1089,23 @@ class SoftwareBus:
     def shutdown(self, timeout: float = 5.0) -> None:
         with self._lock:
             modules = list(self._instances.values())
+            monitor, self._health_monitor = self._health_monitor, None
+        if monitor is not None:
+            # Hosts are going away with their transports; just stop
+            # exporting their (now meaningless) verdicts.
+            rec = telemetry.recorder
+            if rec is not None:
+                rec.set_health_provider(None)
         for module in modules:
-            module.mh.stop()
+            try:
+                module.mh.stop()
+            except (BusError, TransportError):
+                pass  # host already dead: nothing left to stop
         for module in modules:
-            module.join(timeout)
+            try:
+                module.join(timeout)
+            except (BusError, TransportError):
+                pass
         for module in modules:
             if getattr(module, "is_remote", False):
                 # Leave shared transports reusable: every handle this bus

@@ -214,6 +214,8 @@ class ProcessTransport(RemoteTransport):
             # Spawn handshake: the first reply proves the interpreter is
             # up and the repro imports completed (slow on cold caches).
             link.request(["ping"], timeout=60.0)
+            # A slot spawned after enable_health must start beating too.
+            self._sync_health(link)
             slot = _WorkerSlot(
                 name=name,
                 link=link,
@@ -222,6 +224,24 @@ class ProcessTransport(RemoteTransport):
             )
             self._slots[index] = slot
             return slot
+
+    def peek_host(self, slot: Optional[str]) -> Optional[str]:
+        """Resolve a slot to its host name with no side effects.
+
+        Unlike :meth:`_place` this neither spawns the worker nor
+        advances round-robin — the coordinator's health pre-flight must
+        be able to ask "who would this placement target" without
+        perturbing placement itself.
+        """
+        if not slot:
+            return None
+        try:
+            index = int(slot)
+        except ValueError:
+            return None
+        if not 0 <= index < len(self._slots):
+            return None
+        return f"{self._host_prefix}{index}"
 
     def _place(self, slot: Optional[str]) -> Tuple[Link, Host, str]:
         if not slot:

@@ -154,6 +154,47 @@ class _Waiter:
         self.event.set()
 
 
+#: Tag of the optional trace-context trailer a request frame may carry:
+#: ``["tctx", recon_id, parent_span_id, lamport_tick]`` appended after
+#: the command's own arguments.  Absence is the backward-compatible
+#: default (events never carry one, old senders never append one).
+TRACE_CONTEXT_TAG = "tctx"
+
+
+def strip_trace_context(args: List[object]) -> List[object]:
+    """Pop (and adopt) an optional trace-context trailer off request args.
+
+    The receiving host calls this before dispatching a command: if the
+    sender piggybacked a ``["tctx", recon, parent_sid, tick]`` trailer,
+    spans opened while serving the command — and by module threads it
+    wakes — record under that remote parent, and the local Lamport clock
+    absorbs the sender's tick.  Without a trailer this is a pure
+    pass-through, so hosts speaking the old frame shape are unaffected.
+    """
+    if args and isinstance(args[-1], (list, tuple)):
+        trailer = args[-1]
+        if len(trailer) == 4 and trailer[0] == TRACE_CONTEXT_TAG:
+            recon = trailer[1]
+            telemetry.adopt_trace_context(
+                str(recon) if recon is not None else None,
+                int(trailer[2]),  # type: ignore[arg-type]
+                int(trailer[3]),  # type: ignore[arg-type]
+            )
+            return list(args[:-1])
+    return list(args)
+
+
+def _wire_safe(value: object) -> object:
+    """Clamp a telemetry record value to canonically encodable types."""
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): _wire_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_wire_safe(v) for v in value]
+    return repr(value)
+
+
 def _error_from(link_name: str, message: str) -> BusError:
     """Rehydrate a remote ``err`` reply into a useful exception type."""
     if "ReconfigTimeoutError" in message:
@@ -269,6 +310,10 @@ class Link:
         attempts = self.retry.attempts if self.retry is not None else 1
         delays = self.retry.delays() if self.retry is not None else []
         failure: Optional[Exception] = None
+        payload = list(command)
+        tctx = telemetry.trace_context()
+        if tctx is not None:
+            payload.append([TRACE_CONTEXT_TAG, tctx[0], tctx[1], tctx[2]])
         for attempt in range(attempts):
             if self.closed.is_set():
                 raise TransportError(f"link {self.name}: closed")
@@ -279,7 +324,7 @@ class Link:
                 self._pending[seq] = waiter
             try:
                 with self._send_lock:
-                    self.channel.send(["req", seq] + list(command))
+                    self.channel.send(["req", seq] + payload)
             except InjectedFault as exc:
                 with self._lock:
                     self._pending.pop(seq, None)
@@ -404,6 +449,14 @@ class ModuleHost:
         # whose whole fan-out lives on this host.  Replaced atomically.
         self.routes: Dict[Tuple[str, str], Tuple] = {}
         self.shim = _HostBusShim(self)
+        #: instance -> monotonic time of the last delivery served through
+        #: this host (host-local fast-path writes bypass it; the
+        #: heartbeat reports the age as "last delivery the bus caused").
+        self._last_delivery: Dict[str, float] = {}
+        self._hb_lock = threading.Lock()
+        self._hb_interval = 0.0
+        self._hb_stop: Optional[threading.Event] = None
+        self._hb_thread: Optional[threading.Thread] = None
 
     # -- plumbing ----------------------------------------------------------
 
@@ -411,10 +464,13 @@ class ModuleHost:
         handler = getattr(self, f"_cmd_{command}", None)
         if handler is None:
             raise BusError(f"host {self.machine_name}: unknown command {command!r}")
-        return handler(*args)
+        return handler(*strip_trace_context(args))
 
     def stop_all(self) -> None:
         """Serve-loop teardown: ask every hosted module thread to exit."""
+        with self._hb_lock:
+            if self._hb_stop is not None:
+                self._hb_stop.set()
         with self.modules_lock:
             modules = list(self.modules.values())
         for module in modules:
@@ -554,10 +610,18 @@ class ModuleHost:
     # -- message delivery and queue transfer ---------------------------------
 
     def _cmd_deliver(self, instance, interface, wire) -> bool:
-        message = Message.from_wire(bytes(wire), self.profile)
-        with self.modules_lock:
-            module = self._module(instance)
-            module.deliver(str(interface), message)
+        # The span is sampled like any per-message span at steady state,
+        # but inside a replace window the adopted trace context makes it
+        # a recorded child of the bus-side span that caused the write —
+        # so merged trees show the remote hop of every delivery.
+        with telemetry.span(
+            "host.deliver", instance=str(instance), interface=str(interface)
+        ):
+            message = Message.from_wire(bytes(wire), self.profile)
+            with self.modules_lock:
+                module = self._module(instance)
+                module.deliver(str(interface), message)
+        self._last_delivery[str(instance)] = time.monotonic()
         return True
 
     def _cmd_deliver_front(self, instance, interface, wires) -> bool:
@@ -565,6 +629,7 @@ class ModuleHost:
         messages = [Message.from_wire(bytes(w), self.profile) for w in wires]
         with self.modules_lock:
             self._module(instance).queue(str(interface)).prepend(messages)
+        self._last_delivery[str(instance)] = time.monotonic()
         return True
 
     def _cmd_counts(self, instance) -> Dict[str, int]:
@@ -650,16 +715,19 @@ class ModuleHost:
             for (name, key), value in rec.counters().items()
         }
 
-    def _cmd_telemetry_snapshot(self) -> Dict[str, Dict[str, float]]:
-        """Counters *and* gauges, flat-keyed for the wire.
+    def _cmd_telemetry_snapshot(self) -> Dict[str, object]:
+        """Counters, gauges, and buffered trace records, wire-keyed.
 
-        Absolute totals from this host's recorder — the bus-side
-        aggregation source re-reads them on every merge, so repeated
-        reads are idempotent (nothing is consumed or reset here).
+        Counters/gauges are absolute totals — the bus-side aggregation
+        source re-reads them on every merge, so repeated reads are
+        idempotent.  ``records`` is different: the host's span/event
+        ring is *drained* (shipped exactly once) so the bus recorder can
+        merge remote halves of replace trees — see
+        ``FlightRecorder.ingest_remote``.
         """
         rec = telemetry.recorder
         if rec is None:
-            return {"counters": {}, "gauges": {}}
+            return {"counters": {}, "gauges": {}, "records": []}
         return {
             "counters": {
                 f"{name}|{key or ''}": int(value)
@@ -669,7 +737,79 @@ class ModuleHost:
                 f"{name}|{key or ''}": float(value)
                 for (name, key), value in rec.gauges().items()
             },
+            "records": [_wire_safe(record) for record in rec.drain_records()],
         }
+
+    def _cmd_clear_trace_context(self) -> bool:
+        """Drop the adopted ambient root (sent at commit/rollback)."""
+        telemetry.clear_trace_context()
+        return True
+
+    # -- health plane -----------------------------------------------------------
+
+    def _cmd_health_enable(self, interval) -> bool:
+        """Start (or retune) the periodic heartbeat publisher."""
+        with self._hb_lock:
+            self._hb_interval = max(0.005, float(interval))
+            if self._hb_thread is None or not self._hb_thread.is_alive():
+                self._hb_stop = threading.Event()
+                self._hb_thread = threading.Thread(
+                    target=self._heartbeat_loop,
+                    args=(self._hb_stop,),
+                    name=f"heartbeat-{self.machine_name}",
+                    daemon=True,
+                )
+                self._hb_thread.start()
+        return True
+
+    def _cmd_health_disable(self) -> bool:
+        with self._hb_lock:
+            if self._hb_stop is not None:
+                self._hb_stop.set()
+            self._hb_thread = None
+            self._hb_stop = None
+        return True
+
+    def _heartbeat_loop(self, stop: threading.Event) -> None:
+        seq = 0
+        while not stop.wait(self._hb_interval):
+            seq += 1
+            try:
+                self.send_event(
+                    ["heartbeat", self.machine_name, seq, self._health_payload()]
+                )
+            except Exception:  # noqa: BLE001 - a sick link must not kill the beat
+                pass
+
+    def _health_payload(self) -> Dict[str, object]:
+        """Per-module liveness detail riding on each heartbeat."""
+        now = time.monotonic()
+        with self.modules_lock:
+            items = list(self.modules.items())
+        modules: Dict[str, object] = {}
+        for name, module in items:
+            try:
+                counts = module.queued_counts()
+                hwm = 0
+                for decl in module.spec.interfaces:
+                    if module.has_queue(decl.name):
+                        cell = getattr(module.queue(decl.name), "_hwm", 0)
+                        if cell > hwm:
+                            hwm = int(cell)
+                last = self._last_delivery.get(name)
+                mh = module.mh
+                modules[name] = {
+                    "state": module.state.value,
+                    "queued": int(sum(counts.values())),
+                    "queue_hwm": hwm,
+                    "divulging": bool(mh.reconfig and not mh.divulged.is_set()),
+                    "last_delivery_age": (
+                        now - last if last is not None else None
+                    ),
+                }
+            except Exception:  # noqa: BLE001 - a module mid-teardown is skippable
+                continue
+        return {"modules": modules}
 
 
 # ---------------------------------------------------------------------------
@@ -1011,6 +1151,15 @@ class RemoteTransport(Transport):
         self._bus = None
         self._handles: Dict[str, RemoteModuleHandle] = {}
         self._handles_lock = threading.Lock()
+        #: host name -> last successfully read (counters, gauges): a
+        #: link that dies mid-snapshot keeps contributing its last-known
+        #: totals instead of raising into ``snapshot()``.
+        self._last_link_totals: Dict[str, Tuple[Dict, Dict]] = {}
+        #: hosts currently unreachable — used to emit
+        #: ``telemetry.source_lost`` once per outage, not once per read.
+        self._lost_links: set = set()
+        self._health_monitor = None
+        self._health_interval = 0.0
 
     def attach_bus(self, bus) -> None:
         self._bus = bus
@@ -1042,22 +1191,101 @@ class RemoteTransport(Transport):
         Returns ``(counters, gauges)`` keyed ``(name, key)`` like
         :meth:`FlightRecorder.counters` — counters summed across hosts,
         gauges max-merged — for the bus's remote aggregation source.
+        Buffered trace records riding on each reply are merged straight
+        into the bus recorder (``ingest_remote``).
+
+        A host that died (or is shutting down) mid-read must not poison
+        ``snapshot()``: its last successfully read totals keep counting,
+        and a ``telemetry.source_lost`` event marks the outage once.
         """
         counters: Dict[Tuple[str, Optional[str]], int] = {}
         gauges: Dict[Tuple[str, Optional[str]], float] = {}
+        rec = telemetry.recorder
         for link in self.links():
-            snap = link.request(["telemetry_snapshot"])
-            for flat, value in dict(snap.get("counters", {})).items():
-                name, _, key = str(flat).partition("|")
-                k = (name, key or None)
-                counters[k] = counters.get(k, 0) + int(value)
-            for flat, value in dict(snap.get("gauges", {})).items():
-                name, _, key = str(flat).partition("|")
-                k = (name, key or None)
+            try:
+                snap = link.request(["telemetry_snapshot"])
+                link_counters: Dict[Tuple[str, Optional[str]], int] = {}
+                link_gauges: Dict[Tuple[str, Optional[str]], float] = {}
+                for flat, value in dict(snap.get("counters", {})).items():
+                    name, _, key = str(flat).partition("|")
+                    link_counters[(name, key or None)] = int(value)
+                for flat, value in dict(snap.get("gauges", {})).items():
+                    name, _, key = str(flat).partition("|")
+                    link_gauges[(name, key or None)] = float(value)
+                records = snap.get("records") or []
+                if rec is not None and records:
+                    rec.ingest_remote(
+                        link.name, [dict(r) for r in records]
+                    )
+                self._last_link_totals[link.name] = (link_counters, link_gauges)
+                self._lost_links.discard(link.name)
+            except (BusError, OSError) as exc:
+                cached = self._last_link_totals.get(link.name)
+                if link.name not in self._lost_links:
+                    self._lost_links.add(link.name)
+                    telemetry.event(
+                        "telemetry.source_lost",
+                        host=link.name,
+                        transport=self.name,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                monitor = self._health_monitor
+                if monitor is not None:
+                    # Self-healing condemnation: a later heartbeat
+                    # un-condemns, so a transient fault costs nothing.
+                    monitor.mark_dead(
+                        link.name, f"telemetry_snapshot: {type(exc).__name__}"
+                    )
+                if cached is None:
+                    continue
+                link_counters, link_gauges = cached
+            for k, v in link_counters.items():
+                counters[k] = counters.get(k, 0) + v
+            for k, v in link_gauges.items():
                 current = gauges.get(k)
-                if current is None or value > current:
-                    gauges[k] = float(value)
+                if current is None or v > current:
+                    gauges[k] = v
         return counters, gauges
+
+    def flush_telemetry(self) -> None:
+        """Pull buffered remote trace records home and drop contexts.
+
+        Called by the coordinator after commit *and* after rollback so
+        the merged tree for the reconfiguration is complete the moment
+        ``replace()`` returns.  Best-effort per link: a dead host simply
+        has nothing left to say.
+        """
+        self.telemetry_snapshot()
+        for link in self.links():
+            try:
+                link.request(["clear_trace_context"], timeout=5)
+            except (BusError, OSError):
+                pass
+
+    # -- health plane ----------------------------------------------------------
+
+    def enable_health(self, monitor, interval: float) -> None:
+        """Point heartbeats from every live host at ``monitor``."""
+        self._health_monitor = monitor
+        self._health_interval = float(interval)
+        for link in self.links():
+            monitor.register_host(link.name, transport=self.name)
+            link.request(["health_enable", float(interval)])
+
+    def disable_health(self) -> None:
+        monitor, self._health_monitor = self._health_monitor, None
+        for link in self.links():
+            try:
+                link.request(["health_disable"])
+            except (BusError, OSError):
+                pass
+
+    def _sync_health(self, link: Link) -> None:
+        """Arm heartbeats on a host spawned after ``enable_health``."""
+        monitor = self._health_monitor
+        if monitor is not None:
+            monitor.register_host(link.name, transport=self.name)
+            link.request(["health_enable", self._health_interval])
 
     # -- handle bookkeeping ----------------------------------------------------
 
@@ -1141,6 +1369,12 @@ class RemoteTransport(Transport):
                 handle = self._handles.get(str(args[0]))
                 if handle is not None:
                     handle._on_lifecycle(str(args[1]), str(args[2]))
+            elif command == "heartbeat":
+                monitor = self._health_monitor
+                if monitor is not None:
+                    monitor.record_heartbeat(
+                        str(args[0]), int(args[1]), dict(args[2])  # type: ignore[call-overload]
+                    )
 
         return on_event
 
@@ -1225,6 +1459,21 @@ class TcpTransport(RemoteTransport):
 
     def links(self) -> List[Link]:
         return [link for _, link, _ in self._machines]
+
+    def peek_host(self, slot: Optional[str]) -> Optional[str]:
+        """Resolve a slot to its daemon name without advancing round-robin."""
+        if not slot:
+            return None
+        for name, _, _ in self._machines:
+            if name == slot:
+                return name
+        try:
+            index = int(slot)
+        except ValueError:
+            return None
+        if 0 <= index < len(self._machines):
+            return self._machines[index][0]
+        return None
 
     def _place(self, slot: Optional[str]) -> Tuple[Link, Host, str]:
         if not slot:

@@ -94,6 +94,9 @@ class ReconfigurationReport:
     stage_attempts: Dict[str, int] = field(default_factory=dict)
     aborted: bool = False
     rolled_back: bool = False
+    #: Pre-flight verdict for the clone's target placement ("" when the
+    #: health plane is off or the target is inproc/ungated).
+    health_verdict: str = ""
 
     @property
     def delay_to_point(self) -> float:
@@ -316,6 +319,7 @@ class ReconfigurationCoordinator:
         kind: str = "replace",
         preserve_queues: bool = True,
         placement: Optional[str] = None,
+        force: bool = False,
     ) -> ReconfigurationReport:
         """Replace ``instance`` with a (possibly relocated, possibly new
         version) clone that resumes from the captured state.
@@ -351,6 +355,24 @@ class ReconfigurationCoordinator:
             placement = getattr(
                 self.bus.get_module(instance), "placement", None
             )
+        # Pre-flight health gate (when the health plane is on): refuse to
+        # target a host the failure detector distrusts.  Runs before any
+        # signal goes out, so a refusal leaves the application untouched
+        # — like a rejected new version, it keeps a plain exception type
+        # rather than a transactional abort.
+        verdict = self.bus.health_verdict(placement)
+        if verdict in ("suspect", "dead") and not force:
+            telemetry.count("reconfig.health_refusals")
+            telemetry.event(
+                "reconfig.health_refused",
+                instance=instance,
+                placement=placement,
+                verdict=verdict,
+            )
+            raise ReconfigError(
+                f"pre-flight health gate: clone placement {placement!r} "
+                f"is {verdict}; pass force=True to target it anyway"
+            )
         target_machine = machine or old.machine
         spec = (new_spec or old.spec).with_attributes(
             machine=target_machine, status="clone"
@@ -361,36 +383,43 @@ class ReconfigurationCoordinator:
             old_machine=old.machine,
             new_machine=target_machine,
             recon_id=telemetry.next_reconfiguration_id(),
+            health_verdict=verdict or "",
         )
         temp_name = f"{instance}.new"
         # The root span is "ambient": spans opened by other threads with
         # no local parent — the old module's capture/encode, the clone's
         # decode/restore — attach under it, so the whole replacement
         # renders as one tree keyed by report.recon_id.
-        with telemetry.span(
-            "reconfig.replace",
-            recon=report.recon_id,
-            ambient=True,
-            instance=instance,
-            kind=kind,
-            old_machine=old.machine,
-            new_machine=target_machine,
-        ) as root:
-            self._replace_txn(
-                old,
-                spec,
-                report,
-                temp_name,
-                new_spec,
-                timeout,
-                preserve_queues,
-                placement,
-            )
-            root.set(
-                packet_bytes=report.packet_bytes,
-                stack_depth=report.stack_depth,
-                retries=report.retries,
-            )
+        try:
+            with telemetry.span(
+                "reconfig.replace",
+                recon=report.recon_id,
+                ambient=True,
+                instance=instance,
+                kind=kind,
+                old_machine=old.machine,
+                new_machine=target_machine,
+            ) as root:
+                self._replace_txn(
+                    old,
+                    spec,
+                    report,
+                    temp_name,
+                    new_spec,
+                    timeout,
+                    preserve_queues,
+                    placement,
+                )
+                root.set(
+                    packet_bytes=report.packet_bytes,
+                    stack_depth=report.stack_depth,
+                    retries=report.retries,
+                )
+        finally:
+            # Commit or rollback: pull the remote halves of the span
+            # tree home and drop adopted trace contexts, so the merged
+            # rc-NNNN tree is complete the moment replace() returns.
+            self.bus.flush_remote_telemetry()
         return report
 
     def _replace_txn(

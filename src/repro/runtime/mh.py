@@ -418,6 +418,12 @@ class MH:
             )
         self._restore_stack = None
         self._status = "original"
+        # Close the span *before* signalling completion: on a remote host
+        # the on_restored hook pushes "restored" to the bus, whose
+        # coordinator may commit and issue the final telemetry flush
+        # immediately — an open span at that instant would miss the ship
+        # and orphan its children in the merged tree.
+        span.set(frames=self.stats["frames_restored"]).close()
         self.restored.set()
         hook = self.on_restored
         if hook is not None:
@@ -425,7 +431,6 @@ class MH:
                 hook()
             except Exception:  # noqa: BLE001 - hooks must not crash the module
                 pass
-        span.set(frames=self.stats["frames_restored"]).close()
 
     # ------------------------------------------------------------------
     # Helpers used by transformer-generated code

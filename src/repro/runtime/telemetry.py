@@ -103,6 +103,9 @@ __all__ = [
     "gauge_max",
     "event",
     "next_reconfiguration_id",
+    "trace_context",
+    "adopt_trace_context",
+    "clear_trace_context",
 ]
 
 #: Reconfiguration ids are process-unique and independent of whether a
@@ -148,6 +151,7 @@ class Span:
         "thread",
         "t0",
         "t1",
+        "l0",
         "_ambient_prev",
         "_restore_ambient",
     )
@@ -205,6 +209,14 @@ class Span:
         else:
             self._ambient_prev = None
         stack.append(self)
+        # Lamport stamp at open: causally after whatever set the clock
+        # (including an adopted cross-process trace context), so on every
+        # parent->child edge of a merged tree child.l0 > parent.l0 holds
+        # even when the two halves ran on machines with unrelated wall
+        # clocks.  Only *recorded* spans tick (sampled-out tops never
+        # reach _start), so the steady-state sampling fast path pays
+        # nothing for it.
+        self.l0 = recorder._tick()
         self.t0 = time.monotonic()
 
     def set(self, **attrs: Any) -> "Span":
@@ -237,6 +249,8 @@ class Span:
                 "t0": self.t0,
                 "t1": self.t1,
                 "ms": (self.t1 - self.t0) * 1000.0,
+                "l0": self.l0,
+                "lamport": rec._tick(),
                 "attrs": self.attrs,
             }
         )
@@ -370,7 +384,50 @@ class FlightRecorder:
         self._sources: List[Source] = []
         self._tls = threading.local()
         #: (recon_id, root span id) of the in-flight reconfiguration.
+        #: A *negative* root id means the root lives in another process
+        #: (an adopted trace context carries the bus-side span id); the
+        #: merge flips the sign back — see :meth:`ingest_remote`.
         self._ambient: Optional[Tuple[Optional[str], int]] = None
+        #: Lamport logical clock.  Wall clocks across processes are not
+        #: comparable; this is the honest cross-process ordering.
+        self._lamport = 0
+        self._lamport_lock = threading.Lock()
+        #: host name -> {remote sid -> local sid}, persistent across
+        #: ingests so a parent shipped in a later batch than its child
+        #: still lands on the same local id.
+        self._remote_maps: Dict[str, Dict[int, int]] = {}
+        self._health_provider: Optional[Callable[[], Dict[str, Any]]] = None
+
+    # -- lamport clock -------------------------------------------------
+
+    def _tick(self) -> int:
+        """Advance and return the logical clock (a local event).
+
+        Deliberately lock-free: under the GIL a racing pair of ticks can
+        collapse into one (both read v, both write v+1), but a duplicate
+        tick never breaks the ordering contract — parent/child on one
+        thread are sequenced by program order, ambient children only
+        ever attach to an already-ticked root, and every cross-process
+        edge goes through the locked :meth:`observe_tick` max-merge,
+        which emits a strictly larger value.  This runs on the recorded
+        span open/close fast path, where a lock acquisition is the
+        single most expensive instruction.
+        """
+        value = self._lamport + 1
+        self._lamport = value
+        return value
+
+    def observe_tick(self, remote: int) -> int:
+        """Merge a tick received from another process (Lamport receive).
+
+        Locked (rare: context adoption and batch ingest, never the span
+        fast path).  A concurrent lock-free ``_tick`` cannot regress the
+        clock: both writes are strictly greater than the value each side
+        read.
+        """
+        with self._lamport_lock:
+            self._lamport = max(self._lamport, int(remote)) + 1
+            return self._lamport
 
     # -- per-thread registration ---------------------------------------
 
@@ -588,6 +645,7 @@ class FlightRecorder:
                 "recon": recon,
                 "thread": threading.current_thread().name,
                 "t": time.monotonic(),
+                "lamport": self._tick(),
                 "attrs": fields,
             }
         )
@@ -608,6 +666,82 @@ class FlightRecorder:
         if name is not None:
             records = [r for r in records if r["name"] == name]
         return records
+
+    # -- cross-process trace merge -------------------------------------
+
+    def drain_records(self) -> List[Dict[str, Any]]:
+        """Pop every buffered span/event record (remote-side shipping).
+
+        A worker/daemon recorder calls this when the bus asks for a
+        ``telemetry_snapshot``: records ship exactly once (counters stay
+        put — they are absolute totals, re-read idempotently).  The bus
+        recorder never drains itself.
+        """
+        self._flush_all()
+        with self._flush_lock:
+            records = list(self._events)
+            self._events.clear()
+        return records
+
+    def ingest_remote(self, host: str, records: List[Dict[str, Any]]) -> int:
+        """Merge records drained from another process into this ring.
+
+        Remote span ids live in that process's id space; each gets a
+        fresh local sid via a per-``host`` persistent map (so a parent
+        arriving in a later batch than its child still joins up).
+        Parent links are rewritten the same way, with one special case:
+        a *negative* parent is "minus the bus-side sid" stamped by
+        :func:`adopt_trace_context`, so flipping the sign reattaches the
+        remote subtree to the local span that caused it.  Every record
+        is tagged ``host`` for per-hop annotations, and the local
+        Lamport clock absorbs the remote ticks.
+        """
+        if not records:
+            return 0
+        with self._lock:
+            mapping = self._remote_maps.setdefault(host, {})
+        max_tick = 0
+        # First pass: allocate local sids for every remote sid referenced
+        # (record sids *and* positive parents — ring order is completion
+        # order, so a child record precedes its parent's).
+        for record in records:
+            if record.get("type") != "span":
+                continue
+            for remote_sid in (record.get("sid"), record.get("parent")):
+                if isinstance(remote_sid, int) and remote_sid > 0 and remote_sid not in mapping:
+                    mapping[remote_sid] = next(self._ids)
+        merged: List[Dict[str, Any]] = []
+        for record in records:
+            rec = dict(record)
+            rec["host"] = host
+            for field in ("l0", "lamport"):
+                tick = rec.get(field)
+                if isinstance(tick, int) and tick > max_tick:
+                    max_tick = tick
+            if rec.get("type") == "span":
+                rec["sid"] = mapping.get(rec.get("sid"), rec.get("sid"))
+                parent = rec.get("parent")
+                if isinstance(parent, int):
+                    rec["parent"] = -parent if parent < 0 else mapping.get(parent)
+            merged.append(rec)
+        if max_tick:
+            self.observe_tick(max_tick)
+        with self._flush_lock:
+            self._events.extend(merged)
+        return len(merged)
+
+    # -- health plane --------------------------------------------------
+
+    def set_health_provider(
+        self, provider: Optional[Callable[[], Dict[str, Any]]]
+    ) -> None:
+        """Install the callable behind ``snapshot()["health"]``.
+
+        The bus registers its :class:`~repro.runtime.health.HealthMonitor`
+        here when heartbeats are enabled, so exports and the stats CLI
+        see liveness next to the counters without new plumbing.
+        """
+        self._health_provider = provider
 
     # -- export --------------------------------------------------------
 
@@ -633,7 +767,14 @@ class FlightRecorder:
                 "counter_shards": len(self._counter_shards),
                 "sources": len(self._sources),
             }
-        return {"counters": flatten(counters), "gauges": flatten(gauges), "telemetry": meta}
+        snap = {"counters": flatten(counters), "gauges": flatten(gauges), "telemetry": meta}
+        provider = self._health_provider
+        if provider is not None:
+            try:
+                snap["health"] = provider()
+            except Exception:
+                pass  # a wedged monitor must not poison counter reads
+        return snap
 
     def export_jsonl(
         self, target: Union[str, "IO[str]"], recon: Optional[str] = None
@@ -740,3 +881,53 @@ def event(kind: str, *, recon: Optional[str] = None, **fields: Any) -> None:
     rec = recorder
     if rec is not None:
         rec.event(kind, recon=recon, **fields)
+
+
+# -- cross-process trace context ---------------------------------------
+
+
+def trace_context() -> Optional[Tuple[Optional[str], int, int]]:
+    """The ``(recon_id, parent_span_id, lamport_tick)`` to propagate.
+
+    ``None`` when telemetry is off or nothing trace-worthy is in flight
+    (no open span on this thread, no ambient reconfiguration root) —
+    which is also the wire format's backward-compatible absence.  The
+    tick is taken at call time, i.e. at *send* time, so the receiver's
+    clock lands causally after the sender's.
+    """
+    rec = recorder
+    if rec is None:
+        return None
+    stack = rec._stack()
+    if stack:
+        top = stack[-1]
+        return (top.recon, top.sid, rec._tick())
+    current = rec._ambient
+    if current is not None:
+        return (current[0], current[1], rec._tick())
+    return None
+
+
+def adopt_trace_context(
+    recon: Optional[str], parent_sid: int, tick: int
+) -> None:
+    """Receiver side: record subsequent spans under a remote parent.
+
+    Sets the process-global ambient root to ``(recon, -parent_sid)`` —
+    the sign marks "this sid belongs to the sending process", and
+    ``FlightRecorder.ingest_remote`` flips it back when the records ship
+    home — and merges the sender's Lamport tick so ordering stays
+    honest.  No-op while telemetry is disabled.
+    """
+    rec = recorder
+    if rec is None:
+        return
+    rec.observe_tick(tick)
+    rec._ambient = (recon, -int(parent_sid))
+
+
+def clear_trace_context() -> None:
+    """Receiver side: drop the adopted ambient root (commit/rollback)."""
+    rec = recorder
+    if rec is not None:
+        rec._ambient = None

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import platform as _platform
 import re
 import sys
 from typing import Any, Dict, List, Optional, Tuple
@@ -84,8 +86,25 @@ def latency_table(spans: List[Dict[str, Any]]) -> str:
     return "\n".join(lines)
 
 
+def _span_order(span: Dict[str, Any]):
+    """Sibling sort key: Lamport tick when stamped, else start time.
+
+    Wall clocks across processes are not comparable, so a merged tree
+    orders by the logical clock (``l0``, stamped at span open); spans
+    from pre-Lamport dumps fall back to ``t0`` — within one dump the
+    spans are uniformly one or the other, so the key stays consistent.
+    """
+    l0 = span.get("l0")
+    return (0, l0, span.get("t0", 0.0)) if l0 is not None else (1, span.get("t0", 0.0), 0.0)
+
+
 def render_tree(spans: List[Dict[str, Any]]) -> str:
-    """Indented span trees (one per root), children in start order."""
+    """Indented span trees (one per root), children in Lamport order.
+
+    Cross-process spans (merged back from worker/daemon recorders) carry
+    a ``host`` tag rendered as ``@host`` — the per-hop process
+    annotation that shows where each piece of a replace actually ran.
+    """
     children: Dict[Optional[int], List[Dict[str, Any]]] = {}
     sids = {span["sid"] for span in spans}
     for span in spans:
@@ -94,7 +113,7 @@ def render_tree(spans: List[Dict[str, Any]]) -> str:
             parent = None  # parent fell off the ring; promote to root
         children.setdefault(parent, []).append(span)
     for siblings in children.values():
-        siblings.sort(key=lambda s: s["t0"])
+        siblings.sort(key=_span_order)
 
     lines: List[str] = []
 
@@ -103,9 +122,11 @@ def render_tree(spans: List[Dict[str, Any]]) -> str:
         detail = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
         recon = span.get("recon")
         tag = f" [{recon}]" if depth == 0 and recon else ""
+        host = span.get("host")
+        where = f"{span['thread']}@{host}" if host else str(span["thread"])
         lines.append(
             f"{'  ' * depth}{span['name']}{tag}  {span['ms']:.3f}ms"
-            f"  ({span['thread']}){('  ' + detail) if detail else ''}"
+            f"  ({where}){('  ' + detail) if detail else ''}"
         )
         for child in children.get(span["sid"], []):
             walk(child, depth + 1)
@@ -143,6 +164,100 @@ def telemetry_meta_line(counters: Dict[str, Any]) -> str:
     return f"# recorded with {parts}"
 
 
+def render_health(health: Dict[str, Any]) -> str:
+    """Host/module health tables from ``snapshot()["health"]``."""
+    hosts = health.get("hosts") or {}
+    modules = health.get("modules") or {}
+    if not hosts:
+        return "(no hosts under health monitoring)"
+    width = max(len("host"), max(len(name) for name in hosts))
+    lines = [
+        f"{'host':<{width}}  {'status':<9}  {'beats':>6}  "
+        f"{'age_s':>7}  {'interval_s':>10}"
+    ]
+    for name in sorted(hosts):
+        info = hosts[name]
+        age = info.get("age_s")
+        mean = info.get("mean_interval_s")
+        lines.append(
+            f"{name:<{width}}  {info.get('status', '?'):<9}  "
+            f"{info.get('beats', 0):>6}  "
+            f"{(f'{age:.3f}' if age is not None else '-'):>7}  "
+            f"{(f'{mean:.3f}' if mean is not None else '-'):>10}"
+        )
+    if modules:
+        mwidth = max(len("module"), max(len(name) for name in modules))
+        lines.append("")
+        lines.append(
+            f"{'module':<{mwidth}}  {'host':<{width}}  {'state':<10}  "
+            f"{'queued':>6}  {'hwm':>5}  {'divulging':<9}"
+        )
+        for name in sorted(modules):
+            info = modules[name]
+            lines.append(
+                f"{name:<{mwidth}}  {info.get('host', '?'):<{width}}  "
+                f"{info.get('state', '?'):<10}  {info.get('queued', 0):>6}  "
+                f"{info.get('queue_hwm', 0):>5}  "
+                f"{str(bool(info.get('divulging'))).lower():<9}"
+            )
+    return "\n".join(lines)
+
+
+def exposition_meta(counters: Dict[str, Any]) -> Dict[str, Any]:
+    """The ``benchmarks/_meta.py``-shaped environment block for exposition.
+
+    Mirrors ``bench_meta()`` (schema/cpus/sample/python/platform) without
+    importing the benchmarks package — ``tools/stats`` ships inside the
+    library, the benchmarks live at the repo root.  ``sample`` comes from
+    the dump's own ``telemetry`` block when present, so the exposition
+    says how the numbers were recorded, not how this host would record.
+    """
+    telemetry = counters.get("telemetry")
+    sample = telemetry.get("sample") if isinstance(telemetry, dict) else None
+    return {
+        "schema": "repro-bench-meta/1",
+        "cpus": os.cpu_count(),
+        "sample": sample,
+        "python": _platform.python_version(),
+        "platform": sys.platform,
+    }
+
+
+def stats_json(
+    spans: List[Dict[str, Any]],
+    events: List[Dict[str, Any]],
+    counters: Dict[str, Any],
+) -> Dict[str, Any]:
+    """Machine-readable summary for CI artifact diffing (``--json``)."""
+    by_name: Dict[str, List[float]] = {}
+    for span in spans:
+        by_name.setdefault(span["name"], []).append(float(span["ms"]))
+    latency = {
+        name: {
+            "count": len(samples),
+            "total_ms": round(sum(samples), 6),
+            "mean_ms": round(sum(samples) / len(samples), 6),
+            "max_ms": round(max(samples), 6),
+        }
+        for name, samples in by_name.items()
+    }
+    recons = sorted(
+        {r["recon"] for r in spans + events if r.get("recon")}
+    )
+    out: Dict[str, Any] = {
+        "meta": exposition_meta(counters),
+        "recons": recons,
+        "span_count": len(spans),
+        "event_count": len(events),
+        "latency": latency,
+        "counters": counters.get("counters", {}),
+        "gauges": counters.get("gauges", {}),
+    }
+    if isinstance(counters.get("health"), dict):
+        out["health"] = counters["health"]
+    return out
+
+
 def _metric_name(flat_key: str, suffix: str) -> str:
     """``bus.delivered{compute.inp}`` -> ``repro_bus_delivered_total{key="compute.inp"}``.
 
@@ -155,14 +270,48 @@ def _metric_name(flat_key: str, suffix: str) -> str:
     return f"repro_{_METRIC_RE.sub('_', flat_key)}{suffix}"
 
 
+#: Status -> numeric value for the ``repro_health_host_status`` gauge.
+_HEALTH_LEVELS = {"healthy": 0, "unknown": 1, "degraded": 2, "suspect": 3, "dead": 4}
+
+
 def prometheus_text(snapshot: Dict[str, Any]) -> str:
-    """Prometheus text exposition of a ``FlightRecorder.snapshot()``."""
+    """Prometheus text exposition of a ``FlightRecorder.snapshot()``.
+
+    Leads with a ``repro_meta_info`` info-style metric (the
+    ``benchmarks/_meta.py`` block as labels) so scraped numbers stay
+    comparable across containers; health, when present in the snapshot,
+    becomes per-host up/status gauges.
+    """
     lines: List[str] = []
+    meta = exposition_meta(snapshot)
+    labels = ",".join(
+        f'{key}="{meta[key]}"' for key in sorted(meta) if meta[key] is not None
+    )
+    lines.append("# HELP repro_meta_info Recording environment (info-style; value is always 1).")
+    lines.append("# TYPE repro_meta_info gauge")
+    lines.append(f"repro_meta_info{{{labels}}} 1")
     for flat_key, value in snapshot.get("counters", {}).items():
         lines.append(f"{_metric_name(flat_key, '_total')} {value}")
     for flat_key, value in snapshot.get("gauges", {}).items():
         lines.append(f"{_metric_name(flat_key, '')} {value}")
-    return "\n".join(lines) if lines else "(no counters)"
+    health = snapshot.get("health")
+    if isinstance(health, dict) and health.get("hosts"):
+        lines.append("# HELP repro_health_host_up 1 when the host's status is healthy.")
+        lines.append("# TYPE repro_health_host_up gauge")
+        hosts = health["hosts"]
+        for name in sorted(hosts):
+            status = str(hosts[name].get("status", "unknown"))
+            up = 1 if status == "healthy" else 0
+            lines.append(f'repro_health_host_up{{host="{name}"}} {up}')
+        lines.append(
+            "# HELP repro_health_host_status 0=healthy 1=unknown 2=degraded 3=suspect 4=dead."
+        )
+        lines.append("# TYPE repro_health_host_status gauge")
+        for name in sorted(hosts):
+            status = str(hosts[name].get("status", "unknown"))
+            level = _HEALTH_LEVELS.get(status, 1)
+            lines.append(f'repro_health_host_status{{host="{name}"}} {level}')
+    return "\n".join(lines)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -178,6 +327,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--tree", action="store_true", help="also render the span tree(s)"
     )
+    parser.add_argument(
+        "--health",
+        action="store_true",
+        help="also render host/module health tables from the snapshot",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one machine-readable JSON document instead of tables",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -187,12 +346,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1
 
     spans, events, counters = split_records(records, recon=args.recon)
+    if args.json:
+        print(json.dumps(stats_json(spans, events, counters), sort_keys=True))
+        return 0
     print(f"# span latency breakdown ({args.trace})")
     print(latency_table(spans))
     if args.tree:
         print()
         print("# span tree")
         print(render_tree(spans))
+    if args.health:
+        print()
+        print("# health")
+        health = counters.get("health")
+        if isinstance(health, dict):
+            print(render_health(health))
+        else:
+            print("(dump carries no health snapshot; was bus.enable_health() on?)")
     print()
     print("# events")
     print(render_events(events))

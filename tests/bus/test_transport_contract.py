@@ -27,7 +27,9 @@ from repro.bus.spec import BindingSpec, ModuleSpec
 from repro.bus.transport import TcpTransport
 from repro.errors import ReconfigurationAborted
 from repro.reconfig.coordinator import ReconfigurationCoordinator
+from repro.runtime import telemetry
 from repro.runtime.faults import FaultPlan, fault_plan
+from repro.tools import stats
 
 pytestmark = pytest.mark.multiproc
 
@@ -283,3 +285,99 @@ class TestReplaceContract:
             coordinator.replace("counter", timeout=30)
         _feed(bus, 2)
         _wait(lambda: bus.statics_of("counter").get("total") == 15)
+
+
+class TestTraceStitching:
+    """A replace yields ONE merged span tree, whatever the transport.
+
+    The remote halves of a replacement — ``mh.capture``/``mh.encode`` in
+    the old process, ``mh.decode``/``mh.restore`` in the clone's, plus
+    the host-local deliveries — record in *other* recorders and ship
+    home over the link's ``telemetry_snapshot`` channel.  The contract:
+    after ``replace()`` returns, the bus recorder holds one complete
+    causal tree per ``rc-NNNN`` (single ``reconfig.replace`` root, zero
+    orphan spans), remote spans carry their host name, and every edge is
+    Lamport-consistent — child ``l0`` strictly after parent ``l0``,
+    because wall clocks across processes are not comparable.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _recorder(self):
+        self.rec = telemetry.enable(capacity=8192)
+        yield
+        telemetry.disable()
+
+    def _launch_counter(self, bus, placement):
+        bus.add_module(_counter_spec(), instance="counter", placement=placement)
+        bus.add_module(_feeder_spec(), instance="feeder")
+        bus.add_binding(BindingSpec("feeder", "out", "counter", "inp"))
+        bus.start_module("counter")
+        _feed(bus, 1, 2, 3)
+        _wait(lambda: bus.statics_of("counter").get("total") == 6)
+
+    def _recon_spans(self, tmp_path, recon):
+        path = tmp_path / "trace.jsonl"
+        self.rec.export_jsonl(str(path))
+        spans, _, _ = stats.split_records(stats.load_records(str(path)), recon=recon)
+        return spans
+
+    def _assert_single_tree(self, spans, recon, placement):
+        assert spans, f"no spans recorded for {recon}"
+        roots = [s for s in spans if s.get("parent") is None]
+        assert [s["name"] for s in roots] == ["reconfig.replace"], roots
+        sids = {s["sid"] for s in spans}
+        orphans = [
+            (s["name"], s.get("parent"), s.get("host"))
+            for s in spans
+            if s.get("parent") is not None and s["parent"] not in sids
+        ]
+        assert not orphans, f"orphan spans in {recon}: {orphans}"
+        by_sid = {s["sid"]: s for s in spans}
+        for span in spans:
+            parent = span.get("parent")
+            if parent is not None:
+                assert span["l0"] > by_sid[parent]["l0"], (
+                    f"Lamport violation: {span['name']} (l0={span['l0']}) "
+                    f"under {by_sid[parent]['name']} (l0={by_sid[parent]['l0']})"
+                )
+        if placement is not None:
+            remote = {s.get("host") for s in spans if s.get("host")}
+            assert remote, "remote placement produced no host-tagged spans"
+            remote_names = {s["name"] for s in spans if s.get("host")}
+            assert "mh.capture" in remote_names or "mh.restore" in remote_names
+
+    def test_commit_yields_one_lamport_ordered_tree(self, placed_bus, tmp_path):
+        bus, placement = placed_bus
+        self._launch_counter(bus, placement)
+        coordinator = ReconfigurationCoordinator(bus)
+        with _Nudger(bus):
+            report = coordinator.replace("counter", timeout=30)
+        spans = self._recon_spans(tmp_path, report.recon_id)
+        self._assert_single_tree(spans, report.recon_id, placement)
+        # The rendered tree is what operators see: one root, host
+        # annotations on the remote hops.
+        tree = stats.render_tree(spans)
+        assert tree.startswith(f"reconfig.replace [{report.recon_id}]")
+        if placement is not None:
+            assert "@" in tree
+
+    def test_rollback_still_flushes_remote_spans(self, placed_bus, tmp_path):
+        bus, placement = placed_bus
+        self._launch_counter(bus, placement)
+        coordinator = ReconfigurationCoordinator(bus)
+        plan = FaultPlan("rebind-hard").schedule(
+            "coordinator.rebind", "crash", times=10
+        )
+        with _Nudger(bus):
+            with fault_plan(plan):
+                with pytest.raises(ReconfigurationAborted):
+                    coordinator.replace("counter", timeout=30)
+        # The abort path must pull the remote spans home too: the old
+        # module's capture/encode happened before the rebind crashed.
+        # Reconfiguration ids are globally monotonic, so learn this
+        # run's id from the recorder rather than assuming rc-0001.
+        all_spans = self._recon_spans(tmp_path, None)
+        recons = sorted({s["recon"] for s in all_spans if s.get("recon")})
+        assert len(recons) == 1, f"expected one replace, saw {recons}"
+        spans = [s for s in all_spans if s.get("recon") == recons[0]]
+        self._assert_single_tree(spans, recons[0], placement)

@@ -93,3 +93,48 @@ def test_fanout_hub_replace_with_100_plus_checkable_deliveries():
     stats = result["invariants"]
     # Every monitor saw every reading exactly once.
     assert stats["monitor_seen_min"] == stats["monitor_seen_max"] == stats["sent"]
+
+
+def test_replace_windows_resolve_to_merged_traces(tmp_path):
+    """Every replace window's recon_id resolves to a complete trace.
+
+    The under-load harness reports one ``recon_id`` per replace window;
+    with the recorder on, each id must name a complete merged span tree
+    — single ``reconfig.replace`` root, the transaction stages under it,
+    no orphan spans — so an operator can go straight from a latency blip
+    in the load report to the causal trace of the replace that caused it.
+    """
+    from repro.runtime import telemetry
+    from repro.tools import stats
+
+    rec = telemetry.enable(capacity=16384)
+    try:
+        result = run_smoke(
+            PipelineWorkload(stages=3, rate_per_s=200.0, seed=SEED)
+        )
+        assert_invariants(result)
+        path = tmp_path / "load-trace.jsonl"
+        rec.export_jsonl(str(path))
+    finally:
+        telemetry.disable()
+
+    records = stats.load_records(str(path))
+    assert result["replaces"], "no replace windows in the result"
+    for row in result["replaces"]:
+        recon = row["recon_id"]
+        spans, _, _ = stats.split_records(records, recon=recon)
+        roots = [s for s in spans if s.get("parent") is None]
+        assert [s["name"] for s in roots] == ["reconfig.replace"], (
+            f"{recon}: expected a single replace root, got {roots}"
+        )
+        sids = {s["sid"] for s in spans}
+        orphans = [
+            s["name"]
+            for s in spans
+            if s.get("parent") is not None and s["parent"] not in sids
+        ]
+        assert not orphans, f"{recon}: orphan spans {orphans}"
+        names = {s["name"] for s in spans}
+        assert {"stage.signal", "stage.rebind", "stage.commit"} <= names, (
+            f"{recon}: stage spans missing from {sorted(names)}"
+        )

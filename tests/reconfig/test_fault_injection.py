@@ -20,6 +20,7 @@ plan's schedule + firing log under ``chaos-artifacts/`` — the artifact
 CI uploads, sufficient to replay the failure (see docs/fault-model.md).
 """
 
+import json
 import os
 import socket
 import threading
@@ -83,10 +84,38 @@ def flight_recorder():
     telemetry.disable()
 
 
+def _dump_merged_traces(events_path: Path, trace_path: Path) -> None:
+    """Extract the merged per-``rc-NNNN`` trace from an event-log dump.
+
+    The replace under test flushes remote telemetry home in its
+    ``finally``, so by the time a failure surfaces the event log already
+    holds every hop's spans.  This pulls out just the recon-tagged
+    records, Lamport-ordered within each transaction, so the CI artifact
+    carries a ready-to-read causal tree (`stats.py --tree` accepts it
+    directly) without wading through the full event ring.
+    """
+    by_recon: dict = {}
+    with events_path.open() as fh:
+        for line in fh:
+            record = json.loads(line)
+            recon = record.get("recon")
+            if recon:
+                by_recon.setdefault(recon, []).append(record)
+    if not by_recon:
+        return
+    with trace_path.open("w") as fh:
+        for recon in sorted(by_recon):
+            records = by_recon[recon]
+            records.sort(key=lambda r: r.get("l0") or r.get("lamport") or 0)
+            for record in records:
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+
 @contextmanager
 def artifact_on_failure(plan: FaultPlan, name: str):
     """Dump the plan's schedule + firing log (and the telemetry event
-    log, when a recorder is installed) if the block fails."""
+    log plus the merged per-transaction trace, when a recorder is
+    installed) if the block fails."""
     try:
         yield
     except BaseException:
@@ -94,7 +123,9 @@ def artifact_on_failure(plan: FaultPlan, name: str):
         plan.dump(str(ARTIFACTS / f"{name}.json"))
         recorder = telemetry.recorder
         if recorder is not None:
-            recorder.export_jsonl(str(ARTIFACTS / f"{name}.events.jsonl"))
+            events_path = ARTIFACTS / f"{name}.events.jsonl"
+            recorder.export_jsonl(str(events_path))
+            _dump_merged_traces(events_path, ARTIFACTS / f"{name}.trace.jsonl")
         raise
 
 

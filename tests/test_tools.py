@@ -135,6 +135,31 @@ class TestStatsCli:
         assert "  stage.commit" in out
         assert "rc-0002" not in out.split("# counters")[0]
 
+    def test_json_output_is_machine_readable(self, trace, capsys):
+        import json
+
+        assert stats_main([str(trace), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["recons"] == ["rc-0001", "rc-0002"]
+        assert doc["latency"]["reconfig.replace"]["count"] == 2
+        assert doc["counters"]["bus.delivered{sensor.out}"] == 12
+        assert doc["meta"]["schema"] == "repro-bench-meta/1"
+        assert doc["meta"]["cpus"] is not None
+        assert doc["span_count"] == 4 and doc["event_count"] == 1
+
+    def test_prometheus_meta_info_block(self, trace, capsys):
+        assert stats_main([str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_meta_info gauge" in out
+        assert 'schema="repro-bench-meta/1"' in out
+        assert "repro_meta_info{" in out
+
+    def test_health_flag_without_snapshot(self, trace, capsys):
+        assert stats_main([str(trace), "--health"]) == 0
+        out = capsys.readouterr().out
+        assert "# health" in out
+        assert "no health snapshot" in out
+
     def test_missing_file_errors(self, tmp_path, capsys):
         assert stats_main([str(tmp_path / "nope.jsonl")]) == 1
         assert "error:" in capsys.readouterr().err
