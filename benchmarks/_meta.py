@@ -22,14 +22,19 @@ META_SCHEMA = "repro-bench-meta/1"
 def bench_meta(
     seed: Optional[int] = None,
     sample: Optional[int] = None,
+    batch: Optional[Dict[str, object]] = None,
     **extra: object,
 ) -> Dict[str, object]:
-    """The consistent ``{schema, cpus, seed, sample, ...}`` block.
+    """The consistent ``{schema, cpus, seed, sample, batch, ...}`` block.
 
     ``seed`` is the workload RNG seed (None for benchmarks without
     randomness); ``sample`` is the telemetry span sampling rate in
-    effect (None when telemetry was disabled for the run).  Extra
-    keyword pairs pass straight through for benchmark-specific context.
+    effect (None when telemetry was disabled for the run); ``batch`` is
+    the link-coalescing settings in effect (pass
+    ``repro.bus.batch.batch_settings()`` for benchmarks that cross a
+    transport — flush caps and the backpressure watermark change those
+    numbers as much as cpu count does).  Extra keyword pairs pass
+    straight through for benchmark-specific context.
     """
     meta: Dict[str, object] = {
         "schema": META_SCHEMA,
@@ -39,5 +44,7 @@ def bench_meta(
         "python": platform.python_version(),
         "platform": sys.platform,
     }
+    if batch is not None:
+        meta["batch"] = batch
     meta.update(extra)
     return meta

@@ -18,15 +18,19 @@ the configurations that stress the routing table:
                     cross-host delivery: one wire encode per send, one
                     decode per distinct receiver profile).
 
-A second tier measures *multi-core scale-out* through the worker-pool
-transport: one producer/consumer credit-loop pair pinned per worker
-(``placement="worker:<i>"``), where the pushed host-local routes keep
-the whole loop inside each worker process — aggregate throughput then
-scales with cores instead of being GIL-capped in the bus process.  The
-tier publishes honest numbers: ``cpus`` records ``os.cpu_count()``, and
-on a single-core container the scale-up over the in-process pair
-baseline is expectedly ~1x (the workers timeshare one core); the ≥2.5x
-target applies on 4 cores.
+A second tier measures the *cross-process link path* through the
+worker-pool transport.  Its headline ``aggregate`` is an in-process
+sender fanning out over pipe links to 8 receivers in each of 2 worker
+processes — every delivery crosses a link, so the number is dominated
+by frame cost, which is exactly what send-side coalescing (see
+:mod:`repro.bus.batch`) amortizes: ``aggregate_unbatched`` re-measures
+the same shape with batching disabled and ``batch_speedup`` is their
+ratio.  The tier also keeps the original pinned credit-loop pairs
+(``pinned_pairs_aggregate``) where pushed host-local routes bypass the
+links entirely — the multi-core scale-out story — plus the in-process
+pair baseline.  The tier publishes honest numbers: ``cpus`` records
+``os.cpu_count()``; on a single-core container the workers timeshare
+one core, so the win comes from fewer frames, not more cores.
 
 Run standalone to (re)generate ``BENCH_bus.json``::
 
@@ -41,6 +45,7 @@ import sys
 import time
 from typing import Dict, List, Tuple
 
+from repro.bus.batch import batch_settings, batching_disabled
 from repro.bus.bus import SoftwareBus
 from repro.bus.interfaces import InterfaceDecl, Role
 from repro.bus.message import Message
@@ -246,17 +251,94 @@ def measure_pairs(workers: int, pairs: int, seconds: float) -> float:
         bus.shutdown()
 
 
+def build_xlink(workers: int, fanout: int) -> Tuple[SoftwareBus, List[str]]:
+    """An in-process sender fanning out over links to worker receivers.
+
+    ``fanout`` receivers land in each of ``workers`` worker processes,
+    all bound to the one in-process sender endpoint — so every routed
+    message produces ``workers * fanout`` cross-link deliveries.  As in
+    :func:`build`, modules are never started; ``route`` is driven
+    directly.
+    """
+    bus = SoftwareBus(sleep_scale=0.0, workers=workers)
+    bus.add_module(sender_spec())
+    names = []
+    for w in range(workers):
+        for j in range(fanout):
+            name = f"w{w}r{j}"
+            bus.add_module(
+                receiver_spec(), instance=name, placement=f"worker:{w}"
+            )
+            bus.add_binding(BindingSpec("sender", "out", name, "inp"))
+            names.append(name)
+    return bus, names
+
+
+def measure_xlink(bus: SoftwareBus, names: List[str], seconds: float) -> float:
+    """Delivered msgs/s across links, counted by remote queue discards.
+
+    ``discard()`` drains each proxy queue in the worker and returns only
+    the count — the periodic drain bounds worker memory, and because a
+    link's requests are FIFO behind its coalesced delivery frames, the
+    final discard observes every message shipped before it.
+    """
+    message = Message(
+        values=[7], fmt="l", source_instance="sender", source_interface="out"
+    )
+    queues = [bus.get_module(name).queue("inp") for name in names]
+    batch = 200
+
+    def spin(duration: float) -> Tuple[int, float]:
+        delivered = 0
+        rounds = 0
+        start = time.perf_counter()
+        deadline = start + duration
+        while time.perf_counter() < deadline:
+            for _ in range(batch):
+                bus.route("sender", "out", message)
+            rounds += 1
+            if rounds % 10 == 0:  # keep worker memory bounded
+                delivered += sum(queue.discard() for queue in queues)
+        delivered += sum(queue.discard() for queue in queues)
+        return delivered, time.perf_counter() - start
+
+    spin(seconds / 4)  # warmup
+    delivered, elapsed = spin(seconds)
+    return delivered / elapsed
+
+
 def run_xproc_tier(seconds: float) -> Dict[str, object]:
     cpus = os.cpu_count() or 1
     workers = max(2, min(4, cpus))
+    fanout = 8
     inproc = measure_pairs(workers=0, pairs=1, seconds=seconds)
-    aggregate = measure_pairs(workers=workers, pairs=workers, seconds=seconds)
+    pinned = measure_pairs(workers=workers, pairs=workers, seconds=seconds)
+
+    def xlink_run() -> float:
+        bus, names = build_xlink(workers=workers, fanout=fanout)
+        try:
+            return measure_xlink(bus, names, seconds)
+        finally:
+            bus.shutdown()
+
+    aggregate = xlink_run()
+    with batching_disabled():
+        unbatched = xlink_run()
     return {
         "cpus": cpus,
         "workers": workers,
         "pairs": workers,
+        "fanout_per_worker": fanout,
+        "shape": (
+            "aggregate: inproc sender -> "
+            f"{fanout} receivers in each of {workers} workers (all "
+            "deliveries cross a pipe link)"
+        ),
         "inproc_pair_baseline": round(inproc, 1),
+        "pinned_pairs_aggregate": round(pinned, 1),
         "aggregate": round(aggregate, 1),
+        "aggregate_unbatched": round(unbatched, 1),
+        "batch_speedup": round(aggregate / unbatched, 2) if unbatched else 0.0,
         "scaleup_vs_inproc_pair": round(aggregate / inproc, 2) if inproc else 0.0,
     }
 
@@ -290,7 +372,7 @@ def main(argv: List[str]) -> None:
         "benchmark": "bench_a4_bus_throughput",
         "unit": "delivered messages/second",
         "quick": quick,
-        "meta": bench_meta(),
+        "meta": bench_meta(batch=batch_settings()),
         "results": results,
         "pre_fast_path_baseline": PRE_FAST_PATH_BASELINE,
         "speedup_vs_pre_fast_path": {

@@ -1,0 +1,55 @@
+"""CI regression gate: compare a quick benchmark run to committed numbers.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        BENCH_bus.json BENCH_bus_multiproc.json xproc.aggregate 0.85
+
+Reads the same dotted path out of both payloads and exits non-zero when
+``measured < committed * floor_ratio``.  Kept as a script (not inline
+YAML) so the comparison is testable and the workflow stays readable;
+the caller decides the retry policy — quick windows on shared CI
+runners are noisy, so gates should re-measure once before failing the
+job.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import List
+
+
+def dig(payload: object, dotted: str) -> float:
+    value = payload
+    for part in dotted.split("."):
+        value = value[part]  # type: ignore[index]
+    return float(value)  # type: ignore[arg-type]
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) != 4:
+        print(__doc__, file=sys.stderr)
+        return 2
+    committed_path, measured_path, dotted, ratio_raw = argv
+    with open(committed_path, encoding="utf-8") as handle:
+        committed = dig(json.load(handle), dotted)
+    with open(measured_path, encoding="utf-8") as handle:
+        measured = dig(json.load(handle), dotted)
+    floor = committed * float(ratio_raw)
+    print(
+        f"{dotted}: measured {measured:,.0f} vs committed {committed:,.0f} "
+        f"(floor {floor:,.0f})"
+    )
+    if measured < floor:
+        print(
+            f"REGRESSION: {dotted} {measured:,.0f} < {floor:,.0f} "
+            f"({float(ratio_raw):.0%} of committed)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -56,6 +56,7 @@ class _RouteEntry:
         "local_puts",
         "by_dest",
         "peers",
+        "plan",
         "_wiring",
     )
 
@@ -70,6 +71,11 @@ class _RouteEntry:
         # (peer module-or-handle, peer interface) per delivery; consumed
         # by the worker route push at rebuild time.
         self.peers: List[Tuple] = []
+        # Grouped fan-out ``(local_puts, xfer_groups, link_groups)`` for
+        # entries with at least one non-identity delivery: the message is
+        # encoded once, each distinct receiver profile decodes once, and
+        # each link gets one coalesced entry per target — see finalize().
+        self.plan: Optional[Tuple] = None
         # (destination instance, dest interface, queue | None) per
         # delivery; only consumed by telemetry instrumentation at
         # rebuild time (None for remote deliveries, whose queue depth
@@ -105,8 +111,46 @@ class _RouteEntry:
         self._wiring.append((peer.name, peer_if, queue))
 
     def finalize(self) -> None:
-        if all(profile is None for _, profile in self.deliveries):
+        """Classify the fan-out once so ``route()`` never re-derives it.
+
+        All-identity entries keep the raw ``local_puts`` fast path.
+        Anything else compiles a *plan*: local identity puts, transfer
+        groups keyed by distinct receiver profile (decode the shared
+        wire once per profile), and link groups keyed by transport link
+        (ship the shared wire once per link with every ``(instance,
+        interface)`` target riding in the same batch entry list — the
+        encode-once fan-out across process boundaries).
+        """
+        # Remote handles report ``profile is None`` too (their encode
+        # happens inside the bound callable), so the all-identity fast
+        # path must also require that no peer sits behind a link —
+        # otherwise an all-remote fan-out would re-encode per delivery
+        # instead of sharing one wire per link.
+        if all(profile is None for _, profile in self.deliveries) and not any(
+            getattr(peer, "link", None) is not None for peer, _ in self.peers
+        ):
             self.local_puts = [put for put, _ in self.deliveries]
+            return
+        locals_: List = []
+        xfers: Dict[str, Tuple] = {}
+        links: Dict[int, Tuple] = {}
+        for (peer, peer_if), (put, profile) in zip(self.peers, self.deliveries):
+            link = getattr(peer, "link", None)
+            if link is not None:
+                group = links.get(id(link))
+                if group is None:
+                    links[id(link)] = (link, [(peer.name, peer_if)])
+                else:
+                    group[1].append((peer.name, peer_if))
+            elif profile is None:
+                locals_.append(put)
+            else:
+                group = xfers.get(profile.name)
+                if group is None:
+                    xfers[profile.name] = (profile, [put])
+                else:
+                    group[1].append(put)
+        self.plan = (locals_, list(xfers.values()), list(links.values()))
 
     def instrument(self, rec, endpoint: str, in_degree, derived) -> None:
         """Recompile this entry's telemetry at rebuild time.
@@ -137,6 +181,10 @@ class _RouteEntry:
         An unbound endpoint gets a counting stub so silent drops become
         visible.
         """
+        # While recording, route via the per-delivery closures so every
+        # delivery stays individually countable (same trade as the route
+        # push-down, which is also suppressed while telemetry records).
+        self.plan = None
         if not self.deliveries:
             def drop(message, _rec=rec, _key=endpoint):
                 _rec.count("bus.dropped", key=_key)
@@ -913,6 +961,27 @@ class SoftwareBus:
             for put in local_puts:
                 put(message)
             return
+        plan = entry.plan
+        if plan is not None:
+            # Compiled fan-out: encode once, decode once per distinct
+            # receiver profile, ship once per link (the batch entry list
+            # carries every same-host target of this wire).
+            locals_, xfers, links = plan
+            for put in locals_:
+                put(message)
+            wire = None
+            sender = entry.sender_profile
+            for profile, puts in xfers:
+                if wire is None:
+                    wire = message.to_wire(sender)
+                decoded = Message.from_wire(wire, profile)
+                for put in puts:
+                    put(decoded)
+            for link, pairs in links:
+                if wire is None:
+                    wire = message.to_wire(sender)
+                link.send_deliver_shared(pairs, wire)
+            return
         fanout = FanoutTransfer(message, entry.sender_profile)
         for put, profile in entry.deliveries:
             put(fanout.for_profile(profile))
@@ -1078,7 +1147,11 @@ class SoftwareBus:
         old_module = self.get_module(old)
         if not old_module.has_queue(interface):
             return 0
-        removed = len(old_module.queue(interface).drain())
+        queue = old_module.queue(interface)
+        # Remote queues expose discard(): drop server-side and return the
+        # count instead of shipping every doomed wire back over the link.
+        discard = getattr(queue, "discard", None)
+        removed = discard() if discard is not None else len(queue.drain())
         self.trace.append(f"rmq {old}.{interface} ({removed} msgs)")
         return removed
 

@@ -10,6 +10,14 @@ as the TCP machine daemons, with the canonical self-described encoding
 the wire format.  No sockets, no framing headers: a frame is one
 ``send_bytes`` on the pipe.
 
+Deliveries are *coalesced*: a busy link ships ``deliver_batch`` frames
+carrying many already-encoded message wires per ``send_bytes`` (see
+:mod:`repro.bus.batch`), and the worker dispatches the whole batch
+inline in the serve loop — one frame decode, one modules-lock acquire —
+so per-message pipe overhead is amortized away.  Events stay inline
+precisely because of that: per-link FIFO is what makes queue snapshots
+exact w.r.t. prior deliveries, batched or not.
+
 Placement is ``placement="worker"`` (round-robin over the pool) or
 ``placement="worker:<index>"`` (pinned to one slot).  Workers spawn
 lazily on first placement, so buses that never leave the process pay

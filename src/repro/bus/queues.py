@@ -105,6 +105,22 @@ class MessageQueue:
         """
         self.put(message)
 
+    def put_many(self, messages: List[Message]) -> None:
+        """The bulk arm of ``put``: one lock acquire for a whole run.
+
+        Used by coalesced ``deliver_batch`` dispatch, where one frame
+        often carries many messages for the same queue.  Unlike
+        ``extend``/``prepend`` (queue *copies* during reconfiguration)
+        these are fresh deliveries, so the recording subclass counts
+        them in ``_pushed``.
+        """
+        with self._lock:
+            if self._closed:
+                raise TransportError(f"queue {self.name!r} is closed")
+            self._items.extend(messages)
+            if self._waiters:
+                self._not_empty.notify_all()
+
     def get(
         self,
         timeout: Optional[float] = None,
@@ -255,6 +271,15 @@ class RecordingMessageQueue(MessageQueue):
                 self._hwm = depth
             if self._waiters:
                 self._not_empty.notify()
+
+    def put_many(self, messages: List[Message]) -> None:
+        with self._lock:
+            if self._closed:
+                raise TransportError(f"queue {self.name!r} is closed")
+            self._items.extend(messages)
+            self._pushed += len(messages)
+            if self._waiters:
+                self._not_empty.notify_all()
 
 
 #: All live queues (weak — discovery only) and, while a recorder is

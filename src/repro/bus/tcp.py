@@ -20,6 +20,13 @@ Wire protocol: length-prefixed frames whose payload is one self-described
 value in our own canonical encoding (dogfooding ``repro.state.encoding``).
 Each frame is ``[kind, seq, command, args...]`` with ``kind`` in
 ``req``/``rep``/``evt``.
+
+Busy links coalesce deliveries: many message wires ride one
+``deliver_batch`` event frame (one TCP write, one ``tcp.send_frame``
+span), and daemon-side tunneled writes return as ``write_batch`` — see
+:mod:`repro.bus.batch` and docs/tcp-protocol.md for the blob layout.
+The per-message ``deliver``/``write`` frames remain valid; batching is a
+send-side optimization, not a protocol break.
 """
 
 from __future__ import annotations
@@ -33,6 +40,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.bus.batch import unpack_batch
 from repro.bus.machine import Host
 from repro.bus.spec import (
     BindingSpec,
@@ -398,7 +406,19 @@ class _DaemonLink:
                         waiter.complete(str(kind), frame[2])  # type: ignore[index]
                 elif kind == "evt":
                     command = frame[2]  # type: ignore[index]
-                    if command == "write":
+                    if command == "write_batch":
+                        # Coalesced daemon writes: one frame, many wires.
+                        wires, entries = unpack_batch(bytes(frame[3]))  # type: ignore[index,arg-type]
+                        for instance, interface, dest, widx in entries:
+                            if dest:
+                                self.bus._on_remote_write_to(
+                                    instance, interface, dest, wires[widx]
+                                )
+                            else:
+                                self.bus._on_remote_write(
+                                    instance, interface, wires[widx]
+                                )
+                    elif command == "write":
                         _, _, _, instance, interface, wire = frame  # type: ignore[misc]
                         self.bus._on_remote_write(
                             str(instance), str(interface), bytes(wire)

@@ -57,6 +57,7 @@ import time
 from queue import SimpleQueue
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.bus.batch import BatchPolicy, Coalescer, default_policy, unpack_batch
 from repro.bus.machine import Host
 from repro.bus.message import Message
 from repro.bus.module import ModuleInstance, ModuleState, prepared_source_for
@@ -221,6 +222,13 @@ class Link:
     ``retry`` enables the lossy-channel request policy (used over TCP,
     where the chaos suite drops frames); pipes are loss-free and run
     single-attempt.
+
+    Deliveries do not ship frame-per-message: :meth:`send_deliver` hands
+    the encoded wire to a per-link :class:`~repro.bus.batch.Coalescer`
+    whose flusher drains opportunistically, so a busy link ships many
+    messages per ``deliver_batch`` frame.  Per-link FIFO survives
+    because every *other* frame (requests, non-delivery events) drains
+    the pending batch under the send lock before going out.
     """
 
     def __init__(
@@ -230,6 +238,7 @@ class Link:
         channel,
         on_event: Optional[Callable[[str, List[object]], None]] = None,
         retry: Optional[RetryPolicy] = None,
+        batch: object = "default",
     ):
         self.name = name
         self.profile = profile
@@ -242,6 +251,21 @@ class Link:
         self._send_lock = threading.Lock()
         self._pending: Dict[int, _Waiter] = {}
         self._events: SimpleQueue = SimpleQueue()
+        self._send_failing = False
+        policy = default_policy() if batch == "default" else batch
+        self.batch_policy: Optional[BatchPolicy] = policy  # type: ignore[assignment]
+        if policy is not None:
+            self._coalescer: Optional[Coalescer] = Coalescer(
+                name,
+                "deliver_batch",
+                ship=self._ship_event,
+                send_lock=self._send_lock,
+                policy=policy,  # type: ignore[arg-type]
+                notify_drop=self._note_send_failed,
+                notify_ok=self._note_send_ok,
+            )
+        else:
+            self._coalescer = None
         self._pump = threading.Thread(
             target=self._read_loop, name=f"link-pump-{name}", daemon=True
         )
@@ -271,6 +295,8 @@ class Link:
             pass
         finally:
             self.closed.set()
+            if self._coalescer is not None:
+                self._coalescer.close()
             with self._lock:
                 pending = list(self._pending.values())
                 self._pending.clear()
@@ -291,13 +317,79 @@ class Link:
             except Exception:  # noqa: BLE001 - a bad event must not kill the link
                 pass
 
+    def _ship_event(self, command: List[object]) -> None:
+        """Raw event send — caller (coalescer flusher) holds the send lock."""
+        self.channel.send(["evt", 0] + list(command))
+
+    def _note_send_ok(self) -> None:
+        if self._send_failing:
+            self._send_failing = False
+
+    def _note_send_failed(self, dropped: int, exc: BaseException) -> None:
+        """Mark the link's send side as failing — one event per streak.
+
+        Chaos-injected faults are deliberate single-frame losses, not an
+        outage; they are counted (``link.events_dropped``) but do not
+        raise the ``link.send_failed`` flare.
+        """
+        if isinstance(exc, InjectedFault):
+            return
+        if not self._send_failing:
+            self._send_failing = True
+            telemetry.event(
+                "link.send_failed",
+                host=self.name,
+                error=f"{type(exc).__name__}: {exc}",
+                dropped=int(dropped),
+            )
+
     def send_event(self, command: List[object]) -> None:
-        """Fire-and-forget frame (message delivery, route pushes)."""
+        """Fire-and-forget frame (non-delivery events: route pushes, packets).
+
+        Acts as a FIFO barrier: any coalesced deliveries pending on this
+        link ship first, under the same send-lock hold, so the event is
+        ordered behind every delivery appended before this call.  Failed
+        sends are counted (``link.events_dropped``) instead of silently
+        vanishing, and the first failure of a streak emits a
+        ``link.send_failed`` event.
+        """
         try:
             with self._send_lock:
+                if self._coalescer is not None:
+                    self._coalescer.drain_locked()
                 self.channel.send(["evt", 0] + list(command))
-        except (InjectedFault, TransportError, OSError):
-            pass  # a lost event is a lost frame; the host notices via FIFO gaps
+        except (InjectedFault, TransportError, OSError) as exc:
+            # A lost event is a lost frame; the host notices via FIFO
+            # gaps — but the loss itself is now observable.
+            rec = telemetry.recorder
+            if rec is not None:
+                rec.count("link.events_dropped", key=self.name)
+            self._note_send_failed(1, exc)
+        else:
+            self._note_send_ok()
+
+    def send_deliver(self, instance: str, interface: str, wire: bytes) -> None:
+        """Queue one encoded message for coalesced delivery (hot path)."""
+        coalescer = self._coalescer
+        if coalescer is not None:
+            coalescer.append(instance, interface, "", wire)
+        else:
+            self.send_event(["deliver", instance, interface, wire])
+
+    def send_deliver_shared(self, pairs, wire: bytes) -> None:
+        """Deliver one encoded wire to many ``(instance, interface)`` targets.
+
+        The encode-once fan-out: the wire is embedded in the batch blob a
+        single time and every entry references it by index.
+        """
+        coalescer = self._coalescer
+        if coalescer is not None:
+            coalescer.append_shared(
+                [(instance, interface, "") for instance, interface in pairs], wire
+            )
+        else:
+            for instance, interface in pairs:
+                self.send_event(["deliver", instance, interface, wire])
 
     def request(self, command: List[object], timeout: float = 30.0) -> object:
         """Round-trip one request frame.
@@ -324,6 +416,11 @@ class Link:
                 self._pending[seq] = waiter
             try:
                 with self._send_lock:
+                    # FIFO barrier: requests (queue snapshots, drains,
+                    # transfers) must observe every delivery appended
+                    # before them, so pending batches ship first.
+                    if self._coalescer is not None:
+                        self._coalescer.drain_locked()
                     self.channel.send(["req", seq] + payload)
             except InjectedFault as exc:
                 with self._lock:
@@ -351,6 +448,8 @@ class Link:
         raise failure
 
     def close(self) -> None:
+        if self._coalescer is not None:
+            self._coalescer.close()
         try:
             self.channel.close()
         except OSError:
@@ -380,9 +479,7 @@ class _HostBusShim:
         core = self.core
         entry = core.routes.get((instance, interface))
         if entry is None:
-            core.send_event(
-                ["write", instance, interface, message.to_wire(core.profile)]
-            )
+            core.tunnel_write(instance, interface, message.to_wire(core.profile))
             return
         modules = core.modules
         for dest, dest_if in entry:
@@ -396,14 +493,8 @@ class _HostBusShim:
         core = self.core
         entry = core.routes.get((instance, interface))
         if entry is None:
-            core.send_event(
-                [
-                    "write_to",
-                    instance,
-                    interface,
-                    destination,
-                    message.to_wire(core.profile),
-                ]
+            core.tunnel_write_to(
+                instance, interface, destination, message.to_wire(core.profile)
             )
             return
         for dest, dest_if in entry:
@@ -426,6 +517,12 @@ class ModuleHost:
     back to the bus go through the injected ``send_event`` callable.
     Lifecycle, divulge, and restore transitions are *pushed* as events,
     so the bus-side handles mirror them without polling.
+
+    Tunneled writes (no host-local route) coalesce into ``write_batch``
+    frames through a lazily created :class:`~repro.bus.batch.Coalescer`;
+    every *other* outbound event drains that tunnel first so divulge,
+    lifecycle, and heartbeat events stay FIFO-ordered behind the writes
+    that preceded them.
     """
 
     def __init__(
@@ -439,7 +536,11 @@ class ModuleHost:
         self.host = host
         self.profile = host.profile
         self.sleep_policy = sleep_policy
-        self.send_event = send_event
+        self._raw_send_event = send_event
+        self._send_gate = threading.Lock()
+        self._tunnel: Optional[Coalescer] = None
+        self._tunnel_lock = threading.Lock()
+        self._batch_policy = default_policy()
         self.modules: Dict[str, ModuleInstance] = {}
         # Guards modules-dict mutations against concurrent deliveries
         # (events run inline in the serve loop while commands like swap
@@ -466,6 +567,54 @@ class ModuleHost:
             raise BusError(f"host {self.machine_name}: unknown command {command!r}")
         return handler(*strip_trace_context(args))
 
+    def send_event(self, command: List[object]) -> None:
+        """Push one event to the bus, FIFO-ordered behind tunneled writes.
+
+        When the write tunnel has coalesced frames pending, they ship
+        first under the same send-gate hold — a ``divulged`` event must
+        never overtake the writes the module issued before divulging.
+        """
+        tunnel = self._tunnel
+        if tunnel is None:
+            self._raw_send_event(command)
+            return
+        with self._send_gate:
+            tunnel.drain_locked()
+            self._raw_send_event(command)
+
+    def _tunnel_coalescer(self) -> Optional[Coalescer]:
+        tunnel = self._tunnel
+        if tunnel is None and self._batch_policy is not None:
+            with self._tunnel_lock:
+                tunnel = self._tunnel
+                if tunnel is None:
+                    tunnel = Coalescer(
+                        self.machine_name,
+                        "write_batch",
+                        ship=self._raw_send_event,
+                        send_lock=self._send_gate,
+                        policy=self._batch_policy,
+                    )
+                    self._tunnel = tunnel
+        return tunnel
+
+    def tunnel_write(self, instance: str, interface: str, wire: bytes) -> None:
+        """Coalesce one bus-bound write (the no-host-local-route path)."""
+        tunnel = self._tunnel_coalescer()
+        if tunnel is not None:
+            tunnel.append(instance, interface, "", wire)
+        else:
+            self.send_event(["write", instance, interface, wire])
+
+    def tunnel_write_to(
+        self, instance: str, interface: str, destination: str, wire: bytes
+    ) -> None:
+        tunnel = self._tunnel_coalescer()
+        if tunnel is not None:
+            tunnel.append(instance, interface, destination, wire)
+        else:
+            self.send_event(["write_to", instance, interface, destination, wire])
+
     def stop_all(self) -> None:
         """Serve-loop teardown: ask every hosted module thread to exit."""
         with self._hb_lock:
@@ -475,6 +624,13 @@ class ModuleHost:
             modules = list(self.modules.values())
         for module in modules:
             module.mh.stop()
+        tunnel = self._tunnel
+        if tunnel is not None:
+            # Flush what the modules wrote before their threads exited,
+            # then stop accepting appends.
+            with self._send_gate:
+                tunnel.drain_locked()
+            tunnel.close()
 
     def _module(self, instance) -> ModuleInstance:
         try:
@@ -550,6 +706,11 @@ class ModuleHost:
                     clone.queue(decl.name).prepend(old.queue(decl.name).drain())
             clone.rename(str(instance))
             self.modules[str(instance)] = clone
+        # The clone's deliveries were tracked under its temp name; fold
+        # them into the surviving name so heartbeat ages stay truthful.
+        stamp = self._last_delivery.pop(str(temp), None)
+        if stamp is not None:
+            self._last_delivery[str(instance)] = stamp
         old.stop()
         return True
 
@@ -574,6 +735,9 @@ class ModuleHost:
     def _cmd_remove(self, instance) -> bool:
         with self.modules_lock:
             module = self.modules.pop(str(instance))
+        # Withdrawn/migrated modules must not leak delivery stamps (or
+        # report stale ages if the name is ever reused).
+        self._last_delivery.pop(str(instance), None)
         module.stop()
         module.state = ModuleState.REMOVED
         return True
@@ -583,6 +747,9 @@ class ModuleHost:
             module = self.modules.pop(str(old_name))
             module.rename(str(new_name))
             self.modules[str(new_name)] = module
+        stamp = self._last_delivery.pop(str(old_name), None)
+        if stamp is not None:
+            self._last_delivery[str(new_name)] = stamp
         return True
 
     def _cmd_revive(self, instance, packet) -> str:
@@ -624,6 +791,66 @@ class ModuleHost:
         self._last_delivery[str(instance)] = time.monotonic()
         return True
 
+    def _cmd_deliver_batch(self, blob) -> bool:
+        """Deliver a coalesced batch: one lock acquire, one telemetry span.
+
+        Each distinct wire decodes once; when it fans out to several
+        modules the same :class:`Message` object is shared — delivered
+        messages are treated as immutable (see ``FanoutTransfer``), so
+        same-host sharing is safe.  Modules withdrawn between flush and
+        dispatch are skipped and counted, not raised: a batch is a run
+        of fire-and-forget deliveries, and a miss on one entry must not
+        discard the rest.
+        """
+        wires, entries = unpack_batch(bytes(blob))
+        profile = self.profile
+        with telemetry.span(
+            "host.deliver_batch", n=len(entries), wires=len(wires)
+        ):
+            # Decode and bucket outside the modules lock: one frame often
+            # names the same few queues over and over (a fan-out repeats
+            # its receiver set per group), so deliveries collapse to one
+            # ``put_many`` — one queue-lock acquire — per distinct queue.
+            # Per-queue FIFO holds (buckets keep entry order); cross-queue
+            # order within one batch is not observable, since any snapshot
+            # or transfer rides a request ordered behind the whole frame.
+            decoded: List[Optional[Message]] = [None] * len(wires)
+            buckets: Dict[Tuple[str, str], List[Message]] = {}
+            for instance, interface, _unused, widx in entries:
+                message = decoded[widx]
+                if message is None:
+                    message = Message.from_wire(wires[widx], profile)
+                    decoded[widx] = message
+                key = (instance, interface)
+                bucket = buckets.get(key)
+                if bucket is None:
+                    buckets[key] = [message]
+                else:
+                    bucket.append(message)
+            missed = 0
+            touched = []
+            with self.modules_lock:
+                modules = self.modules
+                for (instance, interface), run in buckets.items():
+                    module = modules.get(instance)
+                    if module is None:
+                        missed += len(run)
+                        continue
+                    try:
+                        module.queue(interface).put_many(run)
+                    except BusError:  # no such queue, or closed mid-swap
+                        missed += len(run)
+                        continue
+                    touched.append(instance)
+        now = time.monotonic()
+        for instance in touched:
+            self._last_delivery[instance] = now
+        if missed:
+            rec = telemetry.recorder
+            if rec is not None:
+                rec.count("host.deliver_miss", n=missed, key=self.machine_name)
+        return True
+
     def _cmd_deliver_front(self, instance, interface, wires) -> bool:
         """Prepend a batch of (older) messages — the ``cq`` transfer."""
         messages = [Message.from_wire(bytes(w), self.profile) for w in wires]
@@ -642,6 +869,15 @@ class ModuleHost:
     def _cmd_drain_queue(self, instance, interface) -> List[bytes]:
         messages = self._module(instance).queue(str(interface)).drain()
         return [m.to_wire(self.profile) for m in messages]
+
+    def _cmd_discard_queue(self, instance, interface) -> int:
+        """Drain and *discard* — returns only the count.
+
+        ``remove_queue`` on a remote module only needs how many messages
+        died with the queue; shipping every wire back just to count them
+        (the old ``drain_queue`` round-trip) wastes the whole batch win.
+        """
+        return len(self._module(instance).queue(str(interface)).drain())
 
     def _cmd_drain_queues(self, instance) -> Dict[str, List[bytes]]:
         module = self._module(instance)
@@ -839,13 +1075,8 @@ class ProxyQueue:
 
     def put(self, message: Message) -> None:
         handle = self._handle
-        handle.link.send_event(
-            [
-                "deliver",
-                handle.name,
-                self.interface,
-                message.to_wire(handle.host.profile),
-            ]
+        handle.link.send_deliver(
+            handle.name, self.interface, message.to_wire(handle.host.profile)
         )
 
     def peek_count(self) -> int:
@@ -867,6 +1098,14 @@ class ProxyQueue:
         )
         profile = self._handle.host.profile
         return [Message.from_wire(bytes(w), profile) for w in wires]  # type: ignore[union-attr]
+
+    def discard(self) -> int:
+        """Drain remotely, returning only the count (no wires shipped back)."""
+        return int(
+            self._handle.link.request(
+                ["discard_queue", self._handle.name, self.interface]
+            )  # type: ignore[arg-type]
+        )
 
     def prepend(self, messages: List[Message]) -> None:
         profile = self._handle.host.profile
@@ -1054,9 +1293,10 @@ class RemoteModuleHandle:
         """A bound delivery callable for the routing table.
 
         Compiled once per topology change, like a local ``queue.put``:
-        per message it encodes with the *sender's* profile and ships a
-        ``deliver`` event; the remote host decodes with its own profile —
-        the same canonical-encoding contract as any cross-host delivery.
+        per message it encodes with the *sender's* profile and queues the
+        wire on the link's coalescer (shipped in a ``deliver_batch``
+        frame); the remote host decodes with its own profile — the same
+        canonical-encoding contract as any cross-host delivery.
         """
 
         def put(
@@ -1066,9 +1306,7 @@ class RemoteModuleHandle:
             _interface=interface,
             _profile=sender_profile,
         ) -> None:
-            _link.send_event(
-                ["deliver", _name, _interface, message.to_wire(_profile)]
-            )
+            _link.send_deliver(_name, _interface, message.to_wire(_profile))
 
         return put
 
@@ -1337,7 +1575,21 @@ class RemoteTransport(Transport):
 
     def _make_on_event(self, link: Link) -> Callable[[str, List[object]], None]:
         def on_event(command: str, args: List[object]) -> None:
-            if command == "write":
+            if command == "write_batch":
+                bus = self._bus
+                if bus is None:
+                    return
+                wires, entries = unpack_batch(bytes(args[0]))  # type: ignore[arg-type]
+                for instance, interface, destination, widx in entries:
+                    if destination:
+                        bus._on_transport_write_to(
+                            instance, interface, destination, wires[widx], link.profile
+                        )
+                    else:
+                        bus._on_transport_write(
+                            instance, interface, wires[widx], link.profile
+                        )
+            elif command == "write":
                 bus = self._bus
                 if bus is not None:
                     bus._on_transport_write(

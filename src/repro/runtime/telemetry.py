@@ -15,7 +15,13 @@ of that claim observable:
   repro.tools.stats trace.jsonl --tree``).
 - **Counters and gauges.**  Bus messages routed/delivered/dropped per
   binding, queue-depth high-water marks, routing-cache rebuilds
-  (= cache misses), fault-injection fires, retries, rollbacks.
+  (= cache misses), fault-injection fires, retries, rollbacks.  The
+  link plane adds per-host keys: ``link.batches`` /
+  ``link.batched_messages`` (coalesced-delivery efficiency — messages
+  per frame is their ratio), ``link.events_dropped`` (frames lost on a
+  failing or injected-fault send, paired with one ``link.send_failed``
+  event per failure streak), and ``host.deliver_miss`` (batch entries
+  whose module was withdrawn between flush and dispatch).
 - **A bounded ring-buffer event log** (completed spans + point events)
   with JSON-lines export keyed by a reconfiguration id, so a failed
   chaos run dumps the exact interleaving that killed it next to the

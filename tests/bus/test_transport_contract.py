@@ -16,19 +16,24 @@ per placement:
 
 import threading
 import time
+from queue import SimpleQueue
 
 import pytest
 
+from repro.bus.batch import BatchPolicy, pack_batch, unpack_batch
 from repro.bus.bus import SoftwareBus
 from repro.bus.interfaces import InterfaceDecl, Role
+from repro.bus.machine import Host
 from repro.bus.message import Message
-from repro.bus.module import ModuleState
+from repro.bus.module import ModuleState, prepared_source_for
 from repro.bus.spec import BindingSpec, ModuleSpec
-from repro.bus.transport import TcpTransport
-from repro.errors import ReconfigurationAborted
+from repro.bus.transport import Link, ModuleHost, TcpTransport
+from repro.errors import ReconfigurationAborted, TransportError
 from repro.reconfig.coordinator import ReconfigurationCoordinator
 from repro.runtime import telemetry
 from repro.runtime.faults import FaultPlan, fault_plan
+from repro.runtime.mh import SleepPolicy
+from repro.state.machine import MACHINES
 from repro.tools import stats
 
 pytestmark = pytest.mark.multiproc
@@ -381,3 +386,233 @@ class TestTraceStitching:
         assert len(recons) == 1, f"expected one replace, saw {recons}"
         spans = [s for s in all_spans if s.get("recon") == recons[0]]
         self._assert_single_tree(spans, recons[0], placement)
+
+
+def _msg(value):
+    return Message(
+        values=[value],
+        fmt="l",
+        source_instance="feeder",
+        source_interface="out",
+    ).validated()
+
+
+def _links_of(bus):
+    links = []
+    for transport in bus._transports.values():
+        get = getattr(transport, "links", None)
+        if get is not None:
+            links.extend(get())
+    return links
+
+
+class _GateChannel:
+    """Frame channel whose ``send`` blocks until the gate opens.
+
+    Models a slow receiver: the link's flusher wedges inside ``send``
+    while producers keep appending — exactly the window the pending-byte
+    high-watermark must bound.
+    """
+
+    def __init__(self):
+        self.gate = threading.Event()
+        self.sent = []
+        self._rx = SimpleQueue()
+
+    def send(self, frame):
+        self.gate.wait(WATCHDOG_S)
+        self.sent.append(frame)
+
+    def recv(self):
+        self._rx.get()
+        raise TransportError("closed")
+
+    def close(self):
+        self._rx.put(None)
+
+
+class _FailChannel:
+    """Frame channel whose sends always fail (dead peer)."""
+
+    def __init__(self):
+        self._rx = SimpleQueue()
+
+    def send(self, frame):
+        raise TransportError("peer gone")
+
+    def recv(self):
+        self._rx.get()
+        raise TransportError("closed")
+
+    def close(self):
+        self._rx.put(None)
+
+
+class TestBatchedDelivery:
+    """Coalesced delivery must be invisible except in frame counts.
+
+    Trace stitching under batching needs no test of its own:
+    ``TestTraceStitching`` above already runs with batching enabled by
+    default on every transport.
+    """
+
+    def _shrink_batches(self, bus, max_entries=7):
+        """Force many tiny batches so boundaries land mid-stream."""
+        for link in _links_of(bus):
+            coalescer = link._coalescer
+            if coalescer is not None:
+                coalescer.policy = BatchPolicy(
+                    max_entries=max_entries,
+                    max_bytes=coalescer.policy.max_bytes,
+                    pending_hwm=coalescer.policy.pending_hwm,
+                    linger_s=0.0,
+                )
+
+    def test_fifo_preserved_across_batch_boundaries(self, placed_bus):
+        bus, placement = placed_bus
+        bus.add_module(_collector_spec(), instance="collector", placement=placement)
+        bus.add_module(_feeder_spec(), instance="feeder")
+        bus.add_binding(BindingSpec("feeder", "out", "collector", "inp"))
+        self._shrink_batches(bus)
+        bus.start_module("collector")
+
+        sent = list(range(400))
+        _feed(bus, *sent)
+        got = _wait(
+            lambda: (lambda g: g if len(g) == len(sent) else None)(
+                bus.statics_of("collector").get("got", [])
+            )
+        )
+        assert list(got) == sent
+
+    def test_queue_transfer_interleaves_with_in_flight_batch(self, placed_bus):
+        bus, placement = placed_bus
+        # Collector not started: deliveries pile up, so a prepend issued
+        # right behind a burst exercises the request barrier against an
+        # in-flight batch — the transferred (older) messages must land
+        # ahead of the burst, never inside or behind it.
+        bus.add_module(_collector_spec(), instance="collector", placement=placement)
+        bus.add_module(_feeder_spec(), instance="feeder")
+        bus.add_binding(BindingSpec("feeder", "out", "collector", "inp"))
+        self._shrink_batches(bus)
+
+        first = list(range(100))
+        _feed(bus, *first)
+        older = [-3, -2, -1]
+        bus.get_module("collector").queue("inp").prepend(
+            [_msg(v) for v in older]
+        )
+        later = list(range(100, 120))
+        _feed(bus, *later)
+
+        bus.start_module("collector")
+        expected = older + first + later
+        got = _wait(
+            lambda: (lambda g: g if len(g) == len(expected) else None)(
+                bus.statics_of("collector").get("got", [])
+            )
+        )
+        assert list(got) == expected
+
+    def test_backpressure_blocks_then_drains(self):
+        profile = MACHINES["modern-64"]
+        channel = _GateChannel()
+        policy = BatchPolicy(
+            max_entries=8, max_bytes=1 << 20, pending_hwm=256, linger_s=0.0
+        )
+        link = Link("gate", profile, channel, batch=policy)
+        try:
+            wires = [_msg(i).to_wire(profile) for i in range(40)]
+            done = threading.Event()
+
+            def produce():
+                for wire in wires:
+                    link.send_deliver("m", "inp", wire)
+                done.set()
+
+            threading.Thread(target=produce, daemon=True).start()
+            # The flusher is wedged in send(); pending bytes hit the
+            # high-watermark and the producer must block, not buffer.
+            assert not done.wait(0.5), "producer ran past the high-watermark"
+            assert link._coalescer.pending_entries() < len(wires)
+
+            channel.gate.set()  # receiver drains
+            assert done.wait(10), "producer never unblocked after drain"
+
+            def shipped():
+                got = []
+                for frame in list(channel.sent):
+                    assert frame[2] == "deliver_batch"
+                    batch_wires, entries = unpack_batch(frame[3])
+                    got.extend(batch_wires[w] for _a, _b, _c, w in entries)
+                return got if len(got) == len(wires) else None
+
+            got = _wait(shipped, timeout=10)
+            assert got == wires, "drain reordered or dropped messages"
+        finally:
+            link.close()
+
+    def test_send_event_failures_are_counted(self):
+        rec = telemetry.enable(capacity=1024)
+        try:
+            link = Link(
+                "failing", MACHINES["modern-64"], _FailChannel(), batch=None
+            )
+            for _ in range(3):
+                link.send_event(["deliver", "m", "inp", b"x"])
+            assert rec.counter("link.events_dropped", key="failing") == 3
+            flares = [
+                e for e in rec.events() if e.get("kind") == "link.send_failed"
+            ]
+            assert len(flares) == 1, "one flare per failure streak, not per frame"
+            assert flares[0]["attrs"]["host"] == "failing"
+            link.close()
+        finally:
+            telemetry.disable()
+
+    def _host_core(self):
+        profile = MACHINES["modern-64"]
+        host = Host(name="unit-host", profile=profile)
+        core = ModuleHost(
+            "unit-host", host, SleepPolicy(scale=0.0), lambda command: None
+        )
+        return core, profile
+
+    def _add(self, core, instance):
+        spec = _collector_spec()
+        core.handle(
+            "add",
+            [instance, spec.to_abstract(prepared_source_for(spec)), "original", None],
+        )
+
+    def test_deliver_batch_dispatch_and_shared_wires(self):
+        core, profile = self._host_core()
+        try:
+            self._add(core, "a")
+            self._add(core, "b")
+            wire = _msg(7).to_wire(profile)
+            blob = pack_batch(
+                [(wire, [("a", "inp", ""), ("b", "inp", ""), ("ghost", "inp", "")])]
+            )
+            core.handle("deliver_batch", [blob])
+            for name in ("a", "b"):
+                queued = core.modules[name].queue("inp").snapshot()
+                assert [m.values for m in queued] == [[7]]
+                assert name in core._last_delivery
+            assert "ghost" not in core._last_delivery  # missing module skipped
+        finally:
+            core.stop_all()
+
+    def test_last_delivery_tracks_module_lifecycle(self):
+        core, profile = self._host_core()
+        try:
+            self._add(core, "collector")
+            core.handle("deliver", ["collector", "inp", _msg(1).to_wire(profile)])
+            assert "collector" in core._last_delivery
+            core.handle("rename", ["collector", "collector2"])
+            assert "collector" not in core._last_delivery
+            assert "collector2" in core._last_delivery
+            core.handle("remove", ["collector2"])
+            assert core._last_delivery == {}, "removal must drop the stamp"
+        finally:
+            core.stop_all()
